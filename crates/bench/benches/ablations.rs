@@ -1,0 +1,198 @@
+//! Ablations of the design choices `DESIGN.md` calls out, plus the §VI
+//! switching-attacker resilience probe.
+//!
+//! Each ablation removes one mechanism and measures what the paper (or
+//! our derivation notes) claims it provides:
+//!
+//! * **input compensation** (NUISE step 2 / challenge 2) — without it,
+//!   actuator misbehavior biases the state prediction and floods the
+//!   sensor tests with false positives;
+//! * **parsimony prior** (DESIGN.md §2e) — without it, an absorbed
+//!   sensor corruption (the encoder tick bias lies in `range(C₂G)`)
+//!   competes as a phantom-actuator hypothesis and misidentification
+//!   rises in the 2-of-3-corrupted scenarios;
+//! * **probability mixing** (§2f; the paper's ε floor plays the same
+//!   role) — without it, recovery after an attack ends is slowed or
+//!   lost (scenario #10's LiDAR returns to normal mid-run);
+//! * **sliding windows** (§IV-D) — without them (1/1), transient bumps
+//!   are reported as misbehaviors.
+//!
+//! Run with: `cargo bench -p roboads-bench --bench ablations`
+
+use roboads_core::RoboAdsConfig;
+use roboads_sim::{Scenario, SimOutcome, SimulationBuilder};
+
+const SEEDS: [u64; 3] = [11, 23, 37];
+
+fn run(scenario: &Scenario, config: &RoboAdsConfig, seed: u64) -> SimOutcome {
+    SimulationBuilder::khepera()
+        .scenario(scenario.clone())
+        .config(config.clone())
+        .seed(seed)
+        .run()
+        .expect("ablation run")
+}
+
+fn averaged<F: Fn(&SimOutcome) -> f64>(
+    scenario: &Scenario,
+    config: &RoboAdsConfig,
+    metric: F,
+) -> f64 {
+    let sum: f64 = SEEDS
+        .iter()
+        .map(|&s| metric(&run(scenario, config, s)))
+        .sum();
+    sum / SEEDS.len() as f64
+}
+
+fn main() {
+    let defaults = RoboAdsConfig::paper_defaults();
+
+    // --- Ablation 1: input compensation (challenge 2). ---
+    // Under a pure actuator attack the uncompensated filter mispredicts
+    // and blames the sensors.
+    let scenario = Scenario::wheel_logic_bomb();
+    let s_fpr_on = averaged(&scenario, &defaults, |o| o.eval.sensor_fpr());
+    let s_fpr_off = averaged(
+        &scenario,
+        &defaults.clone().without_compensation(),
+        |o| o.eval.sensor_fpr(),
+    );
+    let a_fnr_on = averaged(&scenario, &defaults, |o| o.eval.actuator_fnr());
+    let a_fnr_off = averaged(
+        &scenario,
+        &defaults.clone().without_compensation(),
+        |o| o.eval.actuator_fnr(),
+    );
+    println!("ablation: input compensation (scenario #1, wheel logic bomb)");
+    println!("  with compensation    : sensor FPR {:.2}%  actuator FNR {:.2}%", s_fpr_on * 100.0, a_fnr_on * 100.0);
+    println!("  without compensation : sensor FPR {:.2}%  actuator FNR {:.2}%", s_fpr_off * 100.0, a_fnr_off * 100.0);
+    println!(
+        "  claim (challenge 2): uncompensated estimation floods the sensor tests -> {}",
+        if s_fpr_off > 5.0 * s_fpr_on.max(1e-3) { "holds" } else { "VIOLATED" }
+    );
+
+    // --- Ablation 2: parsimony prior. ---
+    let scenario = Scenario::ips_and_encoder_logic_bomb();
+    let fpr_with = averaged(&scenario, &defaults, |o| o.eval.sensor_fpr());
+    let fpr_without = averaged(
+        &scenario,
+        &defaults.clone().with_parsimony_rho(1.0),
+        |o| o.eval.sensor_fpr(),
+    );
+    println!("\nablation: parsimony prior (scenario #11, IPS + encoder, only LiDAR clean)");
+    println!("  rho = 0.05 : sensor FPR {:.2}%", fpr_with * 100.0);
+    println!("  rho = 1.0  : sensor FPR {:.2}%", fpr_without * 100.0);
+    println!(
+        "  claim (DESIGN.md §2e): the prior suppresses phantom-actuator hypotheses -> {}",
+        if fpr_without > 2.0 * fpr_with.max(1e-3) { "holds" } else { "VIOLATED" }
+    );
+
+    // --- Ablation 3: probability mixing / recovery. ---
+    // Scenario #10 ends with the LiDAR returning to normal; the detector
+    // must hand the condition back from S5 to S1.
+    let scenario = Scenario::ips_spoofing_and_lidar_dos();
+    let rec = |o: &SimOutcome| {
+        o.eval
+            .sensor_transitions
+            .iter()
+            .filter(|t| t.condition == "S1")
+            .map(|t| t.delay.unwrap_or(8.0)) // a miss counts as the rest of the run
+            .next()
+            .unwrap_or(8.0)
+    };
+    let rec_with = averaged(&scenario, &defaults, rec);
+    let rec_without = averaged(
+        &scenario,
+        &defaults.clone().with_mode_mixing(0.0),
+        rec,
+    );
+    println!("\nablation: probability mixing (scenario #10 recovery S5 -> S1)");
+    println!("  mixing 0.02 : recovery in {rec_with:.2} s");
+    println!("  mixing 0    : recovery in {rec_without:.2} s");
+    println!(
+        "  claim (§2f): the transition prior speeds post-attack recovery -> {}",
+        if rec_without >= rec_with { "holds" } else { "VIOLATED (floor alone sufficed here)" }
+    );
+
+    // --- Ablation 4: sliding windows vs transient faults. ---
+    let scenario = Scenario::clean().with_transient_bumps(17, 0.05);
+    let fpr_22 = averaged(&scenario, &defaults, |o| o.eval.sensor_fpr());
+    let fpr_11 = averaged(
+        &scenario,
+        &defaults.clone().with_sensor_window(1, 1),
+        |o| o.eval.sensor_fpr(),
+    );
+    println!("\nablation: sliding window under transient bumps (clean mission + bumps)");
+    println!("  c/w = 2/2 : sensor FPR {:.2}%", fpr_22 * 100.0);
+    println!("  c/w = 1/1 : sensor FPR {:.2}%", fpr_11 * 100.0);
+    println!(
+        "  claim (§IV-D): the window absorbs transient faults -> {}",
+        if fpr_11 > 3.0 * fpr_22.max(1e-3) { "holds" } else { "VIOLATED" }
+    );
+
+    // --- Extension: sliding window vs CUSUM on the recorded statistic
+    //     stream (same runs, two offline confirmations). ---
+    {
+        use roboads_stats::{ChiSquareTest, Cusum, SlidingWindow};
+        let scenario = Scenario::ips_logic_bomb().with_transient_bumps(17, 0.05);
+        let outcome = run(&scenario, &defaults, 11);
+        let stats: Vec<f64> = outcome
+            .trace
+            .records()
+            .iter()
+            .map(|r| r.report.sensor_anomaly.statistic)
+            .collect();
+        let onset = 40usize;
+        let threshold = ChiSquareTest::new(7, 0.005).expect("test").threshold();
+
+        let mut window = SlidingWindow::new(2, 2).expect("window");
+        let mut cusum = Cusum::new(threshold * 0.75, threshold * 2.0).expect("cusum");
+        let (mut w_delay, mut c_delay) = (None, None);
+        let (mut w_fp, mut c_fp) = (0, 0);
+        for (k, &s) in stats.iter().enumerate() {
+            let w_fired = window.push(s > threshold);
+            let c_fired = cusum.push(s);
+            if k < onset {
+                w_fp += usize::from(w_fired);
+                c_fp += usize::from(c_fired);
+                if c_fired {
+                    cusum.reset();
+                }
+            } else {
+                if w_fired && w_delay.is_none() {
+                    w_delay = Some(k - onset);
+                }
+                if c_fired && c_delay.is_none() {
+                    c_delay = Some(k - onset);
+                }
+            }
+        }
+        println!("\nextension: window (2/2) vs CUSUM confirmation on the same statistic stream");
+        println!(
+            "  window : delay {:?} iterations, pre-attack alarms {w_fp}",
+            w_delay
+        );
+        println!(
+            "  cusum  : delay {:?} iterations, pre-attack alarms {c_fp}",
+            c_delay
+        );
+        println!("  (both confirm within a few iterations; CUSUM trades an extra tuning knob for\n   sensitivity to small persistent shifts)");
+    }
+
+    // --- §VI probe: switching attacker. ---
+    let scenario = Scenario::switching_attacker();
+    let fpr = averaged(&scenario, &defaults, |o| o.eval.sensor_fpr());
+    let fnr = averaged(&scenario, &defaults, |o| o.eval.sensor_fnr());
+    let outcome = run(&scenario, &defaults, 11);
+    println!("\n§VI probe: attacker rotates its target every 2 s (IPS -> encoder -> LiDAR)");
+    println!(
+        "  detected sequence (seed 11): {}",
+        outcome.eval.detected_sensor_sequence.join(" -> ")
+    );
+    println!("  sensor FPR {:.2}%  FNR {:.2}%", fpr * 100.0, fnr * 100.0);
+    println!(
+        "  (the paper lists resilience to such attacks as unexplored future work; \
+         the mode-switch prior keeps the detector tracking, at degraded rates)"
+    );
+}

@@ -1,0 +1,130 @@
+//! §V-H — evasive attacks: the largest corruption that stays below the
+//! alarm thresholds.
+//!
+//! The paper reports that under the tuned configuration a stealthy IPS
+//! spoofing shift must stay **under 0.02 m** and a stealthy wheel-speed
+//! alteration **under 900 speed units (0.006 m/s)** — too small to have
+//! meaningful mission impact. This harness bisects both stealth
+//! boundaries.
+//!
+//! Run with: `cargo bench -p roboads-bench --bench evasive`
+
+use roboads_core::RoboAdsConfig;
+use roboads_linalg::Vector;
+use roboads_models::dynamics::DifferentialDrive;
+use roboads_sim::{Corruption, Misbehavior, Scenario, SimulationBuilder, Target};
+
+const SEEDS: [u64; 2] = [11, 23];
+const ONSET: usize = 40;
+const DURATION: usize = 200;
+
+/// Whether an IPS X-shift of `bias` meters triggers any sensor alarm.
+fn ips_shift_detected(bias: f64) -> bool {
+    let scenario = Scenario::new(
+        0,
+        "stealth-ips",
+        "stealthy IPS shift",
+        vec![Misbehavior::new(
+            "stealth-ips",
+            Target::Sensor(0),
+            Corruption::Bias(Vector::from_slice(&[bias, 0.0, 0.0])),
+            ONSET,
+            None,
+        )],
+        DURATION,
+    );
+    SEEDS.iter().any(|&seed| {
+        let outcome = SimulationBuilder::khepera()
+            .scenario(scenario.clone())
+            .config(RoboAdsConfig::paper_defaults())
+            .seed(seed)
+            .run()
+            .expect("stealth run");
+        // Detection = the attacked workflow is *identified* for at least
+        // 5 iterations (0.5 s); isolated background window transients
+        // exist at any attack magnitude and do not count.
+        outcome
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.report.misbehaving_sensors == vec![0])
+            .count()
+            >= 5
+    })
+}
+
+/// Whether a symmetric wheel-speed alteration of `mps` m/s triggers any
+/// actuator alarm.
+fn wheel_bias_detected(mps: f64) -> bool {
+    let scenario = Scenario::new(
+        0,
+        "stealth-wheel",
+        "stealthy wheel alteration",
+        vec![Misbehavior::new(
+            "stealth-wheel",
+            Target::Actuators,
+            Corruption::Bias(Vector::from_slice(&[-mps, mps])),
+            ONSET,
+            None,
+        )],
+        DURATION,
+    );
+    SEEDS.iter().any(|&seed| {
+        let outcome = SimulationBuilder::khepera()
+            .scenario(scenario.clone())
+            .config(RoboAdsConfig::paper_defaults())
+            .seed(seed)
+            .run()
+            .expect("stealth run");
+        outcome
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.k >= ONSET && r.report.actuator_alarm)
+            .count()
+            >= 5
+    })
+}
+
+/// Bisects the detection boundary of a monotone predicate on `[lo, hi]`.
+fn bisect(mut lo: f64, mut hi: f64, detected: impl Fn(f64) -> bool) -> f64 {
+    assert!(!detected(lo), "lower bound must be stealthy");
+    assert!(detected(hi), "upper bound must be detected");
+    for _ in 0..10 {
+        let mid = 0.5 * (lo + hi);
+        if detected(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+fn main() {
+    println!("bisecting the stealthy IPS spoofing boundary …");
+    let ips_boundary = bisect(0.001, 0.08, ips_shift_detected);
+    println!(
+        "largest stealthy IPS X shift ≈ {:.3} m (paper: ~0.02 m)",
+        ips_boundary
+    );
+
+    println!("\nbisecting the stealthy wheel-speed boundary …");
+    let wheel_boundary = bisect(0.0005, 0.03, wheel_bias_detected);
+    let units = wheel_boundary / DifferentialDrive::KHEPERA_SPEED_UNIT;
+    println!(
+        "largest stealthy wheel alteration ≈ {:.4} m/s ≈ {:.0} speed units \
+         (paper: ~0.006 m/s ≈ 900 units)",
+        wheel_boundary, units
+    );
+
+    // Impact check: the paper argues the surviving attacks are too small
+    // to matter. Quantify: deviation a stealthy wheel bias can cause in
+    // one second of open-loop motion.
+    let per_second = wheel_boundary * 2.0 / 0.0885; // rad/s of phantom turn
+    println!(
+        "\nimpact bound: a stealthy wheel bias turns the robot at most {:.3} rad/s — \
+         within the tracker's correction authority",
+        per_second
+    );
+}

@@ -1,0 +1,114 @@
+//! Figure 6 — raw multi-mode engine outputs for scenario #8.
+//!
+//! Regenerates the eight time-series panels for the combined
+//! wheel-controller & IPS logic-bomb scenario: per-sensor anomaly
+//! estimates (IPS / wheel encoder / LiDAR), actuator anomaly estimates,
+//! both χ² test statistics with their thresholds, and the sensor /
+//! actuator mode selections. The full series is written to
+//! `target/fig6.csv`; this harness prints the landmark events the paper
+//! highlights (IPS anomaly surge at ~4 s, actuator anomaly at ~10 s,
+//! IPS X-axis estimate ≈ +0.069 ± 0.002 m, silent encoder and LiDAR).
+//!
+//! Run with: `cargo bench -p roboads-bench --bench fig6`
+
+use roboads_core::RoboAdsConfig;
+use roboads_sim::{Scenario, SimulationBuilder};
+use roboads_stats::{mean, sample_std_dev};
+
+fn main() {
+    let outcome = SimulationBuilder::khepera()
+        .scenario(Scenario::wheel_and_ips_logic_bomb())
+        .config(RoboAdsConfig::paper_defaults())
+        .seed(11)
+        .run()
+        .expect("scenario #8 run");
+
+    let csv = outcome.trace.to_figure6_csv();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/fig6.csv");
+    std::fs::write(path, &csv).expect("write fig6.csv");
+    println!("full series written to target/fig6.csv ({} rows)\n", outcome.trace.len());
+
+    // Panel 1: IPS X anomaly estimate during the attack window.
+    let ips_x: Vec<f64> = outcome
+        .trace
+        .records()
+        .iter()
+        .filter(|r| r.k >= 45) // past the onset transient
+        .filter_map(|r| r.report.sensor_anomaly_for(0).map(|s| s.estimate[0]))
+        .collect();
+    println!(
+        "panel 1  IPS X anomaly estimate after 4 s: {:+.3} m ± {:.3} (paper: +0.069 ± 0.002)",
+        mean(&ips_x),
+        sample_std_dev(&ips_x)
+    );
+
+    // Panels 2–3: wheel encoder and LiDAR estimates stay silent (95th
+    // percentile of the per-iteration magnitude; brief spikes at the
+    // attack transitions are the mode hand-over transients).
+    for (panel, sensor, name) in [(2, 1usize, "wheel encoder"), (3, 2usize, "LiDAR")] {
+        let mut mags: Vec<f64> = outcome
+            .trace
+            .records()
+            .iter()
+            .filter_map(|r| r.report.sensor_anomaly_for(sensor))
+            .map(|s| s.estimate.max_abs())
+            .collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p95 = mags[(mags.len() as f64 * 0.95) as usize];
+        println!("panel {panel}  {name} anomaly estimates remain within ±{p95:.3} (p95)");
+    }
+
+    // Panel 4: actuator anomaly estimates after the 10 s trigger.
+    let (mut dl, mut dr) = (Vec::new(), Vec::new());
+    for r in outcome.trace.records().iter().filter(|r| r.k >= 105) {
+        dl.push(r.report.actuator_anomaly.estimate[0]);
+        dr.push(r.report.actuator_anomaly.estimate[1]);
+    }
+    println!(
+        "panel 4  actuator anomaly after 10 s: vL {:+.4} m/s, vR {:+.4} m/s (injected -0.04 / +0.04)",
+        mean(&dl),
+        mean(&dr)
+    );
+
+    // Panels 5 & 7: first *sustained* threshold crossings (isolated
+    // pre-attack exceedances are expected at these α levels and are what
+    // the sliding windows exist to suppress).
+    let first_alarm = |f: &dyn Fn(&roboads_sim::TraceRecord) -> bool| {
+        outcome.trace.records().iter().find(|r| f(r)).map(|r| r.time)
+    };
+    let sensor_alarm = first_alarm(&|r| r.report.sensor_alarm);
+    let actuator_alarm = first_alarm(&|r| r.time >= 10.0 && r.report.actuator_alarm);
+    println!(
+        "panel 5  sensor χ² statistic surge confirmed (2/2 window) at t = {:.1} s (attack at 4.0)",
+        sensor_alarm.unwrap_or(f64::NAN)
+    );
+    println!(
+        "panel 7  actuator χ² statistic surge confirmed (3/6 window) at t = {:.1} s (attack at 10.0; \
+         transient window positives earlier in the mission are visible in the CSV, matching the \
+         paper's note that most false classifications stem from the sliding window)",
+        actuator_alarm.unwrap_or(f64::NAN)
+    );
+
+    // Panels 6 & 8: mode selections.
+    println!(
+        "panel 6  sensor mode selection sequence: {}",
+        outcome.eval.detected_sensor_sequence.join(" -> ")
+    );
+    println!(
+        "panel 8  actuator mode selection sequence: {}",
+        outcome.eval.detected_actuator_sequence.join(" -> ")
+    );
+
+    // Quantification accuracy (§V-C: normalized error 1.91 % sensors,
+    // 0.41 % / 1.79 % actuators).
+    let ips_err = (mean(&ips_x) - 0.07).abs() / 0.07;
+    let act_err_l = (mean(&dl) + 0.04).abs() / 0.04;
+    let act_err_r = (mean(&dr) - 0.04).abs() / 0.04;
+    println!(
+        "\nnormalized quantification error: IPS {:.2}%, vL {:.2}%, vR {:.2}% \
+         (paper: 1.91%, 0.41%, 1.79%)",
+        ips_err * 100.0,
+        act_err_l * 100.0,
+        act_err_r * 100.0
+    );
+}

@@ -1,0 +1,151 @@
+//! Figure 7 — decision-parameter selection.
+//!
+//! * (a) ROC of sensor misbehavior detection sweeping the confidence
+//!   level α for window settings c/w ∈ {1/1, 3/3, 6/6},
+//! * (b) the same for actuator misbehavior detection,
+//! * (c) sensor-detection F1 versus decision criteria c for window
+//!   sizes w = 1..6 at α = 0.005,
+//! * (d) actuator-detection F1 versus c for w = 1..7 at α = 0.05.
+//!
+//! The paper's findings to reproduce: detection is already good at
+//! α = 0.05 (actuator) / 0.005 (sensor); for a fixed window size the F1
+//! rises then falls in c, with 2/2 (sensor) and 3/6 (actuator) the
+//! chosen operating points.
+//!
+//! Run with: `cargo bench -p roboads-bench --bench fig7`
+
+use roboads_bench::{parallel_map, run_khepera, sweep_threads};
+use roboads_core::RoboAdsConfig;
+use roboads_sim::Scenario;
+use roboads_stats::ConfusionCounts;
+
+const SEEDS: [u64; 2] = [11, 23];
+
+/// Bump cadence/magnitude for the transient-fault background the paper's
+/// window sweep trades against (§IV-D "uneven ground or bumps"): a 5σ-ish
+/// one-iteration pose glitch every ~1.7 s, cycling through the workflows.
+const BUMP_PERIOD: usize = 17;
+const BUMP_MAGNITUDE: f64 = 0.05;
+
+fn sensor_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::ips_logic_bomb().with_transient_bumps(BUMP_PERIOD, BUMP_MAGNITUDE),
+        Scenario::encoder_logic_bomb().with_transient_bumps(BUMP_PERIOD, BUMP_MAGNITUDE),
+        Scenario::lidar_blocking().with_transient_bumps(BUMP_PERIOD, BUMP_MAGNITUDE),
+    ]
+}
+
+fn actuator_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::wheel_logic_bomb().with_transient_bumps(BUMP_PERIOD, BUMP_MAGNITUDE),
+        Scenario::wheel_jamming().with_transient_bumps(BUMP_PERIOD, BUMP_MAGNITUDE),
+    ]
+}
+
+/// Runs a scenario batch under one configuration and returns merged
+/// (sensor, actuator) confusion counts.
+fn batch(config: &RoboAdsConfig, scenarios: &[Scenario]) -> (ConfusionCounts, ConfusionCounts) {
+    let mut sensor = ConfusionCounts::default();
+    let mut actuator = ConfusionCounts::default();
+    for scenario in scenarios {
+        for &seed in &SEEDS {
+            let outcome = run_khepera(scenario, config, seed);
+            sensor.merge(&outcome.eval.sensor_counts);
+            actuator.merge(&outcome.eval.actuator_counts);
+        }
+    }
+    (sensor, actuator)
+}
+
+fn main() {
+    let alphas = [0.0005, 0.005, 0.02, 0.05, 0.2, 0.5, 0.8, 0.95, 0.995];
+    let windows = [(1usize, 1usize), (3, 3), (6, 6)];
+
+    // --- Panels (a) and (b): ROC sweeps. ---
+    let mut jobs = Vec::new();
+    for &(c, w) in &windows {
+        for &alpha in &alphas {
+            jobs.push((c, w, alpha));
+        }
+    }
+    let sensor_scen = sensor_scenarios();
+    let actuator_scen = actuator_scenarios();
+    let results = parallel_map(jobs.clone(), sweep_threads(), |(c, w, alpha)| {
+        let config = RoboAdsConfig::paper_defaults()
+            .with_sensor_alpha(alpha)
+            .with_actuator_alpha(alpha)
+            .with_sensor_window(c, w)
+            .with_actuator_window(c, w);
+        let (s, _) = batch(&config, &sensor_scen);
+        let (_, a) = batch(&config, &actuator_scen);
+        (s, a)
+    });
+
+    println!("Fig. 7(a) — sensor ROC (rows: c/w, alpha, FPR, TPR)");
+    for ((c, w, alpha), (s, _)) in jobs.iter().zip(&results) {
+        println!(
+            "{c}/{w}, {alpha:>7}, {:.4}, {:.4}",
+            s.false_positive_rate(),
+            s.true_positive_rate()
+        );
+    }
+    println!("\nFig. 7(b) — actuator ROC (rows: c/w, alpha, FPR, TPR)");
+    for ((c, w, alpha), (_, a)) in jobs.iter().zip(&results) {
+        println!(
+            "{c}/{w}, {alpha:>7}, {:.4}, {:.4}",
+            a.false_positive_rate(),
+            a.true_positive_rate()
+        );
+    }
+
+    // --- Panel (c): sensor F1 vs c for w = 1..6 at α = 0.005. ---
+    let mut f1_jobs = Vec::new();
+    for w in 1..=6usize {
+        for c in 1..=w {
+            f1_jobs.push((c, w));
+        }
+    }
+    let sensor_f1 = parallel_map(f1_jobs.clone(), sweep_threads(), |(c, w)| {
+        let config = RoboAdsConfig::paper_defaults().with_sensor_window(c, w);
+        let (s, _) = batch(&config, &sensor_scen);
+        s.f1_score()
+    });
+    println!("\nFig. 7(c) — sensor F1 at α = 0.005 (rows: w, c, F1; paper optimum c/w = 2/2)");
+    let mut best_sensor = (0.0f64, (0usize, 0usize));
+    for (&(c, w), &f1) in f1_jobs.iter().zip(&sensor_f1) {
+        println!("{w}, {c}, {f1:.4}");
+        if f1 > best_sensor.0 {
+            best_sensor = (f1, (c, w));
+        }
+    }
+
+    // --- Panel (d): actuator F1 vs c for w = 1..7 at α = 0.05. ---
+    let mut f1a_jobs = Vec::new();
+    for w in 1..=7usize {
+        for c in 1..=w {
+            f1a_jobs.push((c, w));
+        }
+    }
+    let actuator_f1 = parallel_map(f1a_jobs.clone(), sweep_threads(), |(c, w)| {
+        let config = RoboAdsConfig::paper_defaults().with_actuator_window(c, w);
+        let (_, a) = batch(&config, &actuator_scen);
+        a.f1_score()
+    });
+    println!("\nFig. 7(d) — actuator F1 at α = 0.05 (rows: w, c, F1; paper optimum c/w = 3/6)");
+    let mut best_actuator = (0.0f64, (0usize, 0usize));
+    for (&(c, w), &f1) in f1a_jobs.iter().zip(&actuator_f1) {
+        println!("{w}, {c}, {f1:.4}");
+        if f1 > best_actuator.0 {
+            best_actuator = (f1, (c, w));
+        }
+    }
+
+    println!(
+        "\nbest sensor operating point: c/w = {}/{} (F1 = {:.4}); paper picks 2/2",
+        best_sensor.1 .0, best_sensor.1 .1, best_sensor.0
+    );
+    println!(
+        "best actuator operating point: c/w = {}/{} (F1 = {:.4}); paper picks 3/6",
+        best_actuator.1 .0, best_actuator.1 .1, best_actuator.0
+    );
+}

@@ -1,0 +1,130 @@
+//! Performance benches (Criterion): RoboADS must run inside the planner
+//! in real time, i.e. one full detection iteration well under the
+//! 100 ms control period — and the paper notes the mode count grows
+//! linearly with the sensor count for the default mode set versus
+//! exponentially for the complete set (§VI).
+//!
+//! Run with: `cargo bench -p roboads-bench --bench perf`
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use roboads_core::{nuise_step, Linearization, Mode, ModeSet, NuiseInput, RoboAds, RoboAdsConfig};
+use roboads_linalg::{Matrix, Vector};
+use roboads_models::presets;
+use roboads_sim::{Scenario, SimulationBuilder};
+
+fn clean_readings(system: &roboads_models::RobotSystem, x: &Vector) -> Vec<Vector> {
+    (0..system.sensor_count())
+        .map(|i| system.sensor(i).unwrap().measure(x))
+        .collect()
+}
+
+fn bench_nuise(c: &mut Criterion) {
+    let system = presets::khepera_system();
+    let mode = Mode::new(vec![0], vec![1, 2]);
+    let x = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let p = Matrix::identity(3) * 1e-4;
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let x1 = system.dynamics().step(&x, &u);
+    let readings = clean_readings(&system, &x1);
+    let lin = Linearization::PerIteration;
+
+    c.bench_function("nuise_step/khepera_single_mode", |b| {
+        b.iter(|| {
+            nuise_step(NuiseInput {
+                system: &system,
+                mode: &mode,
+                x_prev: &x,
+                p_prev: &p,
+                u_prev: &u,
+                readings: &readings,
+                linearization: &lin,
+                compensate: true,
+            })
+            .unwrap()
+        })
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let system = presets::khepera_system();
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let x1 = system.dynamics().step(&x0, &u);
+    let readings = clean_readings(&system, &x1);
+
+    c.bench_function("detector_step/default_modes_3", |b| {
+        b.iter_batched(
+            || RoboAds::with_defaults(system.clone(), x0.clone()).unwrap(),
+            |mut ads| ads.step(&u, &readings).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("detector_step/complete_modes_7", |b| {
+        b.iter_batched(
+            || {
+                RoboAds::new(
+                    system.clone(),
+                    RoboAdsConfig::paper_defaults(),
+                    x0.clone(),
+                    ModeSet::complete(&system),
+                )
+                .unwrap()
+            },
+            |mut ads| ads.step(&u, &readings).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    c.bench_function("simulation/khepera_200_iterations", |b| {
+        b.iter(|| {
+            SimulationBuilder::khepera()
+                .scenario(Scenario::ips_logic_bomb())
+                .seed(11)
+                .run()
+                .unwrap()
+        })
+    });
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let arena = presets::evaluation_arena();
+    c.bench_function("rrt_star/evaluation_arena", |b| {
+        b.iter(|| {
+            roboads_control::RrtStar::new(&arena, 0.08)
+                .unwrap()
+                .plan((0.5, 0.5), (3.5, 3.5), 7)
+                .unwrap()
+        })
+    });
+
+    let lidar = roboads_models::sensors::WallLidar::new(arena, 0.015, 0.02).unwrap();
+    let pose = Vector::from_slice(&[2.0, 2.0, 0.5]);
+    c.bench_function("lidar/241_beam_scan", |b| {
+        b.iter(|| lidar.simulate_scan(&pose).unwrap())
+    });
+
+    let m = Matrix::from_fn(7, 7, |i, j| if i == j { 2.0 } else { 0.3 });
+    c.bench_function("linalg/pseudo_inverse_7x7", |b| {
+        b.iter(|| m.pseudo_inverse().unwrap())
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_nuise, bench_detector, bench_simulation, bench_substrates
+}
+criterion_main!(benches);

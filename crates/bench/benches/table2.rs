@@ -1,0 +1,110 @@
+//! Table II — attack and failure scenarios and detection results.
+//!
+//! Regenerates, for each of the paper's 11 Khepera scenarios: the
+//! identified condition sequence (Table III labels), the detection
+//! delay per transition, and the per-scenario FPR/FNR for actuator and
+//! sensor conditions — plus the §V-C aggregate line (paper: average FPR
+//! 0.86 %, FNR 0.97 %, delays 0.35 s sensor / 0.61 s actuator).
+//!
+//! Run with: `cargo bench -p roboads-bench --bench table2`
+
+use roboads_bench::{aggregate, delay, parallel_map, pct, run_khepera, sweep_threads, DEFAULT_SEEDS};
+use roboads_core::RoboAdsConfig;
+use roboads_sim::Scenario;
+
+fn main() {
+    let config = RoboAdsConfig::paper_defaults();
+    let scenarios = Scenario::all_khepera();
+
+    println!("Table III sensor mode labels: S0 = clean, S1 = IPS, S2 = wheel encoder,");
+    println!("S3 = LiDAR, S4 = WE+LiDAR, S5 = IPS+LiDAR, S6 = IPS+WE; A0/A1 = actuator.\n");
+
+    println!(
+        "{:<3} {:<34} {:<22} {:>9} {:>9} {:>18} {:>18}",
+        "#", "Scenario", "Detection Result", "S-delay", "A-delay", "A: FPR/FNR", "S: FPR/FNR"
+    );
+
+    let jobs: Vec<Scenario> = scenarios;
+    let rows = parallel_map(jobs, sweep_threads(), |scenario| {
+        let evals: Vec<_> = DEFAULT_SEEDS
+            .iter()
+            .map(|&seed| run_khepera(&scenario, &config, seed).eval)
+            .collect();
+        aggregate(scenario.name(), scenario.number(), &evals)
+    });
+
+    let mut sensor_fpr_sum = 0.0;
+    let mut sensor_fnr_sum = 0.0;
+    let mut actuator_fpr_sum = 0.0;
+    let mut actuator_fnr_sum = 0.0;
+    let mut sensor_rows = 0usize;
+    let mut actuator_rows = 0usize;
+    let mut sensor_delays = Vec::new();
+    let mut actuator_delays = Vec::new();
+
+    for row in &rows {
+        let sensor_truth = row.sensor.true_positives + row.sensor.false_negatives > 0;
+        let actuator_truth = row.actuator.true_positives + row.actuator.false_negatives > 0;
+        let result = match (sensor_truth, actuator_truth) {
+            (true, true) => format!("{} / {}", row.sensor_sequence, row.actuator_sequence),
+            (true, false) => row.sensor_sequence.clone(),
+            (false, true) => row.actuator_sequence.clone(),
+            (false, false) => "S0 / A0".to_string(),
+        };
+        println!(
+            "{:<3} {:<34} {:<22} {:>9} {:>9} {:>18} {:>18}",
+            row.number,
+            row.name,
+            result,
+            delay(row.sensor_delay),
+            delay(row.actuator_delay),
+            format!(
+                "{} / {}",
+                pct(row.actuator.false_positive_rate(), true),
+                pct(row.actuator.false_negative_rate(), actuator_truth)
+            ),
+            format!(
+                "{} / {}",
+                pct(row.sensor.false_positive_rate(), true),
+                pct(row.sensor.false_negative_rate(), sensor_truth)
+            ),
+        );
+        sensor_fpr_sum += row.sensor.false_positive_rate();
+        actuator_fpr_sum += row.actuator.false_positive_rate();
+        sensor_rows += 1;
+        actuator_rows += 1;
+        if sensor_truth {
+            sensor_fnr_sum += row.sensor.false_negative_rate();
+        }
+        if actuator_truth {
+            actuator_fnr_sum += row.actuator.false_negative_rate();
+        }
+        if let Some(d) = row.sensor_delay {
+            sensor_delays.push(d);
+        }
+        if let Some(d) = row.actuator_delay {
+            actuator_delays.push(d);
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let avg_fpr =
+        (sensor_fpr_sum + actuator_fpr_sum) / (sensor_rows + actuator_rows).max(1) as f64;
+    let avg_fnr = (sensor_fnr_sum + actuator_fnr_sum)
+        / rows
+            .iter()
+            .map(|r| {
+                usize::from(r.sensor.true_positives + r.sensor.false_negatives > 0)
+                    + usize::from(r.actuator.true_positives + r.actuator.false_negatives > 0)
+            })
+            .sum::<usize>()
+            .max(1) as f64;
+    println!("\n— aggregates (§V-C; paper: FPR 0.86 %, FNR 0.97 %, delays 0.35 s / 0.61 s) —");
+    println!(
+        "average FPR {:.2}%  average FNR {:.2}%  mean sensor delay {:.2}s  mean actuator delay {:.2}s",
+        avg_fpr * 100.0,
+        avg_fnr * 100.0,
+        mean(&sensor_delays),
+        mean(&actuator_delays),
+    );
+}

@@ -1,0 +1,24 @@
+use roboads_sim::{Scenario, SimulationBuilder};
+fn main() {
+    for baseline in [false, true] {
+        let o = SimulationBuilder::khepera()
+            .scenario(Scenario::clean())
+            .seed(11)
+            .linearized_baseline(baseline)
+            .run().unwrap();
+        let mut errs = Vec::new();
+        let mut sensor_pos = 0; let mut act_pos = 0;
+        for r in o.trace.records() {
+            let e = (&r.report.state_estimate - &r.true_state).norm();
+            errs.push(e);
+            if r.report.sensor_anomaly.exceeds { sensor_pos += 1; }
+            if r.report.actuator_anomaly.exceeds { act_pos += 1; }
+        }
+        let maxe = errs.iter().cloned().fold(0.0f64, f64::max);
+        let heading: Vec<f64> = o.trace.records().iter().map(|r| r.true_state[2]).collect();
+        let hmin = heading.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hmax = heading.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!("baseline={baseline}: max state err {:.4} m, final err {:.4}, raw sensor positives {sensor_pos}/200, actuator positives {act_pos}/200, heading range [{:.2},{:.2}]",
+            maxe, errs.last().unwrap(), hmin, hmax);
+    }
+}

@@ -1,0 +1,106 @@
+//! Planning and control substrate for the RoboADS reproduction.
+//!
+//! The paper's evaluation mission (§V-A) is: *"the robot steers from an
+//! initial location to a target location without collisions … the planner
+//! calculates a collision-free path using optimal rapidly-exploring
+//! random trees (RRT*) … the robot executes PID closed-loop control to
+//! track the planned path using real-time positioning data"*. This crate
+//! provides exactly that stack:
+//!
+//! * [`Pid`] — a classical PID regulator with output clamping,
+//! * [`Path`] — waypoint paths with lookahead queries,
+//! * [`RrtStar`] — the sampling-based optimal planner over an [`Arena`],
+//! * [`DifferentialDriveTracker`] / [`BicycleTracker`] — PID path
+//!   trackers producing the wheel-speed / (speed, steering) commands the
+//!   two evaluation robots consume,
+//! * [`Mission`] — start/goal bundles with plan-and-track convenience.
+//!
+//! [`Arena`]: roboads_models::Arena
+//!
+//! # Example
+//!
+//! ```
+//! use roboads_models::presets;
+//! use roboads_control::{Mission, RrtStar};
+//!
+//! # fn main() -> Result<(), roboads_control::ControlError> {
+//! let arena = presets::evaluation_arena();
+//! let mission = Mission::evaluation_default();
+//! let planner = RrtStar::new(&arena, 0.08)?;
+//! let path = planner.plan(mission.start, mission.goal, 42)?;
+//! assert!(path.len() >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod mission;
+mod path;
+mod pid;
+mod rrt_star;
+mod tracking;
+
+pub use mission::Mission;
+pub use path::Path;
+pub use pid::Pid;
+pub use rrt_star::RrtStar;
+pub use tracking::{BicycleTracker, DifferentialDriveTracker, TrackingController};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by planning and control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlError {
+    /// A controller or planner parameter was out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value, formatted by the caller.
+        value: String,
+    },
+    /// The planner could not find a collision-free path.
+    NoPathFound {
+        /// Number of samples expanded before giving up.
+        iterations: usize,
+    },
+    /// A start or goal position was not in free space.
+    PositionNotFree {
+        /// The offending position.
+        x: f64,
+        /// The offending position.
+        y: f64,
+    },
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::InvalidParameter { name, value } => {
+                write!(f, "invalid control parameter {name} = {value}")
+            }
+            ControlError::NoPathFound { iterations } => {
+                write!(f, "no collision-free path found after {iterations} samples")
+            }
+            ControlError::PositionNotFree { x, y } => {
+                write!(f, "position ({x}, {y}) is not in free space")
+            }
+        }
+    }
+}
+
+impl Error for ControlError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ControlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(ControlError::NoPathFound { iterations: 10 }
+            .to_string()
+            .contains("10"));
+    }
+}

@@ -1,0 +1,314 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use roboads_models::Arena;
+
+use crate::{ControlError, Path, Result};
+
+/// RRT* (optimal rapidly-exploring random tree) planner over an [`Arena`].
+///
+/// The paper's mission planner "calculates a collision-free path using
+/// optimal rapidly-exploring random trees (RRT*)" (§V-A, citing Karaman &
+/// Frazzoli 2011). This implementation uses goal biasing, bounded-step
+/// steering, cost-aware parent selection within a neighborhood radius and
+/// rewiring — the standard RRT* loop — plus a final shortcut-smoothing
+/// pass.
+///
+/// Planning is deterministic for a given seed, which keeps every
+/// benchmark and test reproducible.
+///
+/// # Example
+///
+/// ```
+/// use roboads_models::presets;
+/// use roboads_control::RrtStar;
+///
+/// # fn main() -> Result<(), roboads_control::ControlError> {
+/// let arena = presets::evaluation_arena();
+/// let planner = RrtStar::new(&arena, 0.08)?;
+/// let path = planner.plan((0.5, 0.5), (3.5, 3.5), 7)?;
+/// assert_eq!(path.waypoints()[0], (0.5, 0.5));
+/// assert_eq!(path.goal(), (3.5, 3.5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RrtStar {
+    arena: Arena,
+    robot_radius: f64,
+    max_iterations: usize,
+    step_size: f64,
+    neighbor_radius: f64,
+    goal_bias: f64,
+    goal_tolerance: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    x: f64,
+    y: f64,
+    parent: usize,
+    cost: f64,
+}
+
+impl RrtStar {
+    /// Creates a planner for the given arena and robot radius, with
+    /// evaluation-tuned defaults (4000 iterations, 0.3 m steps, 0.6 m
+    /// rewiring radius, 10 % goal bias).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidParameter`] for a non-positive
+    /// robot radius.
+    pub fn new(arena: &Arena, robot_radius: f64) -> Result<Self> {
+        if !(robot_radius.is_finite() && robot_radius > 0.0) {
+            return Err(ControlError::InvalidParameter {
+                name: "robot_radius",
+                value: format!("{robot_radius}"),
+            });
+        }
+        Ok(RrtStar {
+            arena: arena.clone(),
+            robot_radius,
+            max_iterations: 4000,
+            step_size: 0.3,
+            neighbor_radius: 0.6,
+            goal_bias: 0.1,
+            goal_tolerance: 0.15,
+        })
+    }
+
+    /// Overrides the iteration budget.
+    pub fn with_max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = iterations;
+        self
+    }
+
+    /// Plans a collision-free path from `start` to `goal` using the seed
+    /// for the sampling stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::PositionNotFree`] if either endpoint is in
+    /// collision, and [`ControlError::NoPathFound`] if the iteration
+    /// budget expires without reaching the goal.
+    pub fn plan(&self, start: (f64, f64), goal: (f64, f64), seed: u64) -> Result<Path> {
+        for (x, y) in [start, goal] {
+            if !self.arena.is_free(x, y, self.robot_radius) {
+                return Err(ControlError::PositionNotFree { x, y });
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nodes = vec![Node {
+            x: start.0,
+            y: start.1,
+            parent: usize::MAX,
+            cost: 0.0,
+        }];
+        let mut best_goal_node: Option<usize> = None;
+
+        for _ in 0..self.max_iterations {
+            // Sample, with goal bias.
+            let (sx, sy) = if rng.random::<f64>() < self.goal_bias {
+                goal
+            } else {
+                (
+                    rng.random::<f64>() * self.arena.width(),
+                    rng.random::<f64>() * self.arena.height(),
+                )
+            };
+            // Nearest node.
+            let nearest = (0..nodes.len())
+                .min_by(|&a, &b| {
+                    d2(&nodes[a], sx, sy)
+                        .partial_cmp(&d2(&nodes[b], sx, sy))
+                        .expect("finite distances")
+                })
+                .expect("tree is nonempty");
+            // Steer toward the sample by at most step_size.
+            let (nx, ny) = {
+                let dx = sx - nodes[nearest].x;
+                let dy = sy - nodes[nearest].y;
+                let d = (dx * dx + dy * dy).sqrt();
+                if d < 1e-9 {
+                    continue;
+                }
+                let t = (self.step_size / d).min(1.0);
+                (nodes[nearest].x + t * dx, nodes[nearest].y + t * dy)
+            };
+            if !self.arena.is_free(nx, ny, self.robot_radius) {
+                continue;
+            }
+            // Choose the lowest-cost reachable parent in the neighborhood.
+            let neighbors: Vec<usize> = (0..nodes.len())
+                .filter(|&i| d2(&nodes[i], nx, ny).sqrt() <= self.neighbor_radius)
+                .collect();
+            let mut parent = nearest;
+            let mut cost = nodes[nearest].cost + d2(&nodes[nearest], nx, ny).sqrt();
+            for &i in &neighbors {
+                let c = nodes[i].cost + d2(&nodes[i], nx, ny).sqrt();
+                if c < cost && self.edge_free(nodes[i].x, nodes[i].y, nx, ny) {
+                    parent = i;
+                    cost = c;
+                }
+            }
+            if !self.edge_free(nodes[parent].x, nodes[parent].y, nx, ny) {
+                continue;
+            }
+            let new_index = nodes.len();
+            nodes.push(Node {
+                x: nx,
+                y: ny,
+                parent,
+                cost,
+            });
+            // Rewire neighbors through the new node where cheaper.
+            for &i in &neighbors {
+                let through_new = cost + d2(&nodes[i], nx, ny).sqrt();
+                if through_new + 1e-12 < nodes[i].cost
+                    && self.edge_free(nx, ny, nodes[i].x, nodes[i].y)
+                {
+                    nodes[i].parent = new_index;
+                    nodes[i].cost = through_new;
+                }
+            }
+            // Track goal connections.
+            let goal_d = ((nx - goal.0).powi(2) + (ny - goal.1).powi(2)).sqrt();
+            if goal_d <= self.goal_tolerance && self.edge_free(nx, ny, goal.0, goal.1) {
+                let total = cost + goal_d;
+                let better = match best_goal_node {
+                    Some(best) => {
+                        total
+                            < nodes[best].cost
+                                + ((nodes[best].x - goal.0).powi(2)
+                                    + (nodes[best].y - goal.1).powi(2))
+                                .sqrt()
+                    }
+                    None => true,
+                };
+                if better {
+                    best_goal_node = Some(new_index);
+                }
+            }
+        }
+
+        let Some(goal_node) = best_goal_node else {
+            return Err(ControlError::NoPathFound {
+                iterations: self.max_iterations,
+            });
+        };
+
+        // Walk back to the root, then smooth.
+        let mut waypoints = vec![goal];
+        let mut i = goal_node;
+        while i != usize::MAX {
+            waypoints.push((nodes[i].x, nodes[i].y));
+            i = nodes[i].parent;
+        }
+        waypoints.reverse();
+        let smoothed = self.shortcut(waypoints);
+        Path::new(smoothed)
+    }
+
+    /// Greedy shortcut smoothing: skip intermediate waypoints whenever
+    /// the direct segment stays free.
+    fn shortcut(&self, waypoints: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+        if waypoints.len() <= 2 {
+            return waypoints;
+        }
+        let mut out = vec![waypoints[0]];
+        let mut i = 0;
+        while i < waypoints.len() - 1 {
+            let mut j = waypoints.len() - 1;
+            while j > i + 1 {
+                let (x0, y0) = waypoints[i];
+                let (x1, y1) = waypoints[j];
+                if self.edge_free(x0, y0, x1, y1) {
+                    break;
+                }
+                j -= 1;
+            }
+            out.push(waypoints[j]);
+            i = j;
+        }
+        out
+    }
+
+    fn edge_free(&self, x0: f64, y0: f64, x1: f64, y1: f64) -> bool {
+        self.arena
+            .segment_is_free(x0, y0, x1, y1, self.robot_radius)
+    }
+}
+
+fn d2(n: &Node, x: f64, y: f64) -> f64 {
+    (n.x - x).powi(2) + (n.y - y).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboads_models::presets;
+
+    #[test]
+    fn finds_path_in_evaluation_arena() {
+        let arena = presets::evaluation_arena();
+        let planner = RrtStar::new(&arena, 0.08).unwrap();
+        let path = planner.plan((0.5, 0.5), (3.5, 3.5), 1).unwrap();
+        assert_eq!(path.waypoints()[0], (0.5, 0.5));
+        assert_eq!(path.goal(), (3.5, 3.5));
+        // Path at least as long as the straight-line distance.
+        let direct = ((3.0f64).powi(2) + (3.0f64).powi(2)).sqrt();
+        assert!(path.length() >= direct - 1e-9);
+        // Reasonably efficient after smoothing.
+        assert!(path.length() < 2.0 * direct, "length {}", path.length());
+    }
+
+    #[test]
+    fn path_is_collision_free() {
+        let arena = presets::evaluation_arena();
+        let planner = RrtStar::new(&arena, 0.08).unwrap();
+        for seed in [2, 3, 4] {
+            let path = planner.plan((0.5, 0.5), (3.5, 3.5), seed).unwrap();
+            for pair in path.waypoints().windows(2) {
+                assert!(
+                    arena.segment_is_free(pair[0].0, pair[0].1, pair[1].0, pair[1].1, 0.08),
+                    "segment {pair:?} collides (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let arena = presets::evaluation_arena();
+        let planner = RrtStar::new(&arena, 0.08).unwrap();
+        let a = planner.plan((0.5, 0.5), (3.5, 3.5), 9).unwrap();
+        let b = planner.plan((0.5, 0.5), (3.5, 3.5), 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_blocked_endpoints() {
+        let arena = presets::evaluation_arena();
+        let planner = RrtStar::new(&arena, 0.08).unwrap();
+        // Inside the first obstacle.
+        let r = planner.plan((1.5, 1.7), (3.5, 3.5), 1);
+        assert!(matches!(r, Err(ControlError::PositionNotFree { .. })));
+        let r = planner.plan((0.5, 0.5), (-1.0, 0.5), 1);
+        assert!(matches!(r, Err(ControlError::PositionNotFree { .. })));
+    }
+
+    #[test]
+    fn reports_failure_when_budget_too_small() {
+        let arena = presets::evaluation_arena();
+        let planner = RrtStar::new(&arena, 0.08).unwrap().with_max_iterations(1);
+        let r = planner.plan((0.5, 0.5), (3.5, 3.5), 1);
+        assert!(matches!(r, Err(ControlError::NoPathFound { .. })));
+    }
+
+    #[test]
+    fn invalid_radius_rejected() {
+        let arena = presets::evaluation_arena();
+        assert!(RrtStar::new(&arena, 0.0).is_err());
+    }
+}

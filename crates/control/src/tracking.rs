@@ -1,0 +1,279 @@
+use roboads_linalg::Vector;
+use roboads_models::Pose2;
+
+use crate::{ControlError, Path, Pid, Result};
+
+/// A closed-loop path-tracking controller: pose in, control command out.
+///
+/// This is the "control units" box of the paper's Figure 1 — it consumes
+/// the planner-state estimate each control iteration and produces the
+/// planned control commands `u_{k-1}` that both the actuators and the
+/// RoboADS monitor receive.
+pub trait TrackingController: Send {
+    /// Dimension of the produced command vector.
+    fn command_dim(&self) -> usize;
+
+    /// Computes the command for the current pose estimate.
+    fn command(&mut self, pose: &Pose2) -> Vector;
+
+    /// Whether the mission goal has been reached from this pose.
+    fn reached_goal(&self, pose: &Pose2) -> bool;
+}
+
+/// PID path tracker for the Khepera differential-drive robot: produces
+/// wheel-speed commands `(v_L, v_R)` in m/s.
+///
+/// The heading loop is a PID on the bearing error to a lookahead point;
+/// the cruise speed is scaled down near the goal and while turning
+/// sharply.
+///
+/// # Example
+///
+/// ```
+/// use roboads_control::{DifferentialDriveTracker, Path, TrackingController};
+/// use roboads_models::Pose2;
+///
+/// # fn main() -> Result<(), roboads_control::ControlError> {
+/// let path = Path::new(vec![(0.0, 0.0), (1.0, 0.0)])?;
+/// let mut tracker = DifferentialDriveTracker::new(path, 0.0885, 0.1)?;
+/// let u = tracker.command(&Pose2::new(0.0, 0.0, 0.0));
+/// assert_eq!(u.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DifferentialDriveTracker {
+    path: Path,
+    heading_pid: Pid,
+    wheel_base: f64,
+    cruise_speed: f64,
+    max_wheel_speed: f64,
+    lookahead: f64,
+    goal_tolerance: f64,
+}
+
+impl DifferentialDriveTracker {
+    /// Creates a tracker for the given path, wheel base (m) and control
+    /// period (s), with Khepera-tuned gains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidParameter`] for non-positive
+    /// geometry.
+    pub fn new(path: Path, wheel_base: f64, dt: f64) -> Result<Self> {
+        if !(wheel_base.is_finite() && wheel_base > 0.0) {
+            return Err(ControlError::InvalidParameter {
+                name: "wheel_base",
+                value: format!("{wheel_base}"),
+            });
+        }
+        Ok(DifferentialDriveTracker {
+            path,
+            heading_pid: Pid::new(1.8, 0.0, 0.08, dt)?.with_output_limit(2.5),
+            wheel_base,
+            cruise_speed: 0.12,
+            max_wheel_speed: 0.25,
+            lookahead: 0.25,
+            goal_tolerance: 0.10,
+        })
+    }
+
+    /// The path being tracked.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TrackingController for DifferentialDriveTracker {
+    fn command_dim(&self) -> usize {
+        2
+    }
+
+    fn command(&mut self, pose: &Pose2) -> Vector {
+        if self.reached_goal(pose) {
+            return Vector::zeros(2);
+        }
+        let (tx, ty) = self.path.lookahead_point(pose.x, pose.y, self.lookahead);
+        let heading_error = pose.heading_error_to(tx, ty);
+        let omega = self.heading_pid.update(heading_error);
+        // Slow down near the goal and while turning hard.
+        let goal_d = pose.distance_to(&Pose2::new(self.path.goal().0, self.path.goal().1, 0.0));
+        let speed_scale = (goal_d / 0.3).min(1.0) * (1.0 - 0.7 * (heading_error.abs() / 1.2).min(1.0));
+        let v = self.cruise_speed * speed_scale.max(0.15);
+        let half = 0.5 * omega * self.wheel_base;
+        let vl = (v - half).clamp(-self.max_wheel_speed, self.max_wheel_speed);
+        let vr = (v + half).clamp(-self.max_wheel_speed, self.max_wheel_speed);
+        Vector::from_slice(&[vl, vr])
+    }
+
+    fn reached_goal(&self, pose: &Pose2) -> bool {
+        let (gx, gy) = self.path.goal();
+        pose.distance_to(&Pose2::new(gx, gy, 0.0)) <= self.goal_tolerance
+    }
+}
+
+/// PID path tracker for the Tamiya bicycle-model car: produces
+/// `(speed, steering)` commands.
+///
+/// # Example
+///
+/// ```
+/// use roboads_control::{BicycleTracker, Path, TrackingController};
+/// use roboads_models::Pose2;
+///
+/// # fn main() -> Result<(), roboads_control::ControlError> {
+/// let path = Path::new(vec![(0.0, 0.0), (2.0, 0.0)])?;
+/// let mut tracker = BicycleTracker::new(path, 0.45, 0.1)?;
+/// let u = tracker.command(&Pose2::new(0.0, 0.2, 0.0));
+/// assert!(u[1] < 0.0); // steer back toward the path
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BicycleTracker {
+    path: Path,
+    steering_pid: Pid,
+    cruise_speed: f64,
+    max_steer: f64,
+    lookahead: f64,
+    goal_tolerance: f64,
+}
+
+impl BicycleTracker {
+    /// Creates a tracker for the given path and steering limit (rad) at
+    /// the control period `dt` (s), with Tamiya-tuned gains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidParameter`] for a non-positive
+    /// steering limit.
+    pub fn new(path: Path, max_steer: f64, dt: f64) -> Result<Self> {
+        if !(max_steer.is_finite() && max_steer > 0.0) {
+            return Err(ControlError::InvalidParameter {
+                name: "max_steer",
+                value: format!("{max_steer}"),
+            });
+        }
+        Ok(BicycleTracker {
+            path,
+            steering_pid: Pid::new(1.2, 0.0, 0.05, dt)?.with_output_limit(max_steer),
+            cruise_speed: 0.15,
+            max_steer,
+            lookahead: 0.35,
+            goal_tolerance: 0.12,
+        })
+    }
+
+    /// The path being tracked.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TrackingController for BicycleTracker {
+    fn command_dim(&self) -> usize {
+        2
+    }
+
+    fn command(&mut self, pose: &Pose2) -> Vector {
+        if self.reached_goal(pose) {
+            return Vector::zeros(2);
+        }
+        let (tx, ty) = self.path.lookahead_point(pose.x, pose.y, self.lookahead);
+        let heading_error = pose.heading_error_to(tx, ty);
+        let steer = self
+            .steering_pid
+            .update(heading_error)
+            .clamp(-self.max_steer, self.max_steer);
+        let goal_d = pose.distance_to(&Pose2::new(self.path.goal().0, self.path.goal().1, 0.0));
+        let v = self.cruise_speed * (goal_d / 0.3).clamp(0.3, 1.0);
+        Vector::from_slice(&[v, steer])
+    }
+
+    fn reached_goal(&self, pose: &Pose2) -> bool {
+        let (gx, gy) = self.path.goal();
+        pose.distance_to(&Pose2::new(gx, gy, 0.0)) <= self.goal_tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboads_models::dynamics::{Bicycle, DifferentialDrive};
+    use roboads_models::DynamicsModel;
+
+    fn straight_path() -> Path {
+        Path::new(vec![(0.0, 0.5), (3.0, 0.5)]).unwrap()
+    }
+
+    #[test]
+    fn differential_tracker_follows_straight_path() {
+        let dd = DifferentialDrive::new(0.0885, 0.1).unwrap();
+        let mut tracker = DifferentialDriveTracker::new(straight_path(), 0.0885, 0.1).unwrap();
+        let mut x = Vector::from_slice(&[0.0, 0.3, 0.5]); // off the path, wrong heading
+        for _ in 0..600 {
+            let pose = Pose2::from_vector(&x).unwrap();
+            if tracker.reached_goal(&pose) {
+                break;
+            }
+            let u = tracker.command(&pose);
+            x = dd.step(&x, &u);
+        }
+        let final_pose = Pose2::from_vector(&x).unwrap();
+        assert!(
+            tracker.reached_goal(&final_pose),
+            "did not reach goal, ended at {final_pose:?}"
+        );
+    }
+
+    #[test]
+    fn differential_tracker_turns_toward_path() {
+        let mut tracker = DifferentialDriveTracker::new(straight_path(), 0.0885, 0.1).unwrap();
+        // Robot below the path facing east: lookahead point is up-path,
+        // so the left wheel should be slower than the right (turn left).
+        let u = tracker.command(&Pose2::new(0.5, 0.0, 0.0));
+        assert!(u[1] > u[0], "expected left turn, got {u:?}");
+    }
+
+    #[test]
+    fn differential_tracker_stops_at_goal() {
+        let mut tracker = DifferentialDriveTracker::new(straight_path(), 0.0885, 0.1).unwrap();
+        let u = tracker.command(&Pose2::new(3.0, 0.5, 0.0));
+        assert_eq!(u.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn bicycle_tracker_follows_straight_path() {
+        let car = Bicycle::new(0.257, 0.45, 0.1).unwrap();
+        let mut tracker = BicycleTracker::new(straight_path(), 0.45, 0.1).unwrap();
+        let mut x = Vector::from_slice(&[0.0, 0.2, -0.4]);
+        for _ in 0..600 {
+            let pose = Pose2::from_vector(&x).unwrap();
+            if tracker.reached_goal(&pose) {
+                break;
+            }
+            let u = tracker.command(&pose);
+            x = car.step(&x, &u);
+        }
+        let final_pose = Pose2::from_vector(&x).unwrap();
+        assert!(
+            tracker.reached_goal(&final_pose),
+            "did not reach goal, ended at {final_pose:?}"
+        );
+    }
+
+    #[test]
+    fn bicycle_steering_respects_limit() {
+        let mut tracker = BicycleTracker::new(straight_path(), 0.45, 0.1).unwrap();
+        // Facing the wrong way entirely.
+        let u = tracker.command(&Pose2::new(1.0, 0.5, std::f64::consts::PI));
+        assert!(u[1].abs() <= 0.45 + 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let p = straight_path();
+        assert!(DifferentialDriveTracker::new(p.clone(), 0.0, 0.1).is_err());
+        assert!(BicycleTracker::new(p, -0.1, 0.1).is_err());
+    }
+}

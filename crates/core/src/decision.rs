@@ -1,0 +1,511 @@
+use std::collections::HashMap;
+
+use roboads_models::RobotSystem;
+use roboads_stats::{normalized_statistic, ChiSquareTest, SlidingWindow};
+
+use crate::config::RoboAdsConfig;
+use crate::engine::EngineOutput;
+use crate::mode::ModeSet;
+use crate::report::{AnomalyEstimate, SensorAnomaly};
+use crate::Result;
+
+/// The decision maker (Algorithm 1 lines 10–25): χ² tests on the
+/// selected mode's normalized anomaly estimates, sliding-window
+/// confirmation, and per-sensor splitting to identify the misbehaving
+/// workflow(s).
+///
+/// Stateful: it owns the two sliding windows, so one `DecisionMaker`
+/// must be fed every iteration in order.
+#[derive(Debug, Clone)]
+pub struct DecisionMaker {
+    sensor_alpha: f64,
+    actuator_alpha: f64,
+    sensor_window: SlidingWindow,
+    actuator_window: SlidingWindow,
+    /// χ² tests keyed by degrees of freedom (testing-set dimensions vary
+    /// by mode), built lazily and cached.
+    sensor_tests: HashMap<usize, ChiSquareTest>,
+    actuator_test: ChiSquareTest,
+    /// Conservative test for cross-mode actuator-estimate conflicts
+    /// (α = 0.001: only a decisive contradiction suppresses an alarm).
+    actuator_conflict_test: ChiSquareTest,
+}
+
+/// The decision maker's verdict for one iteration.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Aggregate sensor anomaly of the selected mode with test context.
+    pub sensor_anomaly: AnomalyEstimate,
+    /// Actuator anomaly of the selected mode with test context.
+    pub actuator_anomaly: AnomalyEstimate,
+    /// Window-confirmed sensor alarm.
+    pub sensor_alarm: bool,
+    /// Identified misbehaving sensors (empty unless `sensor_alarm`).
+    pub misbehaving_sensors: Vec<usize>,
+    /// Window-confirmed actuator alarm.
+    pub actuator_alarm: bool,
+    /// Per-sensor anomaly views covering the whole suite.
+    pub per_sensor: Vec<SensorAnomaly>,
+}
+
+impl DecisionMaker {
+    /// Creates a decision maker from the detector configuration and the
+    /// actuator dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidConfig`] for invalid α or window
+    /// parameters.
+    pub fn new(config: &RoboAdsConfig, input_dim: usize) -> Result<Self> {
+        config.validate()?;
+        let sensor_window =
+            SlidingWindow::new(config.sensor_window.criteria, config.sensor_window.window)?;
+        let actuator_window = SlidingWindow::new(
+            config.actuator_window.criteria,
+            config.actuator_window.window,
+        )?;
+        let actuator_test = ChiSquareTest::new(input_dim.max(1), config.actuator_alpha)?;
+        let actuator_conflict_test = ChiSquareTest::new(input_dim.max(1), 0.001)?;
+        Ok(DecisionMaker {
+            sensor_alpha: config.sensor_alpha,
+            actuator_alpha: config.actuator_alpha,
+            sensor_window,
+            actuator_window,
+            sensor_tests: HashMap::new(),
+            actuator_test,
+            actuator_conflict_test,
+        })
+    }
+
+    fn sensor_test(&mut self, dof: usize) -> Result<ChiSquareTest> {
+        if let Some(t) = self.sensor_tests.get(&dof) {
+            return Ok(*t);
+        }
+        let t = ChiSquareTest::new(dof, self.sensor_alpha)?;
+        self.sensor_tests.insert(dof, t);
+        Ok(t)
+    }
+
+    /// Assesses one engine iteration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric failures from the statistic computations.
+    pub fn assess(
+        &mut self,
+        system: &RobotSystem,
+        modes: &ModeSet,
+        engine_out: &EngineOutput,
+    ) -> Result<Decision> {
+        let selected = engine_out.selected;
+        let selected_mode = &modes.modes()[selected];
+        let selected_out = engine_out.selected_output();
+
+        // --- Aggregate sensor anomaly test (line 10). ---
+        let sensor_anomaly = if selected_out.sensor_anomaly.is_empty() {
+            AnomalyEstimate::empty()
+        } else {
+            let stat = normalized_statistic(
+                &selected_out.sensor_anomaly,
+                &selected_out.sensor_covariance,
+            )?;
+            let test = self.sensor_test(selected_out.sensor_anomaly.len())?;
+            AnomalyEstimate {
+                estimate: selected_out.sensor_anomaly.clone(),
+                covariance: selected_out.sensor_covariance.clone(),
+                statistic: stat,
+                threshold: test.threshold(),
+                exceeds: test.exceeds(stat),
+            }
+        };
+
+        // --- Actuator anomaly test (line 11). ---
+        // Quantified from the *most precise innovation-consistent* mode
+        // rather than blindly from the selected one: Table IV shows the
+        // actuator anomaly estimate's variance is set by the
+        // reference-sensor quality (LiDAR an order of magnitude worse
+        // than the pose sensors), and a weak actuator attack must not be
+        // hidden by the accident of a noisy-reference mode being
+        // selected. Qualification is by the mode's own innovation
+        // consistency (its reference explains the data) — not by its
+        // parsimony-weighted probability, which deliberately biases
+        // *against* modes that can see a real input anomaly.
+        const CONSISTENT_FLOOR: f64 = 1e-4;
+        let qualifying: Vec<usize> = (0..modes.len())
+            .filter(|&m| engine_out.modes[m].consistency >= CONSISTENT_FLOOR)
+            .collect();
+        let actuator_source = qualifying
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let ta = engine_out.modes[a].actuator_covariance.trace();
+                let tb = engine_out.modes[b].actuator_covariance.trace();
+                ta.partial_cmp(&tb).expect("finite covariance traces")
+            })
+            .unwrap_or(selected);
+        let actuator_out = &engine_out.modes[actuator_source];
+        // Cross-mode corroboration: a *real* actuator anomaly is
+        // estimated consistently by every innovation-consistent mode,
+        // while a phantom (an absorbed sensor corruption) lives in one
+        // hypothesis only. If another qualifying mode's estimate
+        // contradicts the source's beyond their joint covariance, the
+        // estimate is reported but does not feed a positive into the
+        // alarm window. A merely *blind* (high-variance) mode cannot
+        // contradict anything — its joint covariance is loose.
+        let mut contradicted = false;
+        for &j in &qualifying {
+            if j == actuator_source {
+                continue;
+            }
+            let diff = &actuator_out.actuator_anomaly - &engine_out.modes[j].actuator_anomaly;
+            let joint =
+                &actuator_out.actuator_covariance + &engine_out.modes[j].actuator_covariance;
+            if self
+                .actuator_conflict_test
+                .exceeds(normalized_statistic(&diff, &joint)?)
+            {
+                contradicted = true;
+                break;
+            }
+        }
+        let actuator_anomaly = {
+            let stat = normalized_statistic(
+                &actuator_out.actuator_anomaly,
+                &actuator_out.actuator_covariance,
+            )?;
+            AnomalyEstimate {
+                estimate: actuator_out.actuator_anomaly.clone(),
+                covariance: actuator_out.actuator_covariance.clone(),
+                statistic: stat,
+                threshold: self.actuator_test.threshold(),
+                exceeds: self.actuator_test.exceeds(stat) && !contradicted,
+            }
+        };
+
+        // --- Sliding windows (lines 12, 20). ---
+        let sensor_alarm = self.sensor_window.push(sensor_anomaly.exceeds);
+        let actuator_alarm = self.actuator_window.push(actuator_anomaly.exceeds);
+
+        // --- Per-sensor views for the whole suite (Fig. 6), and
+        //     identification (lines 13–18). ---
+        let mut per_sensor = Vec::with_capacity(system.sensor_count());
+        for sensor in 0..system.sensor_count() {
+            if let Some(view) =
+                self.per_sensor_view(system, modes, engine_out, sensor)?
+            {
+                per_sensor.push(view);
+            }
+        }
+
+        // Identification: confirmed misbehaving sensors are the testing
+        // sensors of the *selected* mode whose individual statistic
+        // exceeds its threshold, gated on the window-confirmed alarm.
+        let misbehaving_sensors = if sensor_alarm {
+            per_sensor
+                .iter()
+                .filter(|v| {
+                    v.from_mode == selected
+                        && selected_mode.is_testing(v.sensor)
+                        && v.exceeds
+                })
+                .map(|v| v.sensor)
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        Ok(Decision {
+            sensor_anomaly,
+            actuator_anomaly,
+            sensor_alarm,
+            misbehaving_sensors,
+            actuator_alarm,
+            per_sensor,
+        })
+    }
+
+    /// Builds the per-sensor anomaly view for one sensor: taken from the
+    /// selected mode when the sensor is in its testing set, otherwise
+    /// from the most probable mode that tests it. Returns `None` for a
+    /// sensor no mode ever tests (it can never be identified — the mode
+    /// set designer opted it out).
+    fn per_sensor_view(
+        &mut self,
+        system: &RobotSystem,
+        modes: &ModeSet,
+        engine_out: &EngineOutput,
+        sensor: usize,
+    ) -> Result<Option<SensorAnomaly>> {
+        let selected = engine_out.selected;
+        let source_mode = if modes.modes()[selected].is_testing(sensor) {
+            Some(selected)
+        } else {
+            (0..modes.len())
+                .filter(|&m| modes.modes()[m].is_testing(sensor))
+                .max_by(|&a, &b| {
+                    engine_out.probabilities[a]
+                        .partial_cmp(&engine_out.probabilities[b])
+                        .expect("probabilities are finite")
+                })
+        };
+        let Some(m) = source_mode else {
+            return Ok(None);
+        };
+        let mode = &modes.modes()[m];
+        let out = &engine_out.modes[m];
+        // Locate this sensor's block inside the mode's stacked testing
+        // vector.
+        let slices = system.subset_slices(mode.testing());
+        let slice = slices
+            .iter()
+            .find(|s| s.sensor == sensor)
+            .expect("sensor is in this mode's testing set");
+        let estimate = out.sensor_anomaly.segment(slice.offset, slice.len);
+        let block = out
+            .sensor_covariance
+            .block(slice.offset, slice.offset, slice.len, slice.len);
+        let stat = normalized_statistic(&estimate, &block)?;
+        let test = self.sensor_test(slice.len)?;
+        Ok(Some(SensorAnomaly {
+            sensor,
+            name: system.sensor_name(sensor).to_string(),
+            estimate,
+            statistic: stat,
+            exceeds: test.exceeds(stat),
+            from_mode: m,
+        }))
+    }
+
+    /// The configured sensor significance level.
+    pub fn sensor_alpha(&self) -> f64 {
+        self.sensor_alpha
+    }
+
+    /// The configured actuator significance level.
+    pub fn actuator_alpha(&self) -> f64 {
+        self.actuator_alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboads_linalg::Vector;
+    use crate::engine::MultiModeEngine;
+    use roboads_models::presets;
+
+    fn setup() -> (RobotSystem, MultiModeEngine, DecisionMaker, Vector) {
+        let system = presets::khepera_system();
+        let modes = ModeSet::one_reference_per_sensor(&system);
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let engine = MultiModeEngine::new(
+            system.clone(),
+            modes,
+            x0.clone(),
+            &RoboAdsConfig::paper_defaults(),
+        )
+        .unwrap();
+        let dm = DecisionMaker::new(&RoboAdsConfig::paper_defaults(), system.input_dim()).unwrap();
+        (system, engine, dm, x0)
+    }
+
+    fn clean_readings(system: &RobotSystem, x: &Vector) -> Vec<Vector> {
+        (0..system.sensor_count())
+            .map(|i| system.sensor(i).unwrap().measure(x))
+            .collect()
+    }
+
+    #[test]
+    fn clean_iterations_raise_no_alarms() {
+        let (system, mut engine, mut dm, x0) = setup();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        for _ in 0..20 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let out = engine.step(&u, &clean_readings(&system, &x_true)).unwrap();
+            let d = dm.assess(&system, engine.modes(), &out).unwrap();
+            assert!(!d.sensor_alarm);
+            assert!(!d.actuator_alarm);
+            assert!(d.misbehaving_sensors.is_empty());
+            // Per-sensor views cover the whole suite.
+            assert_eq!(d.per_sensor.len(), 3);
+        }
+    }
+
+    #[test]
+    fn persistent_sensor_bias_is_identified_within_window() {
+        let (system, mut engine, mut dm, x0) = setup();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        let mut identified_at = None;
+        for k in 0..10 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            readings[0][0] += 0.07; // IPS logic bomb (scenario #3 scale)
+            let out = engine.step(&u, &readings).unwrap();
+            let d = dm.assess(&system, engine.modes(), &out).unwrap();
+            if d.misbehaving_sensors == vec![0] && identified_at.is_none() {
+                identified_at = Some(k);
+            }
+        }
+        // 2/2 window → identified by the second corrupted iteration.
+        assert_eq!(identified_at, Some(1));
+    }
+
+    #[test]
+    fn actuator_bias_is_confirmed_through_longer_window() {
+        let (system, mut engine, mut dm, x0) = setup();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let bias = Vector::from_slice(&[-0.04, 0.04]); // ∓6000 speed units
+        let mut x_true = x0;
+        let mut alarm_at = None;
+        for k in 0..12 {
+            x_true = system.dynamics().step(&x_true, &(&u + &bias));
+            let out = engine.step(&u, &clean_readings(&system, &x_true)).unwrap();
+            let d = dm.assess(&system, engine.modes(), &out).unwrap();
+            if d.actuator_alarm && alarm_at.is_none() {
+                alarm_at = Some(k);
+            }
+            assert!(d.misbehaving_sensors.is_empty());
+        }
+        // 3/6 window → confirmed at the third positive.
+        assert_eq!(alarm_at, Some(2));
+        // The anomaly estimate quantifies the bias.
+    }
+
+    #[test]
+    fn single_glitch_is_suppressed_by_window() {
+        let (system, mut engine, mut dm, x0) = setup();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        for k in 0..10 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            if k == 5 {
+                readings[1][1] += 0.2; // one-iteration encoder glitch
+            }
+            let out = engine.step(&u, &readings).unwrap();
+            let d = dm.assess(&system, engine.modes(), &out).unwrap();
+            assert!(!d.sensor_alarm, "glitch should not confirm at k={k}");
+        }
+    }
+
+    #[test]
+    fn two_simultaneously_corrupted_sensors_are_both_identified() {
+        let (system, mut engine, mut dm, x0) = setup();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        let mut last = Vec::new();
+        for _ in 0..10 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            readings[1][0] += 0.06; // encoder
+            readings[2][1] += 0.08; // lidar
+            let out = engine.step(&u, &readings).unwrap();
+            let d = dm.assess(&system, engine.modes(), &out).unwrap();
+            last = d.misbehaving_sensors;
+        }
+        assert_eq!(last, vec![1, 2], "should identify WE + LiDAR (S4)");
+    }
+
+    /// Builds a synthetic engine output for conflict-logic tests: three
+    /// modes, all innovation-consistent, with chosen actuator estimates.
+    fn synthetic_engine_output(
+        system: &RobotSystem,
+        modes: &ModeSet,
+        actuators: Vec<(Vector, f64, f64)>, // (estimate, cov scale, consistency)
+    ) -> EngineOutput {
+        use crate::nuise::NuiseOutput;
+        use roboads_linalg::Matrix;
+        let outputs: Vec<NuiseOutput> = modes
+            .modes()
+            .iter()
+            .zip(actuators)
+            .map(|(mode, (d_a, cov, consistency))| {
+                let s_dim = system.subset_dim(mode.testing());
+                NuiseOutput {
+                    state_estimate: Vector::zeros(3),
+                    state_covariance: Matrix::identity(3) * 1e-4,
+                    actuator_anomaly: d_a,
+                    actuator_covariance: Matrix::identity(2) * cov,
+                    sensor_anomaly: Vector::zeros(s_dim),
+                    sensor_covariance: Matrix::identity(s_dim) * 1e-4,
+                    likelihood: 1.0,
+                    consistency,
+                    innovation: Vector::zeros(0),
+                }
+            })
+            .collect();
+        EngineOutput {
+            modes: outputs,
+            probabilities: vec![1.0 / 3.0; 3],
+            selected: 0,
+            fresh_anchor: vec![false; 3],
+        }
+    }
+
+    #[test]
+    fn contradicted_actuator_estimate_is_suppressed() {
+        let system = presets::khepera_system();
+        let modes = ModeSet::one_reference_per_sensor(&system);
+        let mut dm =
+            DecisionMaker::new(&RoboAdsConfig::paper_defaults(), system.input_dim()).unwrap();
+        // The most precise mode claims a big anomaly; another equally
+        // consistent, equally precise mode says zero → decisive
+        // contradiction → no positive.
+        let out = synthetic_engine_output(
+            &system,
+            &modes,
+            vec![
+                (Vector::from_slice(&[0.05, -0.05]), 1e-6, 1.0),
+                (Vector::zeros(2), 2e-6, 1.0),
+                (Vector::zeros(2), 1e-2, 1.0),
+            ],
+        );
+        let d = dm.assess(&system, &modes, &out).unwrap();
+        assert!(d.actuator_anomaly.statistic > d.actuator_anomaly.threshold);
+        assert!(!d.actuator_anomaly.exceeds, "contradicted claim must not alarm");
+    }
+
+    #[test]
+    fn corroborated_or_unopposed_estimates_do_alarm() {
+        let system = presets::khepera_system();
+        let modes = ModeSet::one_reference_per_sensor(&system);
+        let mut dm =
+            DecisionMaker::new(&RoboAdsConfig::paper_defaults(), system.input_dim()).unwrap();
+        // All consistent modes agree on the anomaly → alarm.
+        let agreeing = synthetic_engine_output(
+            &system,
+            &modes,
+            vec![
+                (Vector::from_slice(&[0.05, -0.05]), 1e-6, 1.0),
+                (Vector::from_slice(&[0.049, -0.051]), 2e-6, 1.0),
+                (Vector::from_slice(&[0.03, -0.08]), 1e-2, 1.0),
+            ],
+        );
+        let d = dm.assess(&system, &modes, &agreeing).unwrap();
+        assert!(d.actuator_anomaly.exceeds);
+
+        // A blind (loose-covariance) disagreement cannot veto.
+        let mut dm =
+            DecisionMaker::new(&RoboAdsConfig::paper_defaults(), system.input_dim()).unwrap();
+        let blind_opposition = synthetic_engine_output(
+            &system,
+            &modes,
+            vec![
+                (Vector::from_slice(&[0.05, -0.05]), 1e-6, 1.0),
+                (Vector::zeros(2), 1e-2, 1.0), // loose: no contradiction
+                (Vector::zeros(2), 1e-2, 1e-9), // inconsistent: not qualifying
+            ],
+        );
+        let d = dm.assess(&system, &modes, &blind_opposition).unwrap();
+        assert!(d.actuator_anomaly.exceeds);
+    }
+
+    #[test]
+    fn alpha_accessors() {
+        let (_, _, dm, _) = setup();
+        assert_eq!(dm.sensor_alpha(), 0.005);
+        assert_eq!(dm.actuator_alpha(), 0.05);
+    }
+}

@@ -1,0 +1,250 @@
+use roboads_linalg::{Matrix, Vector};
+use roboads_models::RobotSystem;
+
+use crate::config::RoboAdsConfig;
+use crate::decision::DecisionMaker;
+use crate::engine::MultiModeEngine;
+use crate::mode::ModeSet;
+use crate::report::DetectionReport;
+use crate::Result;
+
+/// The RoboADS detector (Algorithm 1): monitor → multi-mode estimation
+/// engine → mode selector → decision maker, packaged behind a single
+/// [`RoboAds::step`] call the planner invokes every control iteration.
+///
+/// # Example
+///
+/// ```
+/// use roboads_core::{ModeSet, RoboAds, RoboAdsConfig};
+/// use roboads_linalg::Vector;
+/// use roboads_models::presets;
+///
+/// # fn main() -> Result<(), roboads_core::CoreError> {
+/// let system = presets::khepera_system();
+/// let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+/// let mut ads = RoboAds::new(
+///     system.clone(),
+///     RoboAdsConfig::paper_defaults(),
+///     x0.clone(),
+///     ModeSet::one_reference_per_sensor(&system),
+/// )?;
+///
+/// let u = Vector::from_slice(&[0.05, 0.05]);
+/// let x1 = system.dynamics().step(&x0, &u);
+/// let mut readings: Vec<_> = (0..3)
+///     .map(|i| system.sensor(i).unwrap().measure(&x1))
+///     .collect();
+/// readings[0][0] += 0.07; // spoof the IPS
+/// let first = ads.step(&u, &readings)?;
+/// assert!(!first.sensor_misbehavior_detected()); // 2/2 window pending
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoboAds {
+    engine: MultiModeEngine,
+    decision: DecisionMaker,
+    iteration: u64,
+}
+
+impl RoboAds {
+    /// Builds a detector for the given system, configuration, initial
+    /// state estimate and mode set.
+    ///
+    /// The mode set is validated up front (observability and actuator
+    /// rank of every reference group; see [`ModeSet::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration and degenerate-mode errors.
+    pub fn new(
+        system: RobotSystem,
+        config: RoboAdsConfig,
+        initial_state: Vector,
+        modes: ModeSet,
+    ) -> Result<Self> {
+        config.validate()?;
+        let decision = DecisionMaker::new(&config, system.input_dim())?;
+        let engine = MultiModeEngine::new(system, modes, initial_state, &config)?;
+        Ok(RoboAds {
+            engine,
+            decision,
+            iteration: 0,
+        })
+    }
+
+    /// Convenience constructor using the paper's default mode set (one
+    /// reference sensor per mode) and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RoboAds::new`].
+    pub fn with_defaults(system: RobotSystem, initial_state: Vector) -> Result<Self> {
+        let modes = ModeSet::one_reference_per_sensor(&system);
+        RoboAds::new(
+            system,
+            RoboAdsConfig::paper_defaults(),
+            initial_state,
+            modes,
+        )
+    }
+
+    /// One control iteration (the monitor's hand-off): the planned
+    /// commands of the previous iteration and the fresh readings of
+    /// every sensing workflow, in suite order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::BadReadings`] for malformed readings
+    /// and numeric errors from the estimator bank. On error the internal
+    /// state is unchanged and the iteration may simply be retried or
+    /// skipped.
+    pub fn step(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<DetectionReport> {
+        let engine_out = self.engine.step(u_prev, readings)?;
+        let decision = self
+            .decision
+            .assess(self.engine.system(), self.engine.modes(), &engine_out)?;
+        self.iteration += 1;
+        Ok(DetectionReport {
+            iteration: self.iteration,
+            selected_mode: engine_out.selected,
+            mode_probabilities: engine_out.probabilities.clone(),
+            state_estimate: engine_out.selected_output().state_estimate.clone(),
+            sensor_anomaly: decision.sensor_anomaly,
+            actuator_anomaly: decision.actuator_anomaly,
+            sensor_alarm: decision.sensor_alarm,
+            misbehaving_sensors: decision.misbehaving_sensors,
+            actuator_alarm: decision.actuator_alarm,
+            per_sensor: decision.per_sensor,
+        })
+    }
+
+    /// Number of completed iterations.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Current state estimate.
+    pub fn state_estimate(&self) -> &Vector {
+        self.engine.state_estimate()
+    }
+
+    /// Current state covariance.
+    pub fn state_covariance(&self) -> &Matrix {
+        self.engine.state_covariance()
+    }
+
+    /// The system description the detector was built with.
+    pub fn system(&self) -> &RobotSystem {
+        self.engine.system()
+    }
+
+    /// The mode set in use.
+    pub fn modes(&self) -> &ModeSet {
+        self.engine.modes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboads_models::presets;
+
+    fn clean_readings(system: &RobotSystem, x: &Vector) -> Vec<Vector> {
+        (0..system.sensor_count())
+            .map(|i| system.sensor(i).unwrap().measure(x))
+            .collect()
+    }
+
+    #[test]
+    fn full_pipeline_detects_and_identifies_ips_spoofing() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut ads = RoboAds::with_defaults(system.clone(), x0.clone()).unwrap();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        let mut labels = Vec::new();
+        for k in 0..12 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            if k >= 4 {
+                readings[0][0] -= 0.1; // scenario #4: −0.1 m shift on X
+            }
+            let report = ads.step(&u, &readings).unwrap();
+            labels.push(report.sensor_condition_label());
+        }
+        // Clean prefix, then S1 (IPS) after the window fills.
+        assert_eq!(&labels[..4], &["S0", "S0", "S0", "S0"]);
+        assert!(labels[6..].iter().all(|l| l == "S1"), "labels {labels:?}");
+    }
+
+    #[test]
+    fn full_pipeline_detects_wheel_logic_bomb() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[1.0, 1.0, 0.0]);
+        let mut ads = RoboAds::with_defaults(system.clone(), x0.clone()).unwrap();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        // Scenario #1: −6000/+6000 speed units on the wheels.
+        let bias = Vector::from_slice(&[-0.04, 0.04]);
+        let mut x_true = x0;
+        let mut actuator_labels = Vec::new();
+        for k in 0..14 {
+            let executed = if k >= 4 { &u + &bias } else { u.clone() };
+            x_true = system.dynamics().step(&x_true, &executed);
+            let report = ads.step(&u, &clean_readings(&system, &x_true)).unwrap();
+            actuator_labels.push(report.actuator_condition_label());
+        }
+        assert!(actuator_labels[..4].iter().all(|&l| l == "A0"));
+        assert!(
+            actuator_labels[8..].iter().all(|&l| l == "A1"),
+            "labels {actuator_labels:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_after_attack_ends() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut ads = RoboAds::with_defaults(system.clone(), x0.clone()).unwrap();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        let mut final_label = String::new();
+        for k in 0..30 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            if (5..15).contains(&k) {
+                readings[2][0] += 0.12; // transient LiDAR blocking
+            }
+            let report = ads.step(&u, &readings).unwrap();
+            final_label = report.sensor_condition_label();
+        }
+        assert_eq!(final_label, "S0", "detector should recover after the attack");
+    }
+
+    #[test]
+    fn iteration_counter_and_accessors() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+        let mut ads = RoboAds::with_defaults(system.clone(), x0.clone()).unwrap();
+        assert_eq!(ads.iteration(), 0);
+        let u = Vector::from_slice(&[0.05, 0.05]);
+        let x1 = system.dynamics().step(&x0, &u);
+        ads.step(&u, &clean_readings(&system, &x1)).unwrap();
+        assert_eq!(ads.iteration(), 1);
+        assert_eq!(ads.modes().len(), 3);
+        assert_eq!(ads.system().sensor_count(), 3);
+        assert!(ads.state_covariance().is_finite());
+    }
+
+    #[test]
+    fn report_mode_probabilities_are_normalized() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+        let mut ads = RoboAds::with_defaults(system.clone(), x0.clone()).unwrap();
+        let u = Vector::from_slice(&[0.05, 0.05]);
+        let x1 = system.dynamics().step(&x0, &u);
+        let report = ads.step(&u, &clean_readings(&system, &x1)).unwrap();
+        let sum: f64 = report.mode_probabilities.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,293 @@
+//! A plain extended Kalman filter over a [`RobotSystem`].
+//!
+//! Two purposes:
+//!
+//! * a downstream-usable estimator for users who want state estimation
+//!   without the anomaly-detection machinery, and
+//! * a validation target: with actuator-anomaly compensation disabled
+//!   and every sensor in the reference set, one [`crate::nuise_step`]
+//!   must reduce *exactly* to one EKF step (the unknown-input filter is
+//!   the EKF plus the input-estimation layer). The test at the bottom of
+//!   this module pins that equivalence to 1e-10.
+//!
+//! The EKF also illustrates, by contrast, what RoboADS adds: its
+//! innovation χ² statistic can tell *that* something is inconsistent,
+//! but it can neither identify which workflow misbehaves nor estimate
+//! actuator anomalies (they are silently absorbed into the state).
+
+use roboads_linalg::{Matrix, Vector};
+use roboads_models::{wrap_angle, RobotSystem};
+
+use crate::{CoreError, Result};
+
+/// Output of one EKF step.
+#[derive(Debug, Clone)]
+pub struct EkfOutput {
+    /// Innovation `z − h(x̂_{k|k−1})` (angular components wrapped).
+    pub innovation: Vector,
+    /// Innovation covariance `C P̄ Cᵀ + R`.
+    pub innovation_covariance: Matrix,
+    /// Normalized innovation statistic `νᵀ S⁻¹ ν` (χ²-distributed with
+    /// `dim z` degrees of freedom when the model holds).
+    pub statistic: f64,
+}
+
+/// Extended Kalman filter over a sensor subset of a [`RobotSystem`].
+///
+/// # Example
+///
+/// ```
+/// use roboads_core::ekf::ExtendedKalmanFilter;
+/// use roboads_linalg::Vector;
+/// use roboads_models::presets;
+///
+/// # fn main() -> Result<(), roboads_core::CoreError> {
+/// let system = presets::khepera_system();
+/// let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+/// let mut ekf = ExtendedKalmanFilter::new(system.clone(), vec![0, 2], x0.clone(), 1e-4)?;
+///
+/// let u = Vector::from_slice(&[0.05, 0.05]);
+/// let x1 = system.dynamics().step(&x0, &u);
+/// let readings: Vec<_> = (0..3)
+///     .map(|i| system.sensor(i).unwrap().measure(&x1))
+///     .collect();
+/// let out = ekf.step(&u, &readings)?;
+/// assert!(out.statistic < 1e-9); // noiseless consistent data
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExtendedKalmanFilter {
+    system: RobotSystem,
+    sensors: Vec<usize>,
+    state: Vector,
+    covariance: Matrix,
+}
+
+impl ExtendedKalmanFilter {
+    /// Creates a filter fusing the given sensors (suite indices, strictly
+    /// increasing), starting at `x0` with covariance `p0·I`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty or out-of-range
+    /// sensor list, a state of the wrong dimension, or a non-positive
+    /// initial covariance.
+    pub fn new(
+        system: RobotSystem,
+        sensors: Vec<usize>,
+        x0: Vector,
+        p0: f64,
+    ) -> Result<Self> {
+        if sensors.is_empty() || sensors.iter().any(|&s| s >= system.sensor_count()) {
+            return Err(CoreError::InvalidConfig {
+                name: "sensors",
+                value: format!("{sensors:?}"),
+            });
+        }
+        if x0.len() != system.state_dim() {
+            return Err(CoreError::InvalidConfig {
+                name: "x0",
+                value: format!("length {}", x0.len()),
+            });
+        }
+        if !(p0.is_finite() && p0 > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "p0",
+                value: format!("{p0}"),
+            });
+        }
+        let n = system.state_dim();
+        Ok(ExtendedKalmanFilter {
+            system,
+            sensors,
+            state: x0,
+            covariance: Matrix::identity(n) * p0,
+        })
+    }
+
+    /// Current state estimate.
+    pub fn state(&self) -> &Vector {
+        &self.state
+    }
+
+    /// Current state covariance.
+    pub fn covariance(&self) -> &Matrix {
+        &self.covariance
+    }
+
+    /// One predict-update cycle with the full suite's readings (only the
+    /// configured subset is fused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadReadings`] for a reading list that does
+    /// not match the suite, and numeric errors from the update.
+    pub fn step(&mut self, u: &Vector, readings: &[Vector]) -> Result<EkfOutput> {
+        if readings.len() != self.system.sensor_count() {
+            return Err(CoreError::BadReadings {
+                reason: format!(
+                    "expected {} readings, got {}",
+                    self.system.sensor_count(),
+                    readings.len()
+                ),
+            });
+        }
+        let dynamics = self.system.dynamics();
+        // Predict.
+        let a = dynamics.state_jacobian(&self.state, u);
+        let x_pred = dynamics.step(&self.state, u);
+        let p_pred =
+            (&a.congruence(&self.covariance)? + self.system.process_noise()).symmetrized()?;
+
+        // Update against the subset.
+        let parts: Vec<&Vector> = self.sensors.iter().map(|&i| &readings[i]).collect();
+        let z = Vector::concat_all(parts);
+        let c = self.system.jacobian_subset(&self.sensors, &x_pred);
+        let r = self.system.noise_subset(&self.sensors);
+        let angular = self.system.angular_components_subset(&self.sensors);
+        let mut nu = &z - &self.system.measure_subset(&self.sensors, &x_pred);
+        for &i in &angular {
+            nu[i] = wrap_angle(nu[i]);
+        }
+        let s = (&c.congruence(&p_pred)? + &r).symmetrized()?;
+        let s_inv = s
+            .inverse()
+            .map_err(|_| CoreError::Numeric("innovation covariance is singular".into()))?;
+        let gain = &(&p_pred * &c.transpose()) * &s_inv;
+        let mut x_new = &x_pred + &(&gain * &nu);
+        for &i in dynamics.angular_state_components() {
+            x_new[i] = wrap_angle(x_new[i]);
+        }
+        // Joseph-form covariance update.
+        let j = &Matrix::identity(self.system.state_dim()) - &(&gain * &c);
+        let p_new = (&j.congruence(&p_pred)? + &gain.congruence(&r)?).symmetrized()?;
+
+        let statistic = nu.quadratic_form(&s_inv)?;
+        self.state = x_new;
+        self.covariance = p_new;
+        Ok(EkfOutput {
+            innovation: nu,
+            innovation_covariance: s,
+            statistic,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Linearization;
+    use crate::mode::Mode;
+    use crate::nuise::{nuise_step, NuiseInput};
+    use roboads_models::presets;
+
+    fn clean_readings(system: &RobotSystem, x: &Vector) -> Vec<Vector> {
+        (0..system.sensor_count())
+            .map(|i| system.sensor(i).unwrap().measure(x))
+            .collect()
+    }
+
+    #[test]
+    fn tracks_noiseless_trajectory() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut ekf =
+            ExtendedKalmanFilter::new(system.clone(), vec![0, 1, 2], x0.clone(), 1e-4).unwrap();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        for _ in 0..50 {
+            x_true = system.dynamics().step(&x_true, &u);
+            ekf.step(&u, &clean_readings(&system, &x_true)).unwrap();
+        }
+        assert!((ekf.state() - &x_true).max_abs() < 1e-6);
+        assert!(ekf.covariance().is_positive_semi_definite(1e-12).unwrap());
+    }
+
+    #[test]
+    fn nuise_without_compensation_reduces_to_the_ekf() {
+        // The pinning test described in the module docs.
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.7, 0.9, -0.4]);
+        let p0 = 1e-4;
+        let mut ekf =
+            ExtendedKalmanFilter::new(system.clone(), vec![0, 1, 2], x0.clone(), p0).unwrap();
+
+        let all_ref = Mode::new(vec![0, 1, 2], vec![]);
+        let mut x_nuise = x0.clone();
+        let mut p_nuise = Matrix::identity(3) * p0;
+        let u = Vector::from_slice(&[0.07, 0.04]);
+        let mut x_true = x0;
+        for k in 0..20 {
+            x_true = system.dynamics().step(&x_true, &u);
+            // Offset readings a bit so the update actually moves things.
+            let mut readings = clean_readings(&system, &x_true);
+            readings[0][0] += 0.001 * (k as f64).sin();
+            ekf.step(&u, &readings).unwrap();
+            let out = nuise_step(NuiseInput {
+                system: &system,
+                mode: &all_ref,
+                x_prev: &x_nuise,
+                p_prev: &p_nuise,
+                u_prev: &u,
+                readings: &readings,
+                linearization: &Linearization::PerIteration,
+                compensate: false,
+            })
+            .unwrap();
+            x_nuise = out.state_estimate;
+            p_nuise = out.state_covariance;
+
+            assert!(
+                (&x_nuise - ekf.state()).max_abs() < 1e-10,
+                "state diverged at k = {k}"
+            );
+            assert!(
+                (&p_nuise - ekf.covariance()).max_abs() < 1e-10,
+                "covariance diverged at k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn innovation_statistic_flags_inconsistency_without_identification() {
+        // The EKF knows *that* something is off, not *what* — the gap
+        // RoboADS fills.
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut ekf =
+            ExtendedKalmanFilter::new(system.clone(), vec![0, 1, 2], x0.clone(), 1e-4).unwrap();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        let mut stats = Vec::new();
+        for k in 0..30 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            if k >= 15 {
+                readings[0][0] += 0.07;
+            }
+            stats.push(ekf.step(&u, &readings).unwrap().statistic);
+        }
+        assert!(stats[10] < 1.0);
+        assert!(stats[15] > 50.0, "attack onset statistic {}", stats[15]);
+    }
+
+    #[test]
+    fn construction_validation() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+        assert!(ExtendedKalmanFilter::new(system.clone(), vec![], x0.clone(), 1e-4).is_err());
+        assert!(ExtendedKalmanFilter::new(system.clone(), vec![9], x0.clone(), 1e-4).is_err());
+        assert!(ExtendedKalmanFilter::new(system.clone(), vec![0], Vector::zeros(2), 1e-4).is_err());
+        assert!(ExtendedKalmanFilter::new(system, vec![0], x0, 0.0).is_err());
+    }
+
+    #[test]
+    fn wrong_reading_count_rejected() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+        let mut ekf = ExtendedKalmanFilter::new(system, vec![0], x0, 1e-4).unwrap();
+        let r = ekf.step(&Vector::zeros(2), &[Vector::zeros(3)]);
+        assert!(matches!(r, Err(CoreError::BadReadings { .. })));
+    }
+}

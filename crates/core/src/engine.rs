@@ -1,0 +1,543 @@
+use roboads_linalg::{Matrix, Vector};
+use roboads_models::RobotSystem;
+
+use crate::config::{Linearization, RoboAdsConfig};
+use crate::mode::ModeSet;
+use crate::nuise::{nuise_step, NuiseInput, NuiseOutput};
+use crate::selector::ModeSelector;
+use crate::{CoreError, Result};
+
+/// One iteration's output from the multi-mode estimation engine.
+#[derive(Debug, Clone)]
+pub struct EngineOutput {
+    /// Per-mode NUISE outputs, in mode-set order.
+    pub modes: Vec<NuiseOutput>,
+    /// Normalized mode probabilities after this iteration.
+    pub probabilities: Vec<f64>,
+    /// Index of the selected (most likely) mode `M_k`.
+    pub selected: usize,
+    /// Modes whose filter state entering this iteration was re-anchored
+    /// (their anomaly estimates are computed against a borrowed prior
+    /// and must not source the actuator decision).
+    pub fresh_anchor: Vec<bool>,
+}
+
+impl EngineOutput {
+    /// The selected mode's NUISE output.
+    pub fn selected_output(&self) -> &NuiseOutput {
+        &self.modes[self.selected]
+    }
+}
+
+/// The multi-mode estimation engine (Algorithm 1 lines 4–9): a bank of
+/// NUISE estimators, one per sensor-condition hypothesis, sharing a
+/// single state estimate that is refreshed from the selected mode each
+/// iteration.
+///
+/// # Example
+///
+/// ```
+/// use roboads_core::{Linearization, ModeSet, MultiModeEngine};
+/// use roboads_linalg::Vector;
+/// use roboads_models::presets;
+///
+/// # fn main() -> Result<(), roboads_core::CoreError> {
+/// let system = presets::khepera_system();
+/// let modes = ModeSet::one_reference_per_sensor(&system);
+/// let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+/// let mut engine = MultiModeEngine::new(
+///     system.clone(), modes, x0.clone(),
+///     &roboads_core::RoboAdsConfig::paper_defaults(),
+/// )?;
+///
+/// let u = Vector::from_slice(&[0.05, 0.05]);
+/// let x1 = system.dynamics().step(&x0, &u);
+/// let readings: Vec<_> = (0..3)
+///     .map(|i| system.sensor(i).unwrap().measure(&x1))
+///     .collect();
+/// let out = engine.step(&u, &readings)?;
+/// assert_eq!(out.modes.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiModeEngine {
+    system: RobotSystem,
+    modes: ModeSet,
+    selector: ModeSelector,
+    linearization: Linearization,
+    parsimony_rho: f64,
+    compensate: bool,
+    state_estimate: Vector,
+    state_covariance: Matrix,
+    /// Per-mode filter states `(x̂_m, P_m)`. Algorithm 1 line 9 shares a
+    /// single estimate across the bank; strict sharing has a *hijack*
+    /// failure mode (a mode whose reference is being spoofed can capture
+    /// the shared prior, after which every rival hypothesis looks
+    /// inconsistent against the poisoned prior — self-reinforcing). Each
+    /// mode therefore evolves its own state; hypotheses whose
+    /// probability collapses to the floor are re-anchored to the
+    /// selected mode's estimate so they recover quickly once their
+    /// reference is clean again (see `REANCHOR_FRACTION`).
+    mode_states: Vec<(Vector, Matrix)>,
+    /// Whether each mode's state was re-anchored at the end of the
+    /// previous iteration.
+    reanchored: Vec<bool>,
+}
+
+/// Significance level at which an anomaly estimate counts as "implied"
+/// for the parsimony prior.
+const PARSIMONY_ALPHA: f64 = 0.01;
+
+/// A mode whose probability falls below this fraction of the uniform
+/// share has its filter state re-anchored to the selected mode's.
+const REANCHOR_FRACTION: f64 = 0.25;
+
+/// Innovation-consistency p-value below which an improbable mode is
+/// considered lost (its own reference no longer explains its filter
+/// state) and re-anchored.
+const REANCHOR_CONSISTENCY: f64 = 1e-4;
+
+/// Cached χ² critical values for the parsimony significance checks
+/// (small dof set; computed once per dof).
+fn parsimony_threshold(dof: usize) -> Result<f64> {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<parking_lot_free::Cache> = OnceLock::new();
+    mod parking_lot_free {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        pub struct Cache(pub Mutex<std::collections::HashMap<usize, f64>>);
+    }
+    let cache = CACHE.get_or_init(Default::default);
+    if let Some(&v) = cache.0.lock().expect("cache lock").get(&dof) {
+        return Ok(v);
+    }
+    let v = roboads_stats::ChiSquared::new(dof)
+        .and_then(|chi| chi.critical_value(PARSIMONY_ALPHA))
+        .map_err(|e| CoreError::Numeric(e.to_string()))?;
+    cache.0.lock().expect("cache lock").insert(dof, v);
+    Ok(v)
+}
+
+impl MultiModeEngine {
+    /// Creates an engine from a validated mode set.
+    ///
+    /// The mode set is validated at `(x0, u ≈ 0.1·𝟙)` — a gentle forward
+    /// operating point at which all built-in robots have full input
+    /// rank — so degenerate hypotheses fail fast at construction rather
+    /// than mid-mission.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration and degenerate-mode errors; see
+    /// [`ModeSet::validate`].
+    pub fn new(
+        system: RobotSystem,
+        modes: ModeSet,
+        initial_state: Vector,
+        config: &RoboAdsConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let initial_covariance = config.initial_covariance;
+        let mode_floor = config.mode_floor;
+        let linearization = config.linearization.clone();
+        if initial_state.len() != system.state_dim() {
+            return Err(CoreError::InvalidConfig {
+                name: "initial_state",
+                value: format!(
+                    "length {} for state dimension {}",
+                    initial_state.len(),
+                    system.state_dim()
+                ),
+            });
+        }
+        if !(initial_covariance.is_finite() && initial_covariance > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "initial_covariance",
+                value: format!("{initial_covariance}"),
+            });
+        }
+        let nominal_u = Vector::from_fn(system.input_dim(), |_| 0.1);
+        modes.validate(&system, &initial_state, &nominal_u)?;
+        let selector =
+            ModeSelector::uniform(modes.len(), mode_floor)?.with_mixing(config.mode_mixing);
+        let n = system.state_dim();
+        let p0 = Matrix::identity(n) * initial_covariance;
+        let mode_states = vec![(initial_state.clone(), p0.clone()); modes.len()];
+        let reanchored = vec![false; modes.len()];
+        Ok(MultiModeEngine {
+            system,
+            modes,
+            selector,
+            linearization,
+            parsimony_rho: config.parsimony_rho,
+            compensate: config.compensate_actuator_anomalies,
+            state_estimate: initial_state,
+            state_covariance: p0,
+            mode_states,
+            reanchored,
+        })
+    }
+
+    /// The system description.
+    pub fn system(&self) -> &RobotSystem {
+        &self.system
+    }
+
+    /// The mode set.
+    pub fn modes(&self) -> &ModeSet {
+        &self.modes
+    }
+
+    /// Current shared state estimate `x̂_{k|k}`.
+    pub fn state_estimate(&self) -> &Vector {
+        &self.state_estimate
+    }
+
+    /// Current shared state covariance `P^x_k`.
+    pub fn state_covariance(&self) -> &Matrix {
+        &self.state_covariance
+    }
+
+    /// Current normalized mode probabilities.
+    pub fn probabilities(&self) -> &[f64] {
+        self.selector.probabilities()
+    }
+
+    /// Mode `m`'s own filter state `(x̂_m, P_m)` (diagnostics; see the
+    /// `mode_states` field docs for why each hypothesis keeps one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn mode_state(&self, m: usize) -> (&Vector, &Matrix) {
+        let (x, p) = &self.mode_states[m];
+        (x, p)
+    }
+
+    /// Number of active misbehaviors a mode's explanation of this
+    /// iteration implies: one per testing sensor whose anomaly estimate
+    /// is significant at the [`PARSIMONY_ALPHA`] level, plus one when
+    /// the mode's own actuator anomaly estimate is — a hypothesis that
+    /// needs a phantom input to absorb a sensor corruption must pay for
+    /// it. (The *visibility* of a real actuator attack varies with
+    /// reference quality, which would bias this weight toward blind
+    /// modes; the decision maker compensates by sourcing the actuator
+    /// test from the most precise innovation-consistent mode rather
+    /// than the selected one.)
+    fn implied_anomaly_count(
+        &self,
+        mode: &crate::mode::Mode,
+        out: &crate::nuise::NuiseOutput,
+    ) -> Result<usize> {
+        let mut count = 0;
+        // Own-actuator significance.
+        let q = self.system.input_dim().max(1);
+        let a_stat = out
+            .actuator_anomaly
+            .quadratic_form(&out.actuator_covariance.pseudo_inverse()?)
+            .map_err(|e| CoreError::Numeric(e.to_string()))?;
+        if a_stat > parsimony_threshold(q)? {
+            count += 1;
+        }
+        // Per-testing-sensor significance.
+        for slice in self.system.subset_slices(mode.testing()) {
+            let d = out.sensor_anomaly.segment(slice.offset, slice.len);
+            let cov = out
+                .sensor_covariance
+                .block(slice.offset, slice.offset, slice.len, slice.len);
+            let stat = d
+                .quadratic_form(&cov.pseudo_inverse()?)
+                .map_err(|e| CoreError::Numeric(e.to_string()))?;
+            if stat > parsimony_threshold(slice.len)? {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    /// Runs one control iteration: NUISE under every mode from its own
+    /// filter state, parsimony-weighted mode selection, reporting-state
+    /// refresh from the winner, and floor-triggered re-anchoring of
+    /// collapsed hypotheses (Algorithm 1 lines 4–9 with the per-mode
+    /// state refinement documented on `mode_states`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NUISE errors ([`CoreError::BadReadings`],
+    /// [`CoreError::Numeric`]). On error the shared state is left
+    /// unchanged, so a transiently bad iteration (e.g. NaN readings) can
+    /// simply be skipped by the caller.
+    pub fn step(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<EngineOutput> {
+        let mut outputs = Vec::with_capacity(self.modes.len());
+        for (mode, (x_m, p_m)) in self.modes.modes().iter().zip(&self.mode_states) {
+            outputs.push(nuise_step(NuiseInput {
+                system: &self.system,
+                mode,
+                x_prev: x_m,
+                p_prev: p_m,
+                u_prev,
+                readings,
+                linearization: &self.linearization,
+                compensate: self.compensate,
+            })?);
+        }
+        // Mode probabilities are updated with the dimension-free
+        // consistency p-values, not the raw densities: densities of
+        // innovations with different dimensionality are not comparable
+        // and would permanently lock the selector onto whichever mode
+        // has the largest density constant (see `nuise::mode_likelihood`).
+        //
+        // Each consistency is further weighted by a *parsimony prior*
+        // ρ^(implied anomaly count). A sensor corruption lying in
+        // range(C₂·G) of its own reference mode is absorbed by NUISE
+        // step 1 as a phantom actuator anomaly, leaving that mode's
+        // innovation clean — the classic sensor/actuator ambiguity. But
+        // such a mode *implies more active misbehaviors* (the dragged
+        // state estimate makes every clean testing sensor look corrupted
+        // too, plus the phantom input), and the paper's threat model
+        // (§II-B) holds coordinated multi-workflow attacks to be hard.
+        // Weighting each hypothesis by ρ per implied anomaly encodes that
+        // prior; a genuine actuator attack costs every mode the same ρ¹,
+        // leaving their ranking untouched.
+        let mut weights = Vec::with_capacity(outputs.len());
+        for (mode, out) in self.modes.modes().iter().zip(&outputs) {
+            let count = self.implied_anomaly_count(mode, out)?;
+            weights.push(out.consistency * self.parsimony_rho.powi(count as i32));
+        }
+        let selected = self.selector.update(&weights)?;
+
+        self.state_estimate = outputs[selected].state_estimate.clone();
+        self.state_covariance = outputs[selected].state_covariance.clone();
+        // Advance each mode's own filter; re-anchor collapsed hypotheses
+        // to the winner so they can re-converge once clean.
+        let reanchor_below = REANCHOR_FRACTION / self.modes.len() as f64;
+        let probabilities = self.selector.probabilities().to_vec();
+        let fresh_anchor = self.reanchored.clone();
+        for (m, state) in self.mode_states.iter_mut().enumerate() {
+            // Re-anchor hypotheses that are both improbable *and*
+            // innovation-inconsistent: their own filter no longer
+            // explains their reference readings (e.g. the reference was
+            // being spoofed), so they restart from the winner. A
+            // consistent-but-disfavored mode keeps its own (typically
+            // tighter) filter state.
+            if m != selected
+                && probabilities[m] < reanchor_below
+                && outputs[m].consistency < REANCHOR_CONSISTENCY
+            {
+                *state = (self.state_estimate.clone(), self.state_covariance.clone());
+                self.reanchored[m] = true;
+            } else {
+                *state = (
+                    outputs[m].state_estimate.clone(),
+                    outputs[m].state_covariance.clone(),
+                );
+                self.reanchored[m] = false;
+            }
+        }
+
+        Ok(EngineOutput {
+            modes: outputs,
+            probabilities,
+            selected,
+            fresh_anchor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::Mode;
+    use roboads_models::presets;
+
+    fn engine() -> (RobotSystem, MultiModeEngine, Vector) {
+        let system = presets::khepera_system();
+        let modes = ModeSet::one_reference_per_sensor(&system);
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let engine = MultiModeEngine::new(
+            system.clone(),
+            modes,
+            x0.clone(),
+            &RoboAdsConfig::paper_defaults(),
+        )
+        .unwrap();
+        (system, engine, x0)
+    }
+
+    fn clean_readings(system: &RobotSystem, x: &Vector) -> Vec<Vector> {
+        (0..system.sensor_count())
+            .map(|i| system.sensor(i).unwrap().measure(x))
+            .collect()
+    }
+
+    #[test]
+    fn clean_run_tracks_state_with_near_uniform_probabilities() {
+        let (system, mut engine, x0) = engine();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        for _ in 0..30 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let out = engine.step(&u, &clean_readings(&system, &x_true)).unwrap();
+            assert_eq!(out.modes.len(), 3);
+        }
+        assert!((engine.state_estimate() - &x_true).max_abs() < 1e-6);
+        // Mode probabilities stay a proper distribution. (Note: on clean
+        // data the *selection* is arbitrary — densities of modes with
+        // different innovation dimensionality are not commensurable, as
+        // in the paper — but no decision test fires, so it is harmless.)
+        let p = engine.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn corrupted_sensor_drives_mode_selection_without_majority_voting() {
+        let (system, mut engine, x0) = engine();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        // Corrupt BOTH the IPS (0) and the LiDAR (2): only the encoder
+        // remains clean — a 2-of-3 majority is corrupted, which defeats
+        // voting schemes but not the likelihood selection (§IV-B).
+        for _ in 0..10 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            readings[0][0] += 0.08;
+            readings[2][1] += 0.09;
+            engine.step(&u, &readings).unwrap();
+        }
+        // The encoder-reference mode (index 1) must win.
+        let p = engine.probabilities();
+        assert_eq!(
+            p.iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+                .unwrap()
+                .0,
+            1,
+            "probabilities {p:?}"
+        );
+    }
+
+    #[test]
+    fn selected_mode_estimates_flow_into_shared_state() {
+        let (system, mut engine, x0) = engine();
+        let u = Vector::from_slice(&[0.05, 0.05]);
+        let x1 = system.dynamics().step(&x0, &u);
+        let out = engine.step(&u, &clean_readings(&system, &x1)).unwrap();
+        assert_eq!(engine.state_estimate(), &out.selected_output().state_estimate);
+    }
+
+    #[test]
+    fn error_leaves_state_unchanged() {
+        let (_, mut engine, _) = engine();
+        let before = engine.state_estimate().clone();
+        let u = Vector::from_slice(&[0.05, 0.05]);
+        let bad = vec![Vector::zeros(3); 2]; // wrong reading count
+        assert!(engine.step(&u, &bad).is_err());
+        assert_eq!(engine.state_estimate(), &before);
+    }
+
+    #[test]
+    fn degenerate_mode_set_rejected_at_construction() {
+        let system = presets::khepera_system();
+        let modes = ModeSet::from_reference_groups(&system, &[vec![0]]);
+        // Tamper: build a mode set whose only mode has an empty reference.
+        let broken = ModeSet::from_reference_groups(&system, &[vec![]]);
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+        assert!(MultiModeEngine::new(
+            system.clone(),
+            broken,
+            x0.clone(),
+            &RoboAdsConfig::paper_defaults()
+        )
+        .is_err());
+        assert!(
+            MultiModeEngine::new(system, modes, x0, &RoboAdsConfig::paper_defaults()).is_ok()
+        );
+    }
+
+    #[test]
+    fn consistent_but_spoofed_mode_keeps_its_own_filter() {
+        // A constant-bias spoof is *self-consistent* with its reference:
+        // the spoofed mode's own filter tracks truth + bias and, by
+        // design, is NOT re-anchored — only its probability collapses
+        // (the parsimony prior sees its phantom claims).
+        let (system, mut engine, x0) = engine();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        for _ in 0..30 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            readings[0][0] += 0.25; // large constant IPS spoof
+            engine.step(&u, &readings).unwrap();
+        }
+        let (x_ips_mode, _) = engine.mode_state(0);
+        assert!(
+            (x_ips_mode[0] - (x_true[0] + 0.25)).abs() < 0.05,
+            "spoofed mode should track truth + bias, got {:?}",
+            x_ips_mode
+        );
+        assert!(engine.probabilities()[0] < 0.1);
+        // The winner's state (and the reported estimate) track the truth.
+        assert!((engine.state_estimate() - &x_true).max_abs() < 0.05);
+    }
+
+    #[test]
+    fn inconsistent_lost_modes_are_reanchored_to_the_winner() {
+        // A DoS'd LiDAR freezes at zeros while the robot moves: the
+        // LiDAR-reference mode's own filter cannot explain its reference
+        // (improbable AND inconsistent) and must be re-anchored to the
+        // winner instead of diverging toward the zeros.
+        let (system, mut engine, x0) = engine();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        for _ in 0..30 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            readings[2] = Vector::zeros(4); // LiDAR DoS
+            engine.step(&u, &readings).unwrap();
+        }
+        let (x_lidar_mode, _) = engine.mode_state(2);
+        assert!(
+            (x_lidar_mode - &x_true).max_abs() < 0.1,
+            "DoS'd mode should be re-anchored near the truth, got {:?} vs {:?}",
+            x_lidar_mode,
+            x_true
+        );
+        assert!(engine.probabilities()[2] < 0.1);
+    }
+
+    #[test]
+    fn initial_state_dimension_checked() {
+        let system = presets::khepera_system();
+        let modes = ModeSet::one_reference_per_sensor(&system);
+        let r = MultiModeEngine::new(
+            system,
+            modes,
+            Vector::zeros(2),
+            &RoboAdsConfig::paper_defaults(),
+        );
+        assert!(matches!(r, Err(CoreError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn single_custom_mode_engine_works() {
+        let system = presets::khepera_system();
+        let modes = ModeSet::from_reference_groups(&system, &[vec![0, 1, 2]]);
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+        let mut e = MultiModeEngine::new(
+            system.clone(),
+            modes,
+            x0.clone(),
+            &RoboAdsConfig::paper_defaults(),
+        )
+        .unwrap();
+        let u = Vector::from_slice(&[0.05, 0.05]);
+        let x1 = system.dynamics().step(&x0, &u);
+        let out = e.step(&u, &clean_readings(&system, &x1)).unwrap();
+        assert_eq!(out.selected, 0);
+        assert!(out.selected_output().sensor_anomaly.is_empty());
+        let _ = Mode::new(vec![0], vec![1]); // silence unused-import lint in some cfgs
+    }
+}

@@ -1,0 +1,160 @@
+//! # RoboADS core — the paper's contribution
+//!
+//! This crate implements the anomaly detection system of *"RoboADS:
+//! Anomaly Detection against Sensor and Actuator Misbehaviors in Mobile
+//! Robots"* (Guo et al., DSN 2018): a model-based detector that runs
+//! inside the planner and, each control iteration, decides whether the
+//! robot's sensing workflows or actuation workflows are misbehaving —
+//! and which ones.
+//!
+//! ## Architecture (paper Figure 3 / Algorithm 1)
+//!
+//! * **Monitor** — the caller: each iteration it hands
+//!   [`RoboAds::step`] the planned commands `u_{k−1}` and the received
+//!   per-sensor readings `z_k`.
+//! * **Multi-mode estimation engine** ([`MultiModeEngine`]) — one
+//!   [`nuise_step`] (Algorithm 2) per *mode*, where a [`Mode`] is a
+//!   hypothesis partitioning the sensor suite into clean *reference*
+//!   sensors (used for estimation) and potentially-corrupted *testing*
+//!   sensors (cross-validated against the estimate). Each NUISE run
+//!   produces state estimates, actuator and sensor anomaly-vector
+//!   estimates with covariances, and a mode likelihood.
+//! * **Mode selector** ([`ModeSelector`]) — maintains the normalized
+//!   mode probabilities `μ_m ← max(N_m·μ_m, ε)` and picks the most
+//!   likely hypothesis.
+//! * **Decision maker** ([`DecisionMaker`]) — χ² tests on the selected
+//!   mode's normalized anomaly estimates, sliding-window confirmation
+//!   (`c` positives in `w` iterations), and per-sensor splitting to
+//!   identify the misbehaving workflow(s).
+//!
+//! The crate also ships the linearize-once baseline detector of §V-G
+//! ([`baseline::LinearizedOnceDetector`]) used for the benchmark
+//! comparison.
+//!
+//! ## Example
+//!
+//! ```
+//! use roboads_core::{ModeSet, RoboAds, RoboAdsConfig};
+//! use roboads_linalg::Vector;
+//! use roboads_models::presets;
+//!
+//! # fn main() -> Result<(), roboads_core::CoreError> {
+//! let system = presets::khepera_system();
+//! let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+//! let mut ads = RoboAds::new(
+//!     system.clone(),
+//!     RoboAdsConfig::paper_defaults(),
+//!     x0.clone(),
+//!     ModeSet::one_reference_per_sensor(&system),
+//! )?;
+//!
+//! // One clean control iteration: command straight ahead, readings
+//! // exactly consistent with the resulting state.
+//! let u = Vector::from_slice(&[0.05, 0.05]);
+//! let x1 = system.dynamics().step(&x0, &u);
+//! let readings: Vec<_> = (0..system.sensor_count())
+//!     .map(|i| system.sensor(i).unwrap().measure(&x1))
+//!     .collect();
+//! let report = ads.step(&u, &readings)?;
+//! assert!(!report.sensor_misbehavior_detected());
+//! assert!(!report.actuator_alarm);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baseline;
+pub mod ekf;
+pub mod forensics;
+
+mod config;
+mod decision;
+mod detector;
+mod engine;
+mod mode;
+mod nuise;
+mod report;
+mod selector;
+
+pub use config::{Linearization, RoboAdsConfig, WindowConfig};
+pub use decision::DecisionMaker;
+pub use detector::RoboAds;
+pub use engine::{EngineOutput, MultiModeEngine};
+pub use mode::{Mode, ModeSet};
+pub use nuise::{nuise_step, NuiseInput, NuiseOutput};
+pub use report::{AnomalyEstimate, DetectionReport, SensorAnomaly};
+pub use selector::{ModeSelector, MODE_MIXING, SELECTION_HYSTERESIS};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by detector construction and stepping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration value was out of its valid domain.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value, formatted by the caller.
+        value: String,
+    },
+    /// A mode's reference sensors cannot estimate the state or the
+    /// actuator anomaly (observability / input-rank failure).
+    DegenerateMode {
+        /// Index of the offending mode.
+        mode: usize,
+        /// What failed.
+        reason: String,
+    },
+    /// The caller supplied readings inconsistent with the sensor suite.
+    BadReadings {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An underlying numeric operation failed.
+    Numeric(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { name, value } => {
+                write!(f, "invalid configuration {name} = {value}")
+            }
+            CoreError::DegenerateMode { mode, reason } => {
+                write!(f, "mode {mode} is degenerate: {reason}")
+            }
+            CoreError::BadReadings { reason } => write!(f, "bad readings: {reason}"),
+            CoreError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<roboads_linalg::LinalgError> for CoreError {
+    fn from(e: roboads_linalg::LinalgError) -> Self {
+        CoreError::Numeric(e.to_string())
+    }
+}
+
+impl From<roboads_stats::StatsError> for CoreError {
+    fn from(e: roboads_stats::StatsError) -> Self {
+        CoreError::Numeric(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversions() {
+        let e: CoreError = roboads_linalg::LinalgError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+        let e: CoreError = roboads_stats::StatsError::NoConvergence { routine: "x" }.into();
+        assert!(e.to_string().contains("converge"));
+    }
+}

@@ -1,0 +1,282 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, Result};
+
+/// The mode selector of Algorithm 1 (lines 6–9): maintains normalized
+/// mode probabilities `μ_m ← max(N_m·μ_m, ε)` and selects the most
+/// likely sensor-condition hypothesis.
+///
+/// The floor `ε` keeps a momentarily implausible mode recoverable: after
+/// an attack ends, the previously "wrong" hypothesis can win again
+/// within a few iterations instead of being locked out by a vanishing
+/// probability. The floor is applied both before and after
+/// normalization (the paper applies it before; re-applying after
+/// normalization guards against underflow when one likelihood dwarfs
+/// the others by hundreds of orders of magnitude).
+///
+/// In addition, each update mixes the probabilities toward uniform with
+/// rate [`MODE_MIXING`] — the standard interacting-multiple-model
+/// transition prior. §VI observes that "experienced attackers could
+/// frequently switch attack targets, making mode estimation
+/// challenging"; the mixing term is exactly a nonzero prior on such
+/// switches, and it bounds how far a temporarily out-of-favor clean
+/// hypothesis can be starved by the multiplicative update.
+///
+/// # Example
+///
+/// ```
+/// use roboads_core::ModeSelector;
+///
+/// let mut sel = ModeSelector::uniform(3, 1e-6).unwrap();
+/// // Mode 1 explains the data far better for a few iterations.
+/// for _ in 0..3 {
+///     sel.update(&[0.1, 100.0, 0.1]).unwrap();
+/// }
+/// assert_eq!(sel.selected(), 1);
+/// assert!(sel.probabilities()[1] > 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeSelector {
+    probabilities: Vec<f64>,
+    floor: f64,
+    mixing: f64,
+    selected: usize,
+}
+
+/// Per-iteration mixing rate toward the uniform distribution (the
+/// mode-switch prior).
+pub const MODE_MIXING: f64 = 0.02;
+
+/// Selection hysteresis: the incumbent mode stays selected unless a
+/// challenger's probability exceeds the incumbent's by this factor.
+/// Near-ties between competing self-consistent hypotheses otherwise
+/// flap on noise.
+pub const SELECTION_HYSTERESIS: f64 = 3.0;
+
+impl ModeSelector {
+    /// Creates a selector with uniform initial probabilities over
+    /// `mode_count` modes and the given floor `ε`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for zero modes or a floor
+    /// outside `(0, 1)`.
+    pub fn uniform(mode_count: usize, floor: f64) -> Result<Self> {
+        if mode_count == 0 {
+            return Err(CoreError::InvalidConfig {
+                name: "mode_count",
+                value: "0".into(),
+            });
+        }
+        if !(floor.is_finite() && floor > 0.0 && floor < 1.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "mode_floor",
+                value: format!("{floor}"),
+            });
+        }
+        Ok(ModeSelector {
+            probabilities: vec![1.0 / mode_count as f64; mode_count],
+            floor,
+            mixing: MODE_MIXING,
+            selected: 0,
+        })
+    }
+
+    /// Returns a copy with a different mixing rate (0 disables the
+    /// transition prior — ablation only; recovery after attacks then
+    /// relies on the floor alone).
+    pub fn with_mixing(mut self, mixing: f64) -> Self {
+        self.mixing = mixing.clamp(0.0, 0.999);
+        self
+    }
+
+    /// Folds one iteration's likelihoods into the probabilities and
+    /// returns the selected (most likely) mode index; ties resolve to
+    /// the lowest index.
+    ///
+    /// Non-finite or negative likelihoods are treated as zero — a mode
+    /// whose filter blew up must not win the selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the likelihood count does
+    /// not match the mode count.
+    pub fn update(&mut self, likelihoods: &[f64]) -> Result<usize> {
+        if likelihoods.len() != self.probabilities.len() {
+            return Err(CoreError::InvalidConfig {
+                name: "likelihoods",
+                value: format!(
+                    "{} values for {} modes",
+                    likelihoods.len(),
+                    self.probabilities.len()
+                ),
+            });
+        }
+        for (mu, &n) in self.probabilities.iter_mut().zip(likelihoods) {
+            let n = if n.is_finite() && n > 0.0 { n } else { 0.0 };
+            *mu = (*mu * n).max(self.floor);
+        }
+        let sum: f64 = self.probabilities.iter().sum();
+        if sum > 0.0 && sum.is_finite() {
+            for mu in &mut self.probabilities {
+                *mu = (*mu / sum).max(self.floor);
+            }
+            // Flooring after normalization can push the sum above 1;
+            // renormalize so the output is a proper distribution, then
+            // mix toward uniform (the mode-switch prior).
+            let sum2: f64 = self.probabilities.iter().sum();
+            let uniform = 1.0 / self.probabilities.len() as f64;
+            for mu in &mut self.probabilities {
+                *mu = (1.0 - self.mixing) * (*mu / sum2) + self.mixing * uniform;
+            }
+        } else {
+            // All hypotheses died (e.g. every reading NaN-adjacent):
+            // restart from uniform rather than divide by zero.
+            let uniform = 1.0 / self.probabilities.len() as f64;
+            self.probabilities.fill(uniform);
+        }
+        let argmax = self
+            .probabilities
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("probabilities are finite"))
+            .map(|(i, _)| i)
+            .expect("nonempty probabilities");
+        // Hysteresis: keep the incumbent through near-ties.
+        if argmax != self.selected
+            && self.probabilities[argmax]
+                < self.probabilities[self.selected] * SELECTION_HYSTERESIS
+        {
+            return Ok(self.selected);
+        }
+        self.selected = argmax;
+        Ok(self.selected)
+    }
+
+    /// The currently selected mode.
+    pub fn selected(&self) -> usize {
+        self.selected
+    }
+
+    /// The normalized mode probabilities.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Resets to uniform probabilities.
+    pub fn reset(&mut self) {
+        let uniform = 1.0 / self.probabilities.len() as f64;
+        self.probabilities.fill(uniform);
+        self.selected = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_dominant_mode() {
+        let mut sel = ModeSelector::uniform(3, 1e-6).unwrap();
+        for _ in 0..5 {
+            sel.update(&[1.0, 1.0, 50.0]).unwrap();
+        }
+        assert_eq!(sel.selected(), 2);
+        let p = sel.probabilities();
+        assert!(p[2] > 0.9);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floor_enables_recovery_after_switch() {
+        let mut sel = ModeSelector::uniform(2, 1e-6).unwrap();
+        // Mode 0 dominates for a long time.
+        for _ in 0..500 {
+            sel.update(&[100.0, 0.001]).unwrap();
+        }
+        assert_eq!(sel.selected(), 0);
+        // Now the world switches; mode 1 must win within a few steps.
+        let mut switched_at = None;
+        for k in 0..20 {
+            if sel.update(&[0.001, 100.0]).unwrap() == 1 {
+                switched_at = Some(k);
+                break;
+            }
+        }
+        assert!(
+            switched_at.is_some() && switched_at.unwrap() < 5,
+            "recovery took {switched_at:?} iterations"
+        );
+    }
+
+    #[test]
+    fn nan_likelihood_cannot_win() {
+        let mut sel = ModeSelector::uniform(2, 1e-6).unwrap();
+        sel.update(&[f64::NAN, 1.0]).unwrap();
+        assert_eq!(sel.selected(), 1);
+        assert!(sel.probabilities().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn all_zero_likelihoods_reset_to_uniform() {
+        let mut sel = ModeSelector::uniform(4, 1e-6).unwrap();
+        sel.update(&[10.0, 1.0, 1.0, 1.0]).unwrap();
+        sel.update(&[0.0, 0.0, 0.0, 0.0]).unwrap();
+        // max(μ·0, ε) = ε for all → normalized uniform.
+        for &p in sel.probabilities() {
+            assert!((p - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mismatched_likelihood_count_errors() {
+        let mut sel = ModeSelector::uniform(2, 1e-6).unwrap();
+        assert!(sel.update(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(ModeSelector::uniform(0, 1e-6).is_err());
+        assert!(ModeSelector::uniform(2, 0.0).is_err());
+        assert!(ModeSelector::uniform(2, 1.5).is_err());
+    }
+
+    #[test]
+    fn hysteresis_keeps_the_incumbent_through_near_ties() {
+        let mut sel = ModeSelector::uniform(2, 1e-6).unwrap();
+        // Mode 0 becomes the incumbent.
+        for _ in 0..5 {
+            sel.update(&[10.0, 1.0]).unwrap();
+        }
+        assert_eq!(sel.selected(), 0);
+        // A mild advantage for mode 1 (under the 3x hysteresis band
+        // after one step) must not flip the selection immediately...
+        sel.update(&[1.0, 1.3]).unwrap();
+        assert_eq!(sel.selected(), 0, "near-tie must keep the incumbent");
+        // ...but a decisive advantage must.
+        for _ in 0..10 {
+            sel.update(&[0.001, 10.0]).unwrap();
+        }
+        assert_eq!(sel.selected(), 1);
+    }
+
+    #[test]
+    fn mixing_rate_is_configurable() {
+        let mut plain = ModeSelector::uniform(2, 1e-6).unwrap().with_mixing(0.0);
+        let mut mixed = ModeSelector::uniform(2, 1e-6).unwrap().with_mixing(0.2);
+        for _ in 0..20 {
+            plain.update(&[10.0, 0.1]).unwrap();
+            mixed.update(&[10.0, 0.1]).unwrap();
+        }
+        // Heavier mixing keeps the loser's probability higher.
+        assert!(mixed.probabilities()[1] > plain.probabilities()[1]);
+    }
+
+    #[test]
+    fn reset_restores_uniform() {
+        let mut sel = ModeSelector::uniform(2, 1e-6).unwrap();
+        sel.update(&[100.0, 0.1]).unwrap();
+        sel.reset();
+        assert_eq!(sel.probabilities(), &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests of the NUISE estimator over randomized
+//! trajectories, attacks and mode hypotheses.
+
+use proptest::prelude::*;
+use roboads_core::{nuise_step, Linearization, Mode, NuiseInput};
+use roboads_linalg::{Matrix, Vector};
+use roboads_models::presets;
+
+fn clean_readings(system: &roboads_models::RobotSystem, x: &Vector) -> Vec<Vector> {
+    (0..system.sensor_count())
+        .map(|i| system.sensor(i).unwrap().measure(x))
+        .collect()
+}
+
+fn pose() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.5f64..3.5, 0.5f64..3.5, -3.0f64..3.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clean_data_yields_null_anomalies_everywhere(
+        (x, y, theta) in pose(),
+        vl in -0.15f64..0.15,
+        vr in -0.15f64..0.15,
+        reference in 0usize..3,
+    ) {
+        let system = presets::khepera_system();
+        let testing: Vec<usize> = (0..3).filter(|&i| i != reference).collect();
+        let mode = Mode::new(vec![reference], testing);
+        let x0 = Vector::from_slice(&[x, y, theta]);
+        let u = Vector::from_slice(&[vl, vr]);
+        let x1 = system.dynamics().step(&x0, &u);
+        let readings = clean_readings(&system, &x1);
+        let out = nuise_step(NuiseInput {
+            system: &system,
+            mode: &mode,
+            x_prev: &x0,
+            p_prev: &(Matrix::identity(3) * 1e-4),
+            u_prev: &u,
+            readings: &readings,
+            linearization: &Linearization::PerIteration,
+            compensate: true,
+        }).unwrap();
+        prop_assert!(out.actuator_anomaly.max_abs() < 1e-8);
+        prop_assert!(out.sensor_anomaly.max_abs() < 1e-8);
+        prop_assert!(out.likelihood > 0.0);
+        prop_assert!(out.consistency > 0.999, "consistency {}", out.consistency);
+    }
+
+    #[test]
+    fn injected_actuator_bias_is_recovered_exactly_for_linear_input_channels(
+        (x, y, theta) in pose(),
+        bias_l in -0.05f64..0.05,
+        bias_r in -0.05f64..0.05,
+        reference in 0usize..3,
+    ) {
+        let system = presets::khepera_system();
+        let testing: Vec<usize> = (0..3).filter(|&i| i != reference).collect();
+        let mode = Mode::new(vec![reference], testing);
+        let x0 = Vector::from_slice(&[x, y, theta]);
+        let u = Vector::from_slice(&[0.08, 0.06]);
+        let bias = Vector::from_slice(&[bias_l, bias_r]);
+        let x1 = system.dynamics().step(&x0, &(&u + &bias));
+        let readings = clean_readings(&system, &x1);
+        let out = nuise_step(NuiseInput {
+            system: &system,
+            mode: &mode,
+            x_prev: &x0,
+            p_prev: &(Matrix::identity(3) * 1e-4),
+            u_prev: &u,
+            readings: &readings,
+            linearization: &Linearization::PerIteration,
+            compensate: true,
+        }).unwrap();
+        // Differential drive is linear in u: the WLS estimate is exact.
+        prop_assert!((&out.actuator_anomaly - &bias).max_abs() < 1e-6,
+            "estimated {:?}, injected {:?}", out.actuator_anomaly, bias);
+        // Compensation keeps the state exact too.
+        prop_assert!((&out.state_estimate - &x1).max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn injected_testing_sensor_bias_is_recovered(
+        (x, y, theta) in pose(),
+        bias in -0.2f64..0.2,
+        component in 0usize..3,
+    ) {
+        let system = presets::khepera_system();
+        // Reference IPS, corrupt the encoder (testing offset 0..3).
+        let mode = Mode::new(vec![0], vec![1, 2]);
+        let x0 = Vector::from_slice(&[x, y, theta]);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let x1 = system.dynamics().step(&x0, &u);
+        let mut readings = clean_readings(&system, &x1);
+        readings[1][component] += bias;
+        let out = nuise_step(NuiseInput {
+            system: &system,
+            mode: &mode,
+            x_prev: &x0,
+            p_prev: &(Matrix::identity(3) * 1e-4),
+            u_prev: &u,
+            readings: &readings,
+            linearization: &Linearization::PerIteration,
+            compensate: true,
+        }).unwrap();
+        prop_assert!((out.sensor_anomaly[component] - bias).abs() < 1e-6);
+    }
+
+    #[test]
+    fn covariances_are_psd_for_arbitrary_readings(
+        (x, y, theta) in pose(),
+        z_noise in proptest::collection::vec(-0.3f64..0.3, 10),
+    ) {
+        // Even wildly inconsistent readings must not break PSD-ness.
+        let system = presets::khepera_system();
+        let mode = Mode::new(vec![1], vec![0, 2]);
+        let x0 = Vector::from_slice(&[x, y, theta]);
+        let u = Vector::from_slice(&[0.05, 0.05]);
+        let x1 = system.dynamics().step(&x0, &u);
+        let mut readings = clean_readings(&system, &x1);
+        let mut idx = 0;
+        for r in &mut readings {
+            for c in 0..r.len() {
+                r[c] += z_noise[idx % z_noise.len()];
+                idx += 1;
+            }
+        }
+        let out = nuise_step(NuiseInput {
+            system: &system,
+            mode: &mode,
+            x_prev: &x0,
+            p_prev: &(Matrix::identity(3) * 1e-4),
+            u_prev: &u,
+            readings: &readings,
+            linearization: &Linearization::PerIteration,
+            compensate: true,
+        }).unwrap();
+        prop_assert!(out.state_covariance.is_positive_semi_definite(1e-9).unwrap());
+        prop_assert!(out.actuator_covariance.is_positive_semi_definite(1e-9).unwrap());
+        prop_assert!(out.sensor_covariance.is_positive_semi_definite(1e-9).unwrap());
+        prop_assert!(out.likelihood.is_finite() && out.likelihood >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&out.consistency));
+    }
+
+    #[test]
+    fn corrupted_reference_is_less_consistent_than_clean_reference(
+        (x, y, theta) in pose(),
+        bias in 0.1f64..0.3,
+    ) {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[x, y, theta]);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let x1 = system.dynamics().step(&x0, &u);
+        let mut readings = clean_readings(&system, &x1);
+        readings[2][1] += bias; // corrupt the LiDAR south-wall channel
+
+        let step = |mode: &Mode| {
+            nuise_step(NuiseInput {
+                system: &system,
+                mode,
+                x_prev: &x0,
+                p_prev: &(Matrix::identity(3) * 1e-4),
+                u_prev: &u,
+                readings: &readings,
+                linearization: &Linearization::PerIteration,
+                compensate: true,
+            })
+            .unwrap()
+        };
+        let clean_ref = step(&Mode::new(vec![0], vec![1, 2]));
+        let corrupt_ref = step(&Mode::new(vec![2], vec![0, 1]));
+        prop_assert!(
+            clean_ref.consistency > corrupt_ref.consistency,
+            "clean {} vs corrupt {}",
+            clean_ref.consistency,
+            corrupt_ref.consistency
+        );
+    }
+}

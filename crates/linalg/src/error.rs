@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+///
+/// Every fallible operation in this crate reports one of these variants;
+/// none of them panic on bad numeric input (dimension errors on the
+/// *indexing* API, which has a clear programming-error character, panic
+/// instead and say so in their docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    DimensionMismatch {
+        /// Operation that was attempted, e.g. `"mul"`.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A square matrix was required.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix was singular to working precision.
+    Singular,
+    /// Cholesky decomposition was attempted on a matrix that is not
+    /// (numerically) symmetric positive definite.
+    NotPositiveDefinite,
+    /// The Jacobi eigendecomposition failed to converge.
+    NoConvergence {
+        /// Number of sweeps performed before giving up.
+        sweeps: usize,
+    },
+    /// A matrix or vector had zero size where a nonempty one was required.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix is {}x{}, expected square", shape.0, shape.1)
+            }
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not symmetric positive definite")
+            }
+            LinalgError::NoConvergence { sweeps } => {
+                write!(f, "eigendecomposition did not converge after {sweeps} sweeps")
+            }
+            LinalgError::Empty => write!(f, "operand is empty"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            LinalgError::DimensionMismatch {
+                op: "mul",
+                lhs: (2, 3),
+                rhs: (4, 5),
+            },
+            LinalgError::NotSquare { shape: (2, 3) },
+            LinalgError::Singular,
+            LinalgError::NotPositiveDefinite,
+            LinalgError::NoConvergence { sweeps: 50 },
+            LinalgError::Empty,
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,236 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Householder QR decomposition `A = Q·R` of an `m × n` matrix with
+/// `m ≥ n`.
+///
+/// Used for least-squares problems (e.g. calibrating sensor models from
+/// logged data) and as a numerically stable alternative to the normal
+/// equations the NUISE gain solves; the estimator itself keeps the
+/// normal-equation form because its matrices are tiny and
+/// well-conditioned, but downstream users get the robust tool.
+///
+/// # Example
+///
+/// ```
+/// use roboads_linalg::{Matrix, Qr, Vector};
+///
+/// # fn main() -> Result<(), roboads_linalg::LinalgError> {
+/// // Overdetermined line fit: y = a + b·t for t = 0, 1, 2.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let y = Vector::from_slice(&[1.0, 3.0, 5.0]);
+/// let coeffs = Qr::new(&a)?.solve_least_squares(&y)?;
+/// assert!((coeffs[0] - 1.0).abs() < 1e-10); // intercept
+/// assert!((coeffs[1] - 2.0).abs() < 1e-10); // slope
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal `m × n` factor (thin Q).
+    q: Matrix,
+    /// Upper-triangular `n × n` factor.
+    r: Matrix,
+}
+
+/// Relative diagonal threshold below which `R` is declared
+/// rank-deficient.
+const RANK_TOL: f64 = 1e-12;
+
+impl Qr {
+    /// Decomposes a matrix with at least as many rows as columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty matrix and
+    /// [`LinalgError::DimensionMismatch`] when `rows < cols`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        // Householder reflections applied to a working copy; Q built by
+        // applying the reflections to the identity.
+        let mut r = a.clone();
+        let mut q_full = Matrix::identity(m);
+        for k in 0..n {
+            // Householder vector for column k below the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut v = Vector::zeros(m);
+            for i in k..m {
+                v[i] = r[(i, k)];
+            }
+            v[k] -= alpha;
+            let v_norm2 = v.dot(&v);
+            if v_norm2 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            // Apply H = I − 2vvᵀ/‖v‖² to R (columns k..n) and Q.
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r[(i, j)];
+                }
+                let scale = 2.0 * dot / v_norm2;
+                for i in k..m {
+                    r[(i, j)] -= scale * v[i];
+                }
+            }
+            for j in 0..m {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * q_full[(i, j)];
+                }
+                let scale = 2.0 * dot / v_norm2;
+                for i in k..m {
+                    q_full[(i, j)] -= scale * v[i];
+                }
+            }
+        }
+        // q_full currently holds Qᵀ; thin factors:
+        let q = Matrix::from_fn(m, n, |i, j| q_full[(j, i)]);
+        let r_thin = Matrix::from_fn(n, n, |i, j| if i <= j { r[(i, j)] } else { 0.0 });
+        Ok(Qr { q, r: r_thin })
+    }
+
+    /// The thin orthonormal factor `Q` (`m × n`, `QᵀQ = I`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Whether `R` has a (numerically) zero diagonal entry.
+    pub fn is_rank_deficient(&self) -> bool {
+        let scale = self.r.max_abs().max(f64::MIN_POSITIVE);
+        (0..self.r.rows()).any(|i| self.r[(i, i)].abs() <= RANK_TOL * scale)
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖` via
+    /// `R·x = Qᵀ·b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for a wrong-length
+    /// `b` and [`LinalgError::Singular`] when `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector> {
+        let (m, n) = self.q.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        if self.is_rank_deficient() {
+            return Err(LinalgError::Singular);
+        }
+        let mut y = &self.q.transpose() * b;
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                let rij = self.r[(i, j)];
+                y[i] -= rij * y[j];
+            }
+            y[i] /= self.r[(i, i)];
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstructs_and_q_is_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 9.0],
+        ])
+        .unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let rec = qr.q() * qr.r();
+        assert!((&rec - &a).max_abs() < 1e-12);
+        let qtq = &qr.q().transpose() * qr.q();
+        assert!((&qtq - &Matrix::identity(2)).max_abs() < 1e-12);
+        // R upper triangular.
+        assert_eq!(qr.r()[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn square_solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = Vector::from_slice(&[3.0, 5.0]);
+        let x_qr = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let x_lu = a.lu().unwrap().solve(&b).unwrap();
+        assert!((&x_qr - &x_lu).norm() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_the_column_space() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.5],
+            &[1.0, 1.5],
+            &[1.0, 2.5],
+            &[1.0, 3.5],
+        ])
+        .unwrap();
+        let b = Vector::from_slice(&[1.0, 2.2, 2.8, 4.3]);
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let residual = &(&a * &x) - &b;
+        let projected = &a.transpose() * &residual;
+        assert!(projected.max_abs() < 1e-10, "AᵀR = {projected:?}");
+    }
+
+    #[test]
+    fn rank_deficiency_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!(qr.is_rank_deficient());
+        assert_eq!(
+            qr.solve_least_squares(&Vector::zeros(3)).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(matches!(Qr::new(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+        assert!(matches!(
+            Qr::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        let qr = Qr::new(&Matrix::identity(2)).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&Vector::zeros(3)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tall_random_matrix_round_trip() {
+        // Deterministic pseudo-random entries.
+        let a = Matrix::from_fn(8, 4, |i, j| ((i * 31 + j * 17 + 7) % 13) as f64 - 6.0);
+        let qr = Qr::new(&a).unwrap();
+        assert!((&(qr.q() * qr.r()) - &a).max_abs() < 1e-11);
+    }
+}

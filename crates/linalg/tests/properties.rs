@@ -1,0 +1,134 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! Strategy: generate random well-conditioned matrices (or random factors
+//! that guarantee SPD-ness) and check the algebraic identities that the
+//! estimator relies on.
+
+use proptest::prelude::*;
+use roboads_linalg::{Matrix, Vector};
+
+/// Strategy: an `n × n` matrix with entries in [-5, 5].
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f64..5.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data).expect("sized data"))
+}
+
+/// Strategy: an SPD matrix built as `B·Bᵀ + εI` from a random factor `B`.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    square_matrix(n).prop_map(move |b| &(&b * &b.transpose()) + &(Matrix::identity(n) * 0.5))
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-5.0f64..5.0, n).prop_map(Vector::from)
+}
+
+proptest! {
+    #[test]
+    fn transpose_reverses_products(a in square_matrix(3), b in square_matrix(3)) {
+        let lhs = (&a * &b).transpose();
+        let rhs = &b.transpose() * &a.transpose();
+        prop_assert!((&lhs - &rhs).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_is_associative(a in square_matrix(3), b in square_matrix(3), c in square_matrix(3)) {
+        let lhs = &(&a * &b) * &c;
+        let rhs = &a * &(&b * &c);
+        prop_assert!((&lhs - &rhs).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in square_matrix(3), b in square_matrix(3), c in square_matrix(3)) {
+        let lhs = &a * &(&b + &c);
+        let rhs = &(&a * &b) + &(&a * &c);
+        prop_assert!((&lhs - &rhs).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn lu_solve_residual_is_small(a in spd_matrix(4), b in vector(4)) {
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        let r = &(&a * &x) - &b;
+        prop_assert!(r.norm() < 1e-8 * (1.0 + b.norm()));
+    }
+
+    #[test]
+    fn inverse_round_trips(a in spd_matrix(4)) {
+        let inv = a.inverse().unwrap();
+        let eye = &a * &inv;
+        prop_assert!((&eye - &Matrix::identity(4)).max_abs() < 1e-7);
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix(4)) {
+        let l = a.cholesky().unwrap().l().clone();
+        let rec = &l * &l.transpose();
+        prop_assert!((&rec - &a).max_abs() < 1e-8 * (1.0 + a.max_abs()));
+    }
+
+    #[test]
+    fn cholesky_and_lu_determinants_agree(a in spd_matrix(3)) {
+        let lnd = a.cholesky().unwrap().ln_determinant();
+        let det = a.determinant().unwrap();
+        prop_assert!(det > 0.0);
+        prop_assert!((lnd - det.ln()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(a in square_matrix(4)) {
+        let sym = (&a + &a.transpose()) * 0.5;
+        let eig = sym.symmetric_eigen().unwrap();
+        let rec = eig.spectral_map(|l| l);
+        prop_assert!((&rec - &sym).max_abs() < 1e-8 * (1.0 + sym.max_abs()));
+    }
+
+    #[test]
+    fn eigenvalue_sum_is_trace(a in square_matrix(4)) {
+        let sym = (&a + &a.transpose()) * 0.5;
+        let eig = sym.symmetric_eigen().unwrap();
+        let sum: f64 = eig.eigenvalues().as_slice().iter().sum();
+        prop_assert!((sum - sym.trace()).abs() < 1e-8 * (1.0 + sym.trace().abs()));
+    }
+
+    #[test]
+    fn pseudo_inverse_satisfies_moore_penrose(a in square_matrix(3)) {
+        // Make a possibly-singular symmetric matrix by zeroing a direction.
+        let sym = (&a + &a.transpose()) * 0.5;
+        let p = sym.pseudo_inverse().unwrap();
+        let apa = &(&sym * &p) * &sym;
+        prop_assert!((&apa - &sym).max_abs() < 1e-6 * (1.0 + sym.max_abs()));
+        let pap = &(&p * &sym) * &p;
+        prop_assert!((&pap - &p).max_abs() < 1e-6 * (1.0 + p.max_abs()));
+    }
+
+    #[test]
+    fn rank_of_outer_product_is_at_most_factor_rank(v in vector(4)) {
+        let m = v.to_column_matrix();
+        let outer = &m * &m.transpose();
+        let r = outer.rank().unwrap();
+        prop_assert!(r <= 1);
+        if v.norm() > 1e-6 {
+            prop_assert_eq!(r, 1);
+        }
+    }
+
+    #[test]
+    fn congruence_preserves_psd(a in square_matrix(3), p in spd_matrix(3)) {
+        let c = a.congruence(&p).unwrap();
+        prop_assert!(c.is_positive_semi_definite(1e-7 * (1.0 + c.max_abs())).unwrap());
+    }
+
+    #[test]
+    fn quadratic_form_nonnegative_for_psd(p in spd_matrix(3), v in vector(3)) {
+        prop_assert!(v.quadratic_form(&p).unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn vstack_hstack_round_trip(a in square_matrix(3)) {
+        let top = a.block(0, 0, 1, 3);
+        let bottom = a.block(1, 0, 2, 3);
+        prop_assert_eq!(top.vstack(&bottom).unwrap(), a.clone());
+        let left = a.block(0, 0, 3, 2);
+        let right = a.block(0, 2, 3, 1);
+        prop_assert_eq!(left.hstack(&right).unwrap(), a);
+    }
+}

@@ -1,0 +1,89 @@
+//! Angle normalization helpers.
+//!
+//! Robot headings live on the circle; every state update and every
+//! residual involving an angular component must be wrapped to (−π, π] or
+//! the estimator sees spurious 2π-sized "anomalies" when the robot crosses
+//! the branch cut.
+
+use std::f64::consts::PI;
+
+/// Wraps an angle to the interval `(−π, π]`.
+///
+/// ```
+/// use roboads_models::wrap_angle;
+/// use std::f64::consts::PI;
+///
+/// assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-12);
+/// assert!((wrap_angle(-3.0 * PI) - PI).abs() < 1e-12);
+/// assert_eq!(wrap_angle(0.5), 0.5);
+/// ```
+pub fn wrap_angle(theta: f64) -> f64 {
+    if !theta.is_finite() {
+        return theta;
+    }
+    let two_pi = 2.0 * PI;
+    let mut a = theta % two_pi;
+    if a <= -PI {
+        a += two_pi;
+    } else if a > PI {
+        a -= two_pi;
+    }
+    a
+}
+
+/// Smallest signed difference `a − b` on the circle, in `(−π, π]`.
+///
+/// ```
+/// use roboads_models::angle_difference;
+/// use std::f64::consts::PI;
+///
+/// // Crossing the branch cut: 179° − (−179°) is −2°, not 358°.
+/// let d = angle_difference(179.0_f64.to_radians(), -179.0_f64.to_radians());
+/// assert!((d + 2.0_f64.to_radians()).abs() < 1e-12);
+/// # let _ = PI;
+/// ```
+pub fn angle_difference(a: f64, b: f64) -> f64 {
+    wrap_angle(a - b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_is_idempotent() {
+        for i in -20..20 {
+            let theta = i as f64 * 0.7;
+            let w = wrap_angle(theta);
+            assert!((wrap_angle(w) - w).abs() < 1e-15);
+            assert!(w > -PI - 1e-15 && w <= PI + 1e-15);
+        }
+    }
+
+    #[test]
+    fn wrap_preserves_in_range_values() {
+        for &t in &[-3.0, -1.0, 0.0, 1.0, 3.0] {
+            assert_eq!(wrap_angle(t), t);
+        }
+    }
+
+    #[test]
+    fn wrap_boundary_convention() {
+        // Exactly π stays π; exactly −π maps to π.
+        assert_eq!(wrap_angle(PI), PI);
+        assert_eq!(wrap_angle(-PI), PI);
+    }
+
+    #[test]
+    fn difference_is_antisymmetric_on_circle() {
+        let a = 2.9;
+        let b = -2.9;
+        assert!((angle_difference(a, b) + angle_difference(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_passes_through() {
+        assert!(wrap_angle(f64::NAN).is_nan());
+        assert!(wrap_angle(f64::INFINITY).is_infinite());
+    }
+}

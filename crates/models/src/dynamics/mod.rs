@@ -1,0 +1,97 @@
+//! Kinematic models: the `f(x, u)` of the paper's system description.
+//!
+//! A [`DynamicsModel`] describes how control commands drive robot state
+//! transitions over one control iteration, and exposes the linearizations
+//! (`A = ∂f/∂x`, `G = ∂f/∂u`) that NUISE uses for covariance propagation
+//! and actuator-anomaly estimation. The paper's two evaluation robots use
+//! [`DifferentialDrive`] (Khepera III) and [`Bicycle`] (Tamiya TT-02); a
+//! plain [`Unicycle`] is included for tests and user examples.
+
+mod bicycle;
+mod differential_drive;
+mod omnidirectional;
+mod unicycle;
+
+pub use bicycle::Bicycle;
+pub use differential_drive::DifferentialDrive;
+pub use omnidirectional::Omnidirectional;
+pub use unicycle::Unicycle;
+
+use roboads_linalg::{Matrix, Vector};
+
+use crate::jacobian::{numeric_jacobian, numeric_jacobian_wrt};
+
+/// A discrete-time robot kinematic model `x_k = f(x_{k-1}, u_{k-1})`.
+///
+/// Implementations must be deterministic and free of internal state:
+/// process noise is added by the caller (the simulator adds sampled
+/// `ζ_{k-1}`, the estimator adds its covariance `Q`).
+///
+/// The trait provides numeric default Jacobians so a user-defined robot
+/// only has to implement [`DynamicsModel::step`]; the built-in models
+/// override both with analytic forms (verified against the numeric ones
+/// in this crate's tests).
+pub trait DynamicsModel: Send + Sync {
+    /// Dimension of the state vector `x`.
+    fn state_dim(&self) -> usize;
+
+    /// Dimension of the control vector `u`.
+    fn input_dim(&self) -> usize;
+
+    /// Indices of state components that are angles (wrapped to
+    /// `(−π, π]`). For the planar robots in this crate this is `[2]`.
+    fn angular_state_components(&self) -> &[usize] {
+        &[]
+    }
+
+    /// Human-readable model name, e.g. `"differential-drive"`.
+    fn name(&self) -> &str;
+
+    /// One control iteration: `x_k = f(x_{k-1}, u_{k-1})` (noiseless).
+    ///
+    /// Implementations must wrap angular state components.
+    fn step(&self, x: &Vector, u: &Vector) -> Vector;
+
+    /// State Jacobian `A = ∂f/∂x` evaluated at `(x, u)`.
+    fn state_jacobian(&self, x: &Vector, u: &Vector) -> Matrix {
+        let f = |xx: &Vector| self.step(xx, u);
+        numeric_jacobian(&f, x, self.state_dim())
+    }
+
+    /// Input Jacobian `G = ∂f/∂u` evaluated at `(x, u)`.
+    ///
+    /// This matrix is the actuator-anomaly gain of NUISE: an additive
+    /// corruption `d^a` on the executed commands shifts the state by
+    /// `G·d^a` to first order.
+    fn input_jacobian(&self, x: &Vector, u: &Vector) -> Matrix {
+        let f = |xx: &Vector, uu: &Vector| self.step(xx, uu);
+        numeric_jacobian_wrt(&f, x, u, self.state_dim())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// Asserts that a model's analytic Jacobians match central-difference
+    /// numeric Jacobians at the given evaluation point.
+    pub fn assert_jacobians_match(model: &dyn DynamicsModel, x: &Vector, u: &Vector, tol: f64) {
+        let a_analytic = model.state_jacobian(x, u);
+        let f = |xx: &Vector| model.step(xx, u);
+        let a_numeric = numeric_jacobian(&f, x, model.state_dim());
+        assert!(
+            (&a_analytic - &a_numeric).max_abs() < tol,
+            "state jacobian mismatch for {}:\nanalytic {a_analytic:?}\nnumeric {a_numeric:?}",
+            model.name()
+        );
+
+        let g_analytic = model.input_jacobian(x, u);
+        let g = |xx: &Vector, uu: &Vector| model.step(xx, uu);
+        let g_numeric = numeric_jacobian_wrt(&g, x, u, model.state_dim());
+        assert!(
+            (&g_analytic - &g_numeric).max_abs() < tol,
+            "input jacobian mismatch for {}:\nanalytic {g_analytic:?}\nnumeric {g_numeric:?}",
+            model.name()
+        );
+    }
+}

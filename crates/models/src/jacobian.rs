@@ -1,0 +1,113 @@
+//! Numeric differentiation used to validate analytic Jacobians and to
+//! supply Jacobians for user-defined models that do not provide them.
+
+use roboads_linalg::{Matrix, Vector};
+
+/// Central-difference step size; `∛ε_machine`-scaled for second-order
+/// accurate differences.
+const STEP: f64 = 1e-6;
+
+/// Numerically differentiates `f` at `x` with central differences,
+/// producing the Jacobian `J[i][j] = ∂f_i/∂x_j`.
+///
+/// `out_dim` is the output dimension of `f` (checked against the actual
+/// output — a mismatch panics, because it means the caller mis-declared
+/// the model).
+///
+/// # Panics
+///
+/// Panics if `f` returns a vector of length other than `out_dim`.
+///
+/// ```
+/// use roboads_linalg::Vector;
+/// use roboads_models::numeric_jacobian;
+///
+/// // f(x) = (x0², x0·x1) → J = [[2x0, 0], [x1, x0]].
+/// let f = |x: &Vector| Vector::from_slice(&[x[0] * x[0], x[0] * x[1]]);
+/// let j = numeric_jacobian(&f, &Vector::from_slice(&[2.0, 3.0]), 2);
+/// assert!((j[(0, 0)] - 4.0).abs() < 1e-6);
+/// assert!((j[(1, 0)] - 3.0).abs() < 1e-6);
+/// assert!((j[(1, 1)] - 2.0).abs() < 1e-6);
+/// ```
+pub fn numeric_jacobian(f: &dyn Fn(&Vector) -> Vector, x: &Vector, out_dim: usize) -> Matrix {
+    let n = x.len();
+    let mut jac = Matrix::zeros(out_dim, n);
+    for j in 0..n {
+        let mut xp = x.clone();
+        let mut xm = x.clone();
+        let h = STEP * (1.0 + x[j].abs());
+        xp[j] += h;
+        xm[j] -= h;
+        let fp = f(&xp);
+        let fm = f(&xm);
+        assert_eq!(
+            fp.len(),
+            out_dim,
+            "function output dimension {} does not match declared {out_dim}",
+            fp.len()
+        );
+        for i in 0..out_dim {
+            jac[(i, j)] = (fp[i] - fm[i]) / (2.0 * h);
+        }
+    }
+    jac
+}
+
+/// Numerically differentiates a two-argument function `f(a, b)` with
+/// respect to its *second* argument at `(a, b)`.
+///
+/// Used to obtain `G = ∂f/∂u` for the input-compensation step of NUISE
+/// when no analytic form is provided.
+///
+/// # Panics
+///
+/// Panics if `f` returns a vector of length other than `out_dim`.
+pub fn numeric_jacobian_wrt(
+    f: &dyn Fn(&Vector, &Vector) -> Vector,
+    a: &Vector,
+    b: &Vector,
+    out_dim: usize,
+) -> Matrix {
+    numeric_jacobian(&|bb: &Vector| f(a, bb), b, out_dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_function_has_constant_jacobian() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let mc = m.clone();
+        let f = move |x: &Vector| &mc * x;
+        let j = numeric_jacobian(&f, &Vector::from_slice(&[0.7, -0.3]), 2);
+        assert!((&j - &m).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn trigonometric_jacobian() {
+        let f = |x: &Vector| Vector::from_slice(&[x[0].sin(), x[0].cos()]);
+        let j = numeric_jacobian(&f, &Vector::from_slice(&[0.5]), 2);
+        assert!((j[(0, 0)] - 0.5f64.cos()).abs() < 1e-8);
+        assert!((j[(1, 0)] + 0.5f64.sin()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn second_argument_differentiation() {
+        // f(a, b) = a * b (componentwise): ∂f/∂b = diag(a).
+        let f = |a: &Vector, b: &Vector| Vector::from_fn(a.len(), |i| a[i] * b[i]);
+        let a = Vector::from_slice(&[2.0, -3.0]);
+        let b = Vector::from_slice(&[1.0, 1.0]);
+        let g = numeric_jacobian_wrt(&f, &a, &b, 2);
+        assert!((g[(0, 0)] - 2.0).abs() < 1e-8);
+        assert!((g[(1, 1)] + 3.0).abs() < 1e-8);
+        assert!(g[(0, 1)].abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match declared")]
+    fn dimension_mismatch_panics() {
+        let f = |_: &Vector| Vector::zeros(3);
+        numeric_jacobian(&f, &Vector::zeros(2), 2);
+    }
+}

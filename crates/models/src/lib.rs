@@ -1,0 +1,131 @@
+//! Robot dynamics and sensor models for the RoboADS reproduction.
+//!
+//! The RoboADS paper (DSN 2018) models a mobile robot as the nonlinear
+//! discrete-time system
+//!
+//! ```text
+//! x_k = f(x_{k-1}, u_{k-1}) + ζ_{k-1}        (kinematic model)
+//! z_k = h(x_k) + ξ_k                         (measurement model)
+//! ```
+//!
+//! and evaluates on two robots with distinct dynamics: a **Khepera III
+//! differential-drive robot** (wheel encoder + LiDAR + indoor positioning
+//! system) and a **Tamiya TT-02 Ackermann RC car** (LiDAR + IMU + IPS).
+//! This crate provides:
+//!
+//! * [`DynamicsModel`] implementations — [`dynamics::DifferentialDrive`],
+//!   [`dynamics::Bicycle`], [`dynamics::Unicycle`] — with analytic
+//!   Jacobians (`A = ∂f/∂x`, `G = ∂f/∂u`) verified against numeric
+//!   differentiation,
+//! * [`SensorModel`] implementations — [`sensors::Ips`],
+//!   [`sensors::WheelEncoderOdometry`], [`sensors::WallLidar`],
+//!   [`sensors::InertialNav`], [`sensors::Gps`],
+//!   [`sensors::Magnetometer`] — with measurement Jacobians `C = ∂h/∂x`,
+//! * the [`Arena`] environment (rectangular room with obstacles) and the
+//!   LiDAR raycaster,
+//! * [`RobotSystem`], the assembled `f`/`h`/`Q`/`R` bundle the NUISE
+//!   estimator consumes, with per-mode sensor stacking,
+//! * [`observability`] analysis used to validate mode sets (§VI "sensor
+//!   capabilities": a magnetometer alone cannot reconstruct the state and
+//!   must be grouped with a position sensor),
+//! * the [`presets`] used throughout the evaluation (`khepera_system`,
+//!   `tamiya_system`).
+//!
+//! # Example
+//!
+//! ```
+//! use roboads_linalg::Vector;
+//! use roboads_models::{presets, DynamicsModel};
+//!
+//! let system = presets::khepera_system();
+//! let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+//! let u = Vector::from_slice(&[0.05, 0.05]); // both wheels 5 cm/s
+//! let x1 = system.dynamics().step(&x0, &u);
+//! assert!(x1[0] > x0[0]); // moved along +x
+//! ```
+
+pub mod dynamics;
+pub mod observability;
+pub mod presets;
+pub mod sensors;
+
+mod angle;
+mod environment;
+mod jacobian;
+mod pose;
+mod system;
+
+pub use angle::{angle_difference, wrap_angle};
+pub use dynamics::DynamicsModel;
+pub use environment::{Aabb, Arena, RaycastHit};
+pub use jacobian::{numeric_jacobian, numeric_jacobian_wrt};
+pub use pose::Pose2;
+pub use sensors::SensorModel;
+pub use system::{RobotSystem, SensorSlice};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by model construction and assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A geometric or physical parameter was out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value, formatted by the caller.
+        value: String,
+    },
+    /// A sensor index was out of range for the system's sensor suite.
+    UnknownSensor {
+        /// The offending index.
+        index: usize,
+        /// Number of sensors in the suite.
+        count: usize,
+    },
+    /// A state/input/measurement dimension did not match the model.
+    DimensionMismatch {
+        /// What was being assembled.
+        what: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { name, value } => {
+                write!(f, "invalid model parameter {name} = {value}")
+            }
+            ModelError::UnknownSensor { index, count } => {
+                write!(f, "sensor index {index} out of range for suite of {count}")
+            }
+            ModelError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} dimension mismatch: expected {expected}, got {actual}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = ModelError::UnknownSensor { index: 5, count: 3 };
+        assert!(e.to_string().contains("5"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

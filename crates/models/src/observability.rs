@@ -1,0 +1,133 @@
+//! Linearized observability analysis for reference-sensor validation.
+//!
+//! §VI of the paper ("Sensor capabilities") requires that the reference
+//! sensors of every NUISE mode can reconstruct the robot state: "the
+//! system is observable using the reference sensors". A magnetometer
+//! alone cannot; grouped with a GPS it can. This module checks the rank
+//! of the local observability matrix
+//!
+//! ```text
+//! O = [C; C·A; C·A²; …; C·A^{n−1}]
+//! ```
+//!
+//! built from the Jacobians of the dynamics and the chosen sensor subset
+//! at an operating point.
+
+use roboads_linalg::{Matrix, Vector};
+
+use crate::system::RobotSystem;
+use crate::Result;
+
+/// Rank of the local observability matrix for the sensor subset at the
+/// operating point `(x, u)`.
+///
+/// # Errors
+///
+/// Propagates subset-validation errors from the system description.
+///
+/// # Panics
+///
+/// Panics on an invalid (unsorted / out-of-range) subset, matching the
+/// contract of [`RobotSystem::jacobian_subset`].
+pub fn observability_rank(
+    system: &RobotSystem,
+    reference_sensors: &[usize],
+    x: &Vector,
+    u: &Vector,
+) -> Result<usize> {
+    let n = system.state_dim();
+    let a = system.dynamics().state_jacobian(x, u);
+    let c = system.jacobian_subset(reference_sensors, x);
+
+    let mut blocks = Vec::with_capacity(n);
+    let mut ca = c;
+    for _ in 0..n {
+        blocks.push(ca.clone());
+        ca = &ca * &a;
+    }
+    let obs =
+        Matrix::vstack_all(blocks.iter()).expect("observability blocks share column count");
+    // rank(O) = rank(OᵀO); the Gram matrix is symmetric, which our
+    // eigendecomposition-based rank requires.
+    let gram = &obs.transpose() * &obs;
+    Ok(gram.rank().expect("gram matrix is square and symmetric"))
+}
+
+/// Whether the subset makes the state fully observable at `(x, u)`.
+///
+/// # Errors
+///
+/// Propagates errors from [`observability_rank`].
+pub fn is_observable(
+    system: &RobotSystem,
+    reference_sensors: &[usize],
+    x: &Vector,
+    u: &Vector,
+) -> Result<bool> {
+    Ok(observability_rank(system, reference_sensors, x, u)? == system.state_dim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::Unicycle;
+    use crate::sensors::{Gps, Magnetometer, SensorModel};
+    use crate::{presets, DynamicsModel};
+    use std::sync::Arc;
+
+    fn partial_sensor_system() -> RobotSystem {
+        let dynamics: Arc<dyn DynamicsModel> = Arc::new(Unicycle::new(0.1).unwrap());
+        let gps: Arc<dyn SensorModel> = Arc::new(Gps::new(0.1).unwrap());
+        let mag: Arc<dyn SensorModel> = Arc::new(Magnetometer::new(0.01).unwrap());
+        RobotSystem::new(
+            dynamics,
+            Matrix::from_diagonal(&[1e-4, 1e-4, 1e-4]),
+            vec![gps, mag],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_khepera_sensor_observes_the_full_state() {
+        let sys = presets::khepera_system();
+        let x = Vector::from_slice(&[1.0, 1.0, 0.3]);
+        let u = Vector::from_slice(&[0.05, 0.04]);
+        for i in 0..sys.sensor_count() {
+            assert!(
+                is_observable(&sys, &[i], &x, &u).unwrap(),
+                "sensor {i} should observe the full pose"
+            );
+        }
+    }
+
+    #[test]
+    fn magnetometer_alone_is_not_observable() {
+        let sys = partial_sensor_system();
+        let x = Vector::from_slice(&[0.5, 0.5, 0.0]);
+        let u = Vector::from_slice(&[0.1, 0.0]);
+        // Magnetometer is sensor 1.
+        assert!(!is_observable(&sys, &[1], &x, &u).unwrap());
+        assert_eq!(observability_rank(&sys, &[1], &x, &u).unwrap(), 1);
+    }
+
+    #[test]
+    fn gps_alone_misses_heading_when_stationary() {
+        let sys = partial_sensor_system();
+        let x = Vector::from_slice(&[0.5, 0.5, 0.0]);
+        // With zero speed the heading never enters the position dynamics.
+        let u = Vector::from_slice(&[0.0, 0.0]);
+        assert!(!is_observable(&sys, &[0], &x, &u).unwrap());
+        // While moving, the heading becomes locally observable through
+        // the position drift.
+        let u_moving = Vector::from_slice(&[0.2, 0.0]);
+        assert!(is_observable(&sys, &[0], &x, &u_moving).unwrap());
+    }
+
+    #[test]
+    fn grouping_gps_and_magnetometer_restores_observability() {
+        let sys = partial_sensor_system();
+        let x = Vector::from_slice(&[0.5, 0.5, 0.0]);
+        let u = Vector::from_slice(&[0.0, 0.0]);
+        assert!(is_observable(&sys, &[0, 1], &x, &u).unwrap());
+    }
+}

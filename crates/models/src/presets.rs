@@ -1,0 +1,151 @@
+//! Preset system descriptions matching the paper's two evaluation robots.
+//!
+//! All numeric choices (noise magnitudes, geometry, control period) are
+//! recorded in `DESIGN.md` §6; the defaults here are shared by the
+//! examples, the integration tests and every benchmark harness so that
+//! all reported numbers come from one configuration.
+
+use std::sync::Arc;
+
+use roboads_linalg::Matrix;
+
+use crate::dynamics::{Bicycle, DifferentialDrive, DynamicsModel};
+use crate::environment::{Aabb, Arena};
+use crate::sensors::{InertialNav, Ips, SensorModel, WallLidar, WheelEncoderOdometry};
+use crate::system::RobotSystem;
+
+/// Control period for both robots, seconds (10 Hz control iterations).
+pub const CONTROL_PERIOD: f64 = 0.1;
+
+/// Khepera sensor suite index: indoor positioning system.
+pub const KHEPERA_IPS: usize = 0;
+/// Khepera sensor suite index: wheel-encoder odometry.
+pub const KHEPERA_WHEEL_ENCODER: usize = 1;
+/// Khepera sensor suite index: wall-extraction LiDAR.
+pub const KHEPERA_LIDAR: usize = 2;
+
+/// Tamiya sensor suite index: indoor positioning system.
+pub const TAMIYA_IPS: usize = 0;
+/// Tamiya sensor suite index: IMU inertial navigation.
+pub const TAMIYA_IMU: usize = 1;
+/// Tamiya sensor suite index: wall-extraction LiDAR.
+pub const TAMIYA_LIDAR: usize = 2;
+
+/// The 4 m × 4 m Vicon-tracked arena with two box obstacles used by all
+/// evaluation missions.
+pub fn evaluation_arena() -> Arena {
+    Arena::new(4.0, 4.0)
+        .expect("static dimensions")
+        .with_obstacle(Aabb::new(1.2, 1.4, 1.8, 2.1).expect("static box"))
+        .expect("inside arena")
+        .with_obstacle(Aabb::new(2.4, 2.5, 3.0, 3.1).expect("static box"))
+        .expect("inside arena")
+}
+
+/// Per-step process noise covariance `Q` shared by both robots:
+/// (2 mm, 2 mm, 2 mrad) standard deviations.
+pub fn default_process_noise() -> Matrix {
+    Matrix::from_diagonal(&[0.002 * 0.002, 0.002 * 0.002, 0.002 * 0.002])
+}
+
+/// The Khepera III differential-drive model at the evaluation control
+/// rate (wheel base 88.5 mm).
+pub fn khepera_dynamics() -> DifferentialDrive {
+    DifferentialDrive::new(0.0885, CONTROL_PERIOD).expect("static parameters")
+}
+
+/// The Khepera III system: differential drive with IPS (index 0),
+/// wheel-encoder odometry (index 1) and wall LiDAR (index 2).
+///
+/// Sensor indices are ordered so that `sensor i` corresponds to the
+/// paper's Table III sensor modes `S_{i+1}`.
+pub fn khepera_system() -> RobotSystem {
+    khepera_system_in(evaluation_arena())
+}
+
+/// [`khepera_system`] with a custom arena (the LiDAR wall model depends
+/// on it).
+pub fn khepera_system_in(arena: Arena) -> RobotSystem {
+    let dynamics: Arc<dyn DynamicsModel> = Arc::new(khepera_dynamics());
+    let ips: Arc<dyn SensorModel> = Arc::new(Ips::new(0.004, 0.003).expect("static noise"));
+    let encoder: Arc<dyn SensorModel> =
+        Arc::new(WheelEncoderOdometry::khepera().expect("static geometry"));
+    let lidar: Arc<dyn SensorModel> =
+        Arc::new(WallLidar::new(arena, 0.015, 0.02).expect("static noise"));
+    RobotSystem::new(dynamics, default_process_noise(), vec![ips, encoder, lidar])
+        .expect("static configuration is valid")
+}
+
+/// The Tamiya TT-02 bicycle model at the evaluation control rate
+/// (wheelbase 257 mm, steering stop ±0.45 rad).
+pub fn tamiya_dynamics() -> Bicycle {
+    Bicycle::new(0.257, 0.45, CONTROL_PERIOD).expect("static parameters")
+}
+
+/// The Tamiya TT-02 system: bicycle dynamics with IPS (index 0), IMU
+/// inertial navigation (index 1) and wall LiDAR (index 2).
+pub fn tamiya_system() -> RobotSystem {
+    tamiya_system_in(evaluation_arena())
+}
+
+/// [`tamiya_system`] with a custom arena.
+pub fn tamiya_system_in(arena: Arena) -> RobotSystem {
+    let dynamics: Arc<dyn DynamicsModel> = Arc::new(tamiya_dynamics());
+    let ips: Arc<dyn SensorModel> = Arc::new(Ips::new(0.004, 0.003).expect("static noise"));
+    let imu: Arc<dyn SensorModel> = Arc::new(InertialNav::new(0.008, 0.002).expect("static noise"));
+    let lidar: Arc<dyn SensorModel> =
+        Arc::new(WallLidar::new(arena, 0.015, 0.02).expect("static noise"));
+    RobotSystem::new(dynamics, default_process_noise(), vec![ips, imu, lidar])
+        .expect("static configuration is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboads_linalg::Vector;
+
+    #[test]
+    fn khepera_preset_is_well_formed() {
+        let sys = khepera_system();
+        assert_eq!(sys.state_dim(), 3);
+        assert_eq!(sys.input_dim(), 2);
+        assert_eq!(sys.sensor_count(), 3);
+        assert_eq!(sys.sensor_name(KHEPERA_IPS), "ips");
+        assert_eq!(sys.sensor_name(KHEPERA_WHEEL_ENCODER), "wheel-encoder");
+        assert_eq!(sys.sensor_name(KHEPERA_LIDAR), "lidar");
+        assert!(sys.process_noise().cholesky().is_ok());
+    }
+
+    #[test]
+    fn tamiya_preset_is_well_formed() {
+        let sys = tamiya_system();
+        assert_eq!(sys.dynamics().name(), "bicycle");
+        assert_eq!(sys.sensor_name(TAMIYA_IMU), "imu");
+        assert_eq!(sys.total_measurement_dim(), 10);
+    }
+
+    #[test]
+    fn arena_has_room_for_missions() {
+        let arena = evaluation_arena();
+        assert_eq!(arena.width(), 4.0);
+        assert_eq!(arena.obstacles().len(), 2);
+        // Both standard mission endpoints are free.
+        assert!(arena.is_free(0.5, 0.5, 0.1));
+        assert!(arena.is_free(3.5, 3.5, 0.1));
+    }
+
+    #[test]
+    fn every_preset_sensor_is_observable_alone() {
+        let x = Vector::from_slice(&[0.5, 0.5, 0.3]);
+        for sys in [khepera_system(), tamiya_system()] {
+            let u = Vector::from_slice(&[0.05, 0.05]);
+            for i in 0..sys.sensor_count() {
+                assert!(
+                    crate::observability::is_observable(&sys, &[i], &x, &u).unwrap(),
+                    "{} sensor {i}",
+                    sys.dynamics().name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Measurement models: the `h(x)` of the paper's system description.
+//!
+//! Each [`SensorModel`] corresponds to one *sensing workflow* of the
+//! paper's system model (Figure 1): the planner-visible output of a
+//! sensor after its driver and utility processes. The paper's two robots
+//! use:
+//!
+//! * Khepera III — [`WheelEncoderOdometry`], [`WallLidar`], [`Ips`],
+//! * Tamiya TT-02 — [`WallLidar`], [`InertialNav`] (IMU), [`Ips`],
+//!
+//! and §VI discusses partial-state sensors ([`Magnetometer`], [`Gps`])
+//! that must be grouped to make the state observable.
+
+mod beacon;
+mod gps;
+mod imu;
+mod ips;
+mod lidar;
+mod magnetometer;
+mod wheel_encoder;
+
+pub use beacon::BeaconRange;
+pub use gps::Gps;
+pub use imu::InertialNav;
+pub use ips::Ips;
+pub use lidar::{WallLidar, SCAN_BEAMS, SCAN_FOV};
+pub use magnetometer::Magnetometer;
+pub use wheel_encoder::WheelEncoderOdometry;
+
+use roboads_linalg::{Matrix, Vector};
+
+use crate::jacobian::numeric_jacobian;
+
+/// A sensing-workflow output model `z = h(x) + ξ`.
+///
+/// Implementations are deterministic and noiseless; the measurement noise
+/// `ξ ~ N(0, R)` is *described* by [`SensorModel::noise_covariance`] (for
+/// the estimator) and *sampled* by the simulation substrate.
+///
+/// The default [`SensorModel::jacobian`] is a central-difference numeric
+/// Jacobian; the built-in sensors override it with analytic forms.
+pub trait SensorModel: Send + Sync {
+    /// Dimension of this sensor's reading vector.
+    fn dim(&self) -> usize;
+
+    /// Short workflow name, e.g. `"ips"`, used in detector reports.
+    fn name(&self) -> &str;
+
+    /// Noiseless measurement function `h(x)`.
+    fn measure(&self, x: &Vector) -> Vector;
+
+    /// Measurement Jacobian `C = ∂h/∂x` at `x`.
+    fn jacobian(&self, x: &Vector) -> Matrix {
+        let f = |xx: &Vector| self.measure(xx);
+        numeric_jacobian(&f, x, self.dim())
+    }
+
+    /// Measurement-noise covariance `R` (time-invariant).
+    fn noise_covariance(&self) -> Matrix;
+
+    /// Indices of reading components that are angles; residuals on these
+    /// components must be wrapped to `(−π, π]` by any consumer.
+    fn angular_components(&self) -> &[usize] {
+        &[]
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// Asserts that a sensor's analytic Jacobian matches the numeric one.
+    pub fn assert_sensor_jacobian_matches(sensor: &dyn SensorModel, x: &Vector, tol: f64) {
+        let analytic = sensor.jacobian(x);
+        let f = |xx: &Vector| sensor.measure(xx);
+        let numeric = numeric_jacobian(&f, x, sensor.dim());
+        assert!(
+            (&analytic - &numeric).max_abs() < tol,
+            "jacobian mismatch for {}:\nanalytic {analytic:?}\nnumeric {numeric:?}",
+            sensor.name()
+        );
+    }
+
+    /// Asserts the declared noise covariance is SPD with the declared dim.
+    pub fn assert_noise_covariance_valid(sensor: &dyn SensorModel) {
+        let r = sensor.noise_covariance();
+        assert_eq!(r.rows(), sensor.dim());
+        assert_eq!(r.cols(), sensor.dim());
+        assert!(
+            r.cholesky().is_ok(),
+            "noise covariance of {} is not SPD: {r:?}",
+            sensor.name()
+        );
+    }
+}

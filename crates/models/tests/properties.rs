@@ -1,0 +1,125 @@
+//! Property-based tests for the dynamics/sensor/environment substrate.
+
+use proptest::prelude::*;
+use roboads_linalg::Vector;
+use roboads_models::dynamics::{Bicycle, DifferentialDrive, Unicycle};
+use roboads_models::{
+    numeric_jacobian, numeric_jacobian_wrt, presets, wrap_angle, Arena, DynamicsModel,
+};
+
+fn pose() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.3f64..3.7, 0.3f64..3.7, -3.1f64..3.1)
+}
+
+proptest! {
+    #[test]
+    fn wrap_angle_stays_in_range_and_preserves_direction((_, _, theta) in pose(), turns in -5i32..5) {
+        let unwrapped = theta + turns as f64 * 2.0 * std::f64::consts::PI;
+        let w = wrap_angle(unwrapped);
+        prop_assert!(w > -std::f64::consts::PI - 1e-12);
+        prop_assert!(w <= std::f64::consts::PI + 1e-12);
+        // Same point on the circle.
+        prop_assert!((w.sin() - unwrapped.sin()).abs() < 1e-9);
+        prop_assert!((w.cos() - unwrapped.cos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn differential_drive_jacobians_match_numeric(
+        (x, y, theta) in pose(),
+        vl in -0.2f64..0.2,
+        vr in -0.2f64..0.2,
+    ) {
+        let dd = DifferentialDrive::new(0.0885, 0.1).unwrap();
+        let state = Vector::from_slice(&[x, y, theta]);
+        let u = Vector::from_slice(&[vl, vr]);
+        let a = dd.state_jacobian(&state, &u);
+        let a_num = numeric_jacobian(&|xx: &Vector| dd.step(xx, &u), &state, 3);
+        prop_assert!((&a - &a_num).max_abs() < 1e-5);
+        let g = dd.input_jacobian(&state, &u);
+        let g_num = numeric_jacobian_wrt(&|xx: &Vector, uu: &Vector| dd.step(xx, uu), &state, &u, 3);
+        prop_assert!((&g - &g_num).max_abs() < 1e-5);
+    }
+
+    #[test]
+    fn bicycle_jacobians_match_numeric_inside_the_steering_range(
+        (x, y, theta) in pose(),
+        v in -0.3f64..0.3,
+        delta in -0.4f64..0.4,
+    ) {
+        let car = Bicycle::new(0.257, 0.45, 0.1).unwrap();
+        let state = Vector::from_slice(&[x, y, theta]);
+        let u = Vector::from_slice(&[v, delta]);
+        let a = car.state_jacobian(&state, &u);
+        let a_num = numeric_jacobian(&|xx: &Vector| car.step(xx, &u), &state, 3);
+        prop_assert!((&a - &a_num).max_abs() < 1e-4);
+        let g = car.input_jacobian(&state, &u);
+        let g_num = numeric_jacobian_wrt(&|xx: &Vector, uu: &Vector| car.step(xx, uu), &state, &u, 3);
+        prop_assert!((&g - &g_num).max_abs() < 1e-4);
+    }
+
+    #[test]
+    fn unicycle_motion_distance_is_bounded_by_speed(
+        (x, y, theta) in pose(),
+        v in -0.5f64..0.5,
+        omega in -1.0f64..1.0,
+    ) {
+        let uni = Unicycle::new(0.1).unwrap();
+        let x0 = Vector::from_slice(&[x, y, theta]);
+        let x1 = uni.step(&x0, &Vector::from_slice(&[v, omega]));
+        let moved = ((x1[0] - x0[0]).powi(2) + (x1[1] - x0[1]).powi(2)).sqrt();
+        prop_assert!(moved <= v.abs() * 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn raycast_hits_are_within_the_arena_diagonal((x, y, theta) in pose()) {
+        let arena = presets::evaluation_arena();
+        let hit = arena.raycast(x, y, theta).expect("inside the arena");
+        let diagonal = (arena.width().powi(2) + arena.height().powi(2)).sqrt();
+        prop_assert!(hit.distance >= 0.0);
+        prop_assert!(hit.distance <= diagonal + 1e-9);
+        // The hit point lies inside (or on the boundary of) the arena.
+        let hx = x + hit.distance * theta.cos();
+        let hy = y + hit.distance * theta.sin();
+        prop_assert!(hx >= -1e-9 && hx <= arena.width() + 1e-9);
+        prop_assert!(hy >= -1e-9 && hy <= arena.height() + 1e-9);
+    }
+
+    #[test]
+    fn free_points_have_clear_raycasts_up_to_the_hit((x, y, theta) in pose()) {
+        let arena = presets::evaluation_arena();
+        prop_assume!(arena.is_free(x, y, 0.05));
+        let hit = arena.raycast(x, y, theta).expect("inside the arena");
+        // Half-way to the hit must be free space for a point robot.
+        let t = hit.distance * 0.5;
+        let (mx, my) = (x + t * theta.cos(), y + t * theta.sin());
+        if hit.distance > 0.2 {
+            prop_assert!(
+                arena.is_free(mx, my, 0.0),
+                "midpoint ({mx},{my}) blocked before hit at {}",
+                hit.distance
+            );
+        }
+    }
+
+    #[test]
+    fn every_sensor_measurement_matches_its_jacobian_numerically((x, y, theta) in pose()) {
+        let system = presets::khepera_system();
+        let state = Vector::from_slice(&[x, y, theta]);
+        for i in 0..system.sensor_count() {
+            let sensor = system.sensor(i).unwrap();
+            let c = sensor.jacobian(&state);
+            let c_num = numeric_jacobian(&|xx: &Vector| sensor.measure(xx), &state, sensor.dim());
+            prop_assert!((&c - &c_num).max_abs() < 1e-5, "sensor {i}");
+        }
+    }
+
+    #[test]
+    fn arena_segments_between_free_points_agree_with_sampling(
+        (x0, y0, _) in pose(),
+        (x1, y1, _) in pose(),
+    ) {
+        let arena = Arena::new(4.0, 4.0).unwrap();
+        // Empty arena: every segment between interior points is free.
+        prop_assert!(arena.segment_is_free(x0, y0, x1, y1, 0.05));
+    }
+}

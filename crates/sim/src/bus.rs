@@ -1,0 +1,198 @@
+//! CAN-like communication bus: the "communication module" of the
+//! paper's Figure 1.
+//!
+//! Every sensing workflow publishes its planner-visible reading as a
+//! fixed-point [`Frame`] each control iteration, and the planner's
+//! monitor decodes the frames back into reading vectors — so the data
+//! the detector consumes really does round-trip through the bus, as it
+//! does on a vehicle. Frame payloads are nano-unit integers (CAN buses
+//! carry integers, not floats); the quantization error of 0.5 nm is far
+//! below every sensor noise floor.
+//!
+//! The bus also gives Table I's *packet injection* attacks a concrete
+//! surface: an injected frame with a sensing workflow's arbitration id
+//! displaces the authentic reading for that iteration, exactly like the
+//! speedometer-packet injection of the Jeep/Ford attacks the paper
+//! cites.
+
+use serde::{Deserialize, Serialize};
+
+use roboads_linalg::Vector;
+
+/// Fixed-point scale: payload integers are nano-units (1e-9).
+pub const PAYLOAD_SCALE: f64 = 1e-9;
+
+/// Arbitration-id base for sensing workflows: sensor `i` publishes with
+/// id `SENSOR_ID_BASE + i`.
+pub const SENSOR_ID_BASE: u16 = 0x100;
+
+/// Arbitration id for the planned-command frame.
+pub const COMMAND_ID: u16 = 0x200;
+
+/// One bus frame: an arbitration id, the publishing workflow's name and
+/// a fixed-point payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Arbitration id (lower wins on a real CAN bus; here it only keys
+    /// the consumer's lookup).
+    pub id: u16,
+    /// Publishing workflow, e.g. `"ips"`.
+    pub source: String,
+    /// Nano-unit payload words.
+    pub payload: Vec<i64>,
+}
+
+impl Frame {
+    /// Encodes a reading vector into a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a component exceeds the representable fixed-point range
+    /// (±9.2e9 units — unreachable for meter/radian-scale signals).
+    pub fn encode(id: u16, source: impl Into<String>, reading: &Vector) -> Frame {
+        let payload = reading
+            .as_slice()
+            .iter()
+            .map(|&v| {
+                let scaled = v / PAYLOAD_SCALE;
+                assert!(
+                    scaled.abs() < i64::MAX as f64,
+                    "value {v} exceeds the bus fixed-point range"
+                );
+                scaled.round() as i64
+            })
+            .collect();
+        Frame {
+            id,
+            source: source.into(),
+            payload,
+        }
+    }
+
+    /// Decodes the payload back to a reading vector.
+    pub fn decode(&self) -> Vector {
+        Vector::from_fn(self.payload.len(), |i| self.payload[i] as f64 * PAYLOAD_SCALE)
+    }
+}
+
+/// A single-iteration bus: workflows publish, the monitor drains.
+///
+/// Later frames with the same arbitration id displace earlier ones
+/// (the consumer keeps the freshest value), which is what makes packet
+/// injection effective.
+///
+/// # Example
+///
+/// ```
+/// use roboads_linalg::Vector;
+/// use roboads_sim::bus::{Bus, Frame, SENSOR_ID_BASE};
+///
+/// let mut bus = Bus::new();
+/// bus.publish(Frame::encode(SENSOR_ID_BASE, "ips", &Vector::from_slice(&[1.0, 2.0, 0.3])));
+/// let reading = bus.latest(SENSOR_ID_BASE).unwrap().decode();
+/// assert!((reading[0] - 1.0).abs() < 1e-8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Bus {
+    frames: Vec<Frame>,
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Publishes a frame (workflows and attackers alike).
+    pub fn publish(&mut self, frame: Frame) {
+        self.frames.push(frame);
+    }
+
+    /// The freshest frame carrying the given arbitration id.
+    pub fn latest(&self, id: u16) -> Option<&Frame> {
+        self.frames.iter().rev().find(|f| f.id == id)
+    }
+
+    /// All frames transmitted this iteration, in publish order (the
+    /// forensic bus log).
+    pub fn log(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Number of frames transmitted.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether nothing was transmitted.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Clears the bus for the next control iteration.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip_is_below_noise_floor() {
+        let reading = Vector::from_slice(&[1.234_567_89, -0.000_123_456, 2.618_033_988]);
+        let frame = Frame::encode(SENSOR_ID_BASE, "ips", &reading);
+        let decoded = frame.decode();
+        for i in 0..reading.len() {
+            assert!(
+                (decoded[i] - reading[i]).abs() <= PAYLOAD_SCALE / 2.0 + 1e-15,
+                "component {i}: {} vs {}",
+                decoded[i],
+                reading[i]
+            );
+        }
+    }
+
+    #[test]
+    fn latest_frame_wins_like_a_consumer_cache() {
+        let mut bus = Bus::new();
+        let authentic = Frame::encode(SENSOR_ID_BASE, "ips", &Vector::from_slice(&[1.0]));
+        bus.publish(authentic);
+        // Sensor packet injection (Table I): a forged frame with the
+        // same id displaces the authentic reading.
+        let forged = Frame::encode(SENSOR_ID_BASE, "attacker", &Vector::from_slice(&[9.0]));
+        bus.publish(forged.clone());
+        assert_eq!(bus.latest(SENSOR_ID_BASE), Some(&forged));
+        assert_eq!(bus.len(), 2); // the log keeps both for forensics
+    }
+
+    #[test]
+    fn ids_are_independent() {
+        let mut bus = Bus::new();
+        bus.publish(Frame::encode(SENSOR_ID_BASE, "ips", &Vector::from_slice(&[1.0])));
+        bus.publish(Frame::encode(COMMAND_ID, "planner", &Vector::from_slice(&[0.05, 0.05])));
+        assert_eq!(bus.latest(SENSOR_ID_BASE).unwrap().source, "ips");
+        assert_eq!(bus.latest(COMMAND_ID).unwrap().payload.len(), 2);
+        assert!(bus.latest(0x300).is_none());
+    }
+
+    #[test]
+    fn clear_resets_for_the_next_iteration() {
+        let mut bus = Bus::new();
+        bus.publish(Frame::encode(SENSOR_ID_BASE, "ips", &Vector::from_slice(&[1.0])));
+        assert!(!bus.is_empty());
+        bus.clear();
+        assert!(bus.is_empty());
+        assert!(bus.latest(SENSOR_ID_BASE).is_none());
+    }
+
+    #[test]
+    fn negative_and_angular_values_survive() {
+        let reading = Vector::from_slice(&[-3.0, std::f64::consts::PI, -1e-6]);
+        let decoded = Frame::encode(0x101, "enc", &reading).decode();
+        assert!((decoded[0] + 3.0).abs() < 1e-8);
+        assert!((decoded[1] - std::f64::consts::PI).abs() < 1e-8);
+        assert!((decoded[2] + 1e-6).abs() < 1e-9);
+    }
+}

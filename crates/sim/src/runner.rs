@@ -1,0 +1,390 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use roboads_control::{
+    BicycleTracker, DifferentialDriveTracker, Mission, Path, TrackingController,
+};
+use roboads_core::baseline::LinearizedOnceDetector;
+use roboads_core::{DetectionReport, ModeSet, RoboAds, RoboAdsConfig};
+use roboads_linalg::Vector;
+use roboads_models::sensors::WheelEncoderOdometry;
+use roboads_models::{presets, Pose2, RobotSystem};
+
+use crate::bus::{Bus, Frame, COMMAND_ID, SENSOR_ID_BASE};
+use crate::eval::{evaluate, EvalResult};
+use crate::platform::RobotPlatform;
+use crate::scenario::Scenario;
+use crate::trace::{Trace, TraceRecord};
+use crate::workflow::{ActuationWorkflow, SensingWorkflow};
+use crate::{Result, SimError};
+
+/// Which evaluation robot to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobotKind {
+    /// Khepera III differential drive (IPS + wheel encoder + LiDAR).
+    Khepera,
+    /// Tamiya TT-02 bicycle model (IPS + IMU + LiDAR).
+    Tamiya,
+}
+
+/// The result of a full simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per-iteration records.
+    pub trace: Trace,
+    /// Evaluation against the scenario's ground truth.
+    pub eval: EvalResult,
+    /// The final iteration's detection report.
+    pub report: DetectionReport,
+}
+
+/// Builder wiring an arena, mission, tracker, workflows and the RoboADS
+/// detector into one reproducible closed-loop run.
+///
+/// # Example
+///
+/// ```
+/// use roboads_sim::{Scenario, SimulationBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let outcome = SimulationBuilder::khepera()
+///     .scenario(Scenario::wheel_logic_bomb())
+///     .seed(11)
+///     .run()?;
+/// assert!(outcome.eval.actuator_delay().unwrap() < 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    kind: RobotKind,
+    scenario: Scenario,
+    seed: u64,
+    config: RoboAdsConfig,
+    duration: Option<usize>,
+    system: Option<RobotSystem>,
+    mode_set: Option<ModeSet>,
+    path_override: Option<Path>,
+    use_linearized_baseline: bool,
+}
+
+enum Detector {
+    RoboAds(RoboAds),
+    Baseline(LinearizedOnceDetector),
+}
+
+impl Detector {
+    fn step(&mut self, u: &Vector, readings: &[Vector]) -> roboads_core::Result<DetectionReport> {
+        match self {
+            Detector::RoboAds(d) => d.step(u, readings),
+            Detector::Baseline(d) => d.step(u, readings),
+        }
+    }
+}
+
+impl SimulationBuilder {
+    /// Starts a Khepera run with paper-default configuration and a
+    /// clean scenario.
+    pub fn khepera() -> Self {
+        SimulationBuilder {
+            kind: RobotKind::Khepera,
+            scenario: Scenario::clean(),
+            seed: 0,
+            config: RoboAdsConfig::paper_defaults(),
+            duration: None,
+            system: None,
+            mode_set: None,
+            path_override: None,
+            use_linearized_baseline: false,
+        }
+    }
+
+    /// Starts a Tamiya run.
+    pub fn tamiya() -> Self {
+        let mut b = SimulationBuilder::khepera();
+        b.kind = RobotKind::Tamiya;
+        b
+    }
+
+    /// Sets the scenario (attack/failure script).
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Sets the random seed for all noise and attack streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the detector configuration (used by the Fig. 7 sweeps).
+    pub fn config(mut self, config: RoboAdsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the run length in iterations (default: the scenario's).
+    pub fn duration(mut self, iterations: usize) -> Self {
+        self.duration = Some(iterations);
+        self
+    }
+
+    /// Overrides the robot system (e.g. a quality-scaled sensor suite
+    /// for the §V-E sweep).
+    pub fn system(mut self, system: RobotSystem) -> Self {
+        self.system = Some(system);
+        self
+    }
+
+    /// Overrides the mode set (e.g. single-reference sets for Table IV).
+    pub fn mode_set(mut self, mode_set: ModeSet) -> Self {
+        self.mode_set = Some(mode_set);
+        self
+    }
+
+    /// Overrides the mission path (e.g. the high-curvature perimeter
+    /// loop the §V-G baseline comparison drives to exercise the
+    /// nonlinearity).
+    pub fn path(mut self, path: Path) -> Self {
+        self.path_override = Some(path);
+        self
+    }
+
+    /// Uses the linearize-once baseline detector of §V-G instead of
+    /// RoboADS.
+    pub fn linearized_baseline(mut self, yes: bool) -> Self {
+        self.use_linearized_baseline = yes;
+        self
+    }
+
+    /// Executes the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning, detector-construction and stepping failures.
+    pub fn run(self) -> Result<SimOutcome> {
+        let system = match (&self.system, self.kind) {
+            (Some(s), _) => s.clone(),
+            (None, RobotKind::Khepera) => presets::khepera_system(),
+            (None, RobotKind::Tamiya) => presets::tamiya_system(),
+        };
+        let arena = presets::evaluation_arena();
+        let mission = Mission::evaluation_default();
+        let path = match &self.path_override {
+            Some(p) => p.clone(),
+            None => mission.plan(&arena, 0.08)?,
+        };
+
+        // Face the initial lookahead point.
+        let (sx, sy) = path.waypoints()[0];
+        let (lx, ly) = path.lookahead_point(sx, sy, 0.25);
+        let theta0 = (ly - sy).atan2(lx - sx);
+        let x0 = Vector::from_slice(&[sx, sy, theta0]);
+
+        let mut tracker: Box<dyn TrackingController> = match self.kind {
+            RobotKind::Khepera => Box::new(DifferentialDriveTracker::new(
+                path,
+                presets::khepera_dynamics().wheel_base(),
+                presets::CONTROL_PERIOD,
+            )?),
+            RobotKind::Tamiya => Box::new(BicycleTracker::new(
+                path,
+                presets::tamiya_dynamics().max_steer(),
+                presets::CONTROL_PERIOD,
+            )?),
+        };
+
+        let mode_set = self
+            .mode_set
+            .clone()
+            .unwrap_or_else(|| ModeSet::one_reference_per_sensor(&system));
+        let mut detector = if self.use_linearized_baseline {
+            Detector::Baseline(LinearizedOnceDetector::new(
+                system.clone(),
+                self.config.clone(),
+                x0.clone(),
+                mode_set,
+            )?)
+        } else {
+            Detector::RoboAds(RoboAds::new(
+                system.clone(),
+                self.config.clone(),
+                x0.clone(),
+                mode_set,
+            )?)
+        };
+
+        let misbehaviors = self.scenario.misbehaviors().to_vec();
+        let mut sensing: Vec<SensingWorkflow> = (0..system.sensor_count())
+            .map(|i| {
+                let geometry = (system.sensor_name(i) == "wheel-encoder")
+                    .then(WheelEncoderOdometry::khepera)
+                    .transpose()
+                    .map_err(SimError::from)?;
+                SensingWorkflow::new(&system, i, &misbehaviors, geometry)
+            })
+            .collect::<Result<_>>()?;
+        let mut actuation = ActuationWorkflow::new(&misbehaviors);
+        let mut platform = RobotPlatform::new(&system, x0.clone())?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let duration = self.duration.unwrap_or_else(|| self.scenario.duration());
+        let dt = presets::CONTROL_PERIOD;
+        let mut trace = Trace::new(dt, self.scenario.name());
+        // The planner tracks the path using real-time IPS data (§V-A);
+        // before the first reading it knows the initial pose.
+        let mut controller_pose = Pose2::from_vector(&x0).expect("pose state");
+
+        let mut bus = Bus::new();
+        for k in 0..duration {
+            let u_planned = tracker.command(&controller_pose);
+            let (u_executed, d_a_true) = actuation.execute(k, &u_planned)?;
+            platform.step(&system, &u_executed, &mut rng);
+
+            // Workflows publish their readings on the communication bus
+            // (Figure 1); the monitor decodes the freshest frame per
+            // arbitration id. Data really round-trips through the
+            // fixed-point frames.
+            bus.clear();
+            bus.publish(Frame::encode(COMMAND_ID, "planner", &u_planned));
+            let mut d_s_true = Vec::with_capacity(sensing.len());
+            for wf in &mut sensing {
+                let (reading, anomaly) = wf.sense(&system, k, platform.state(), &mut rng)?;
+                bus.publish(Frame::encode(
+                    SENSOR_ID_BASE + wf.sensor_index() as u16,
+                    system.sensor_name(wf.sensor_index()),
+                    &reading,
+                ));
+                d_s_true.push(anomaly);
+            }
+            let readings: Vec<Vector> = (0..system.sensor_count())
+                .map(|i| {
+                    bus.latest(SENSOR_ID_BASE + i as u16)
+                        .expect("every workflow published")
+                        .decode()
+                })
+                .collect();
+            let u_monitored = bus
+                .latest(COMMAND_ID)
+                .expect("planner published")
+                .decode();
+
+            let report = detector.step(&u_monitored, &readings)?;
+            controller_pose =
+                Pose2::from_vector(&readings[0]).expect("IPS readings carry a pose");
+
+            trace.push(TraceRecord {
+                k,
+                time: (k + 1) as f64 * dt,
+                true_state: platform.state().clone(),
+                planned_command: u_planned,
+                executed_command: u_executed,
+                true_actuator_anomaly: d_a_true,
+                readings,
+                true_sensor_anomalies: d_s_true,
+                report,
+            });
+        }
+
+        let eval = evaluate(&trace, &self.scenario.ground_truth());
+        let report = trace
+            .records()
+            .last()
+            .map(|r| r.report.clone())
+            .ok_or(SimError::InvalidParameter {
+                name: "duration",
+                value: "0".into(),
+            })?;
+        Ok(SimOutcome {
+            trace,
+            eval,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_khepera_run_is_mostly_quiet() {
+        let outcome = SimulationBuilder::khepera()
+            .scenario(Scenario::clean())
+            .seed(42)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.trace.len(), 200);
+        assert!(outcome.eval.sensor_fpr() < 0.05, "fpr {}", outcome.eval.sensor_fpr());
+        assert!(outcome.eval.actuator_fpr() < 0.05);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            SimulationBuilder::khepera()
+                .scenario(Scenario::ips_logic_bomb())
+                .seed(seed)
+                .duration(80)
+                .run()
+                .unwrap()
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(
+            a.trace.records()[79].true_state,
+            b.trace.records()[79].true_state
+        );
+        assert_eq!(
+            a.report.misbehaving_sensors,
+            b.report.misbehaving_sensors
+        );
+        let c = run(10);
+        assert_ne!(
+            a.trace.records()[79].true_state,
+            c.trace.records()[79].true_state
+        );
+    }
+
+    #[test]
+    fn ips_spoofing_is_detected_and_identified() {
+        let outcome = SimulationBuilder::khepera()
+            .scenario(Scenario::ips_spoofing())
+            .seed(7)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.report.misbehaving_sensors, vec![0]);
+        let delay = outcome.eval.sensor_delay().expect("should detect");
+        assert!(delay < 1.0, "delay {delay}");
+        assert!(outcome.eval.sensor_fnr() < 0.1);
+    }
+
+    #[test]
+    fn wheel_logic_bomb_raises_actuator_alarm() {
+        let outcome = SimulationBuilder::khepera()
+            .scenario(Scenario::wheel_logic_bomb())
+            .seed(13)
+            .run()
+            .unwrap();
+        assert!(outcome.report.actuator_alarm);
+        assert!(outcome.eval.actuator_delay().unwrap() < 1.5);
+        assert!(outcome.eval.actuator_fnr() < 0.15);
+    }
+
+    #[test]
+    fn tamiya_runs_with_distinct_dynamics() {
+        let outcome = SimulationBuilder::tamiya()
+            .scenario(Scenario::tamiya_ips_spoofing())
+            .seed(3)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.report.misbehaving_sensors, vec![0]);
+    }
+
+    #[test]
+    fn zero_duration_is_an_error() {
+        let r = SimulationBuilder::khepera().duration(0).run();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,234 @@
+use rand::rngs::StdRng;
+
+use roboads_linalg::Vector;
+use roboads_models::sensors::WheelEncoderOdometry;
+use roboads_models::RobotSystem;
+use roboads_stats::MultivariateNormal;
+
+use crate::misbehavior::{Misbehavior, Target};
+use crate::Result;
+
+/// One sensing workflow (paper Figure 1): the sensor model, its noise
+/// stream, and any misbehaviors injected into it.
+///
+/// Each call to [`SensingWorkflow::sense`] produces the planner-visible
+/// reading `h(x) + ξ + d^s` and the ground-truth anomaly `d^s` for
+/// evaluation.
+#[derive(Debug)]
+pub struct SensingWorkflow {
+    sensor_index: usize,
+    noise: MultivariateNormal,
+    misbehaviors: Vec<Misbehavior>,
+    encoder_geometry: Option<WheelEncoderOdometry>,
+    last_output: Option<Vector>,
+}
+
+impl SensingWorkflow {
+    /// Builds the workflow for sensor `sensor_index` of the system,
+    /// attaching the misbehaviors that target it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates noise-model construction failures.
+    pub fn new(
+        system: &RobotSystem,
+        sensor_index: usize,
+        misbehaviors: &[Misbehavior],
+        encoder_geometry: Option<WheelEncoderOdometry>,
+    ) -> Result<Self> {
+        let sensor = system
+            .sensor(sensor_index)?;
+        let noise = MultivariateNormal::zero_mean(sensor.noise_covariance())?;
+        let mine: Vec<Misbehavior> = misbehaviors
+            .iter()
+            .filter(|m| m.target() == Target::Sensor(sensor_index))
+            .cloned()
+            .collect();
+        Ok(SensingWorkflow {
+            sensor_index,
+            noise,
+            misbehaviors: mine,
+            encoder_geometry,
+            last_output: None,
+        })
+    }
+
+    /// The sensor suite index this workflow serves.
+    pub fn sensor_index(&self) -> usize {
+        self.sensor_index
+    }
+
+    /// Produces the planner-visible reading at iteration `k` for true
+    /// state `x_true`. Returns `(reading, injected_anomaly)` where the
+    /// anomaly is the ground-truth `d^s` for evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates corruption-shape errors.
+    pub fn sense(
+        &mut self,
+        system: &RobotSystem,
+        k: usize,
+        x_true: &Vector,
+        rng: &mut StdRng,
+    ) -> Result<(Vector, Vector)> {
+        let sensor = system
+            .sensor(self.sensor_index)?;
+        let clean = &sensor.measure(x_true) + &self.noise.sample(rng);
+        let mut reading = clean.clone();
+        for m in &self.misbehaviors {
+            reading = m.apply(
+                k,
+                &reading,
+                self.last_output.as_ref(),
+                x_true[2.min(x_true.len() - 1)],
+                self.encoder_geometry.as_ref(),
+            )?;
+        }
+        let anomaly = &reading - &clean;
+        self.last_output = Some(reading.clone());
+        Ok((reading, anomaly))
+    }
+
+    /// Whether any misbehavior targeting this workflow is active at `k`.
+    pub fn under_attack(&self, k: usize) -> bool {
+        self.misbehaviors.iter().any(|m| m.is_active(k))
+    }
+}
+
+/// The actuation workflows: planned commands in, executed commands out,
+/// with actuator misbehaviors injected in between.
+#[derive(Debug)]
+pub struct ActuationWorkflow {
+    misbehaviors: Vec<Misbehavior>,
+    last_output: Option<Vector>,
+}
+
+impl ActuationWorkflow {
+    /// Builds the workflow, attaching the misbehaviors that target the
+    /// actuators.
+    pub fn new(misbehaviors: &[Misbehavior]) -> Self {
+        ActuationWorkflow {
+            misbehaviors: misbehaviors
+                .iter()
+                .filter(|m| m.target() == Target::Actuators)
+                .cloned()
+                .collect(),
+            last_output: None,
+        }
+    }
+
+    /// Executes the planned commands at iteration `k`; returns
+    /// `(executed, injected_anomaly)` where the anomaly is the
+    /// ground-truth `d^a`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates corruption-shape errors.
+    pub fn execute(&mut self, k: usize, planned: &Vector) -> Result<(Vector, Vector)> {
+        let mut executed = planned.clone();
+        for m in &self.misbehaviors {
+            executed = m.apply(k, &executed, self.last_output.as_ref(), 0.0, None)?;
+        }
+        let anomaly = &executed - planned;
+        self.last_output = Some(executed.clone());
+        Ok((executed, anomaly))
+    }
+
+    /// Whether any actuator misbehavior is active at `k`.
+    pub fn under_attack(&self, k: usize) -> bool {
+        self.misbehaviors.iter().any(|m| m.is_active(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::misbehavior::Corruption;
+    use rand::SeedableRng;
+    use roboads_models::presets;
+
+    #[test]
+    fn clean_workflow_reading_tracks_measurement() {
+        let system = presets::khepera_system();
+        let mut wf = SensingWorkflow::new(&system, 0, &[], None).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Vector::from_slice(&[1.0, 2.0, 0.3]);
+        let (reading, anomaly) = wf.sense(&system, 0, &x, &mut rng).unwrap();
+        assert_eq!(anomaly, Vector::zeros(3));
+        // Reading is within a few standard deviations of the truth.
+        assert!((reading[0] - 1.0).abs() < 0.05);
+        assert!(!wf.under_attack(0));
+        assert_eq!(wf.sensor_index(), 0);
+    }
+
+    #[test]
+    fn attacked_workflow_reports_ground_truth_anomaly() {
+        let system = presets::khepera_system();
+        let attack = Misbehavior::new(
+            "bias",
+            Target::Sensor(0),
+            Corruption::Bias(Vector::from_slice(&[0.07, 0.0, 0.0])),
+            5,
+            None,
+        );
+        let mut wf = SensingWorkflow::new(&system, 0, &[attack], None).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Vector::from_slice(&[1.0, 2.0, 0.3]);
+        let (_, d0) = wf.sense(&system, 0, &x, &mut rng).unwrap();
+        assert_eq!(d0, Vector::zeros(3));
+        let (_, d5) = wf.sense(&system, 5, &x, &mut rng).unwrap();
+        assert!((d5[0] - 0.07).abs() < 1e-12);
+        assert!(wf.under_attack(5));
+    }
+
+    #[test]
+    fn misbehaviors_for_other_sensors_are_ignored() {
+        let system = presets::khepera_system();
+        let attack = Misbehavior::new(
+            "other",
+            Target::Sensor(1),
+            Corruption::Bias(Vector::zeros(3)),
+            0,
+            None,
+        );
+        let wf = SensingWorkflow::new(&system, 0, &[attack], None).unwrap();
+        assert!(!wf.under_attack(0));
+    }
+
+    #[test]
+    fn actuation_workflow_injects_command_bias() {
+        let attack = Misbehavior::new(
+            "logic-bomb",
+            Target::Actuators,
+            Corruption::Bias(Vector::from_slice(&[-0.04, 0.04])),
+            3,
+            Some(6),
+        );
+        let mut wf = ActuationWorkflow::new(&[attack]);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let (e0, d0) = wf.execute(0, &u).unwrap();
+        assert_eq!(e0, u);
+        assert_eq!(d0, Vector::zeros(2));
+        let (e3, d3) = wf.execute(3, &u).unwrap();
+        assert!((e3[0] - 0.02).abs() < 1e-12);
+        assert!((d3[1] - 0.04).abs() < 1e-12);
+        let (_, d6) = wf.execute(6, &u).unwrap();
+        assert_eq!(d6, Vector::zeros(2));
+    }
+
+    #[test]
+    fn frozen_sensor_repeats_its_previous_output() {
+        let system = presets::khepera_system();
+        let attack = Misbehavior::new("freeze", Target::Sensor(0), Corruption::Freeze, 1, None);
+        let mut wf = SensingWorkflow::new(&system, 0, &[attack], None).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x0 = Vector::from_slice(&[1.0, 2.0, 0.3]);
+        let (r0, _) = wf.sense(&system, 0, &x0, &mut rng).unwrap();
+        // Robot moves on; frozen workflow keeps reporting the old value.
+        let x1 = Vector::from_slice(&[1.5, 2.5, 0.4]);
+        let (r1, d1) = wf.sense(&system, 1, &x1, &mut rng).unwrap();
+        assert_eq!(r1, r0);
+        assert!(d1.max_abs() > 0.1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Small descriptive-statistics helpers used by the evaluation harness
+//! (anomaly-vector quantification accuracy, Table IV variances, …).
+
+/// Arithmetic mean; 0 for an empty slice.
+///
+/// ```
+/// assert_eq!(roboads_stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Unbiased sample variance (`n − 1` denominator); 0 for fewer than two
+/// samples.
+///
+/// ```
+/// let v = roboads_stats::sample_variance(&[1.0, 2.0, 3.0]);
+/// assert!((v - 1.0).abs() < 1e-12);
+/// ```
+pub fn sample_variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Square root of [`sample_variance`].
+pub fn sample_std_dev(values: &[f64]) -> f64 {
+    sample_variance(values).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(sample_variance(&[5.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Var of {2, 4, 4, 4, 5, 5, 7, 9} with n-1 denominator is 32/7.
+        let v = sample_variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_of_variance() {
+        let data = [1.0, 3.0, 5.0];
+        assert!((sample_std_dev(&data) - sample_variance(&data).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_sample_variance_is_zero() {
+        assert_eq!(sample_variance(&[42.0]), 0.0);
+    }
+}

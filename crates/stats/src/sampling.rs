@@ -1,0 +1,237 @@
+use rand::{Rng, RngExt};
+
+use roboads_linalg::{Cholesky, Matrix, Vector};
+
+use crate::{Result, StatsError};
+
+/// Standard-normal sampler using the Box–Muller transform.
+///
+/// `rand` itself only ships uniform distributions; the Gaussian process
+/// and measurement noises the RoboADS system model assumes (§III-A of the
+/// paper) are produced here. The transform generates pairs, so one value
+/// is cached between calls.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use roboads_stats::GaussianSampler;
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let mut gauss = GaussianSampler::new();
+/// let x = gauss.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GaussianSampler {
+    cached: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        GaussianSampler { cached: None }
+    }
+
+    /// Draws one standard-normal value.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> f64 {
+        if let Some(v) = self.cached.take() {
+            return v;
+        }
+        // Box–Muller on two uniforms in (0, 1].
+        let u1: f64 = loop {
+            let u: f64 = rng.random();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws a mean-zero normal value with the given standard deviation.
+    pub fn sample_scaled(&mut self, rng: &mut impl Rng, std_dev: f64) -> f64 {
+        self.sample(rng) * std_dev
+    }
+
+    /// Draws a vector of independent standard-normal values.
+    pub fn sample_vector(&mut self, rng: &mut impl Rng, n: usize) -> Vector {
+        Vector::from_fn(n, |_| self.sample(rng))
+    }
+}
+
+/// A multivariate normal distribution `N(mean, covariance)`.
+///
+/// Sampling uses the Cholesky factor: `x = μ + L·z` with `z` standard
+/// normal. This is how the simulation substrate draws correlated process
+/// and measurement noise with the exact covariances the estimator is
+/// configured with.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use roboads_linalg::{Matrix, Vector};
+/// use roboads_stats::MultivariateNormal;
+///
+/// # fn main() -> Result<(), roboads_stats::StatsError> {
+/// let mvn = MultivariateNormal::new(
+///     Vector::zeros(2),
+///     Matrix::from_diagonal(&[0.01, 0.04]),
+/// )?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let draw = mvn.sample(&mut rng);
+/// assert_eq!(draw.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultivariateNormal {
+    mean: Vector,
+    chol: Cholesky,
+}
+
+impl MultivariateNormal {
+    /// Creates the distribution from a mean and an SPD covariance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the dimensions of the
+    /// mean and covariance disagree, or wraps the Cholesky error if the
+    /// covariance is not symmetric positive definite.
+    pub fn new(mean: Vector, covariance: Matrix) -> Result<Self> {
+        if covariance.rows() != mean.len() {
+            return Err(StatsError::InvalidParameter {
+                name: "covariance",
+                value: format!(
+                    "{}x{} for mean of length {}",
+                    covariance.rows(),
+                    covariance.cols(),
+                    mean.len()
+                ),
+            });
+        }
+        let chol = covariance.cholesky()?;
+        Ok(MultivariateNormal { mean, chol })
+    }
+
+    /// Creates a mean-zero distribution from a covariance matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MultivariateNormal::new`].
+    pub fn zero_mean(covariance: Matrix) -> Result<Self> {
+        let n = covariance.rows();
+        MultivariateNormal::new(Vector::zeros(n), covariance)
+    }
+
+    /// Dimension of the distribution.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The mean vector.
+    pub fn mean(&self) -> &Vector {
+        &self.mean
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> Vector {
+        let mut gauss = GaussianSampler::new();
+        let z = gauss.sample_vector(rng, self.dim());
+        let correlated = self
+            .chol
+            .apply_factor(&z)
+            .expect("factor dimension matches by construction");
+        &self.mean + &correlated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut g = GaussianSampler::new();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn scaled_sampling_scales_variance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = GaussianSampler::new();
+        let n = 100_000;
+        let var = (0..n)
+            .map(|_| g.sample_scaled(&mut rng, 3.0).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((var - 9.0).abs() < 0.25, "var = {var}");
+    }
+
+    #[test]
+    fn seeded_sampling_is_deterministic() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = GaussianSampler::new();
+            g.sample_vector(&mut rng, 5)
+        };
+        assert_eq!(draw(99), draw(99));
+        assert_ne!(draw(99), draw(100));
+    }
+
+    #[test]
+    fn mvn_sample_covariance_converges() {
+        let cov = Matrix::from_rows(&[&[0.04, 0.01], &[0.01, 0.09]]).unwrap();
+        let mvn = MultivariateNormal::zero_mean(cov.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut acc = Matrix::zeros(2, 2);
+        for _ in 0..n {
+            let s = mvn.sample(&mut rng);
+            for i in 0..2 {
+                for j in 0..2 {
+                    acc[(i, j)] += s[i] * s[j];
+                }
+            }
+        }
+        let emp = &acc * (1.0 / n as f64);
+        assert!((&emp - &cov).max_abs() < 0.005, "empirical covariance {emp:?}");
+    }
+
+    #[test]
+    fn mvn_mean_offset() {
+        let mvn = MultivariateNormal::new(
+            Vector::from_slice(&[10.0, -5.0]),
+            Matrix::from_diagonal(&[0.01, 0.01]),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mean = Vector::zeros(2);
+        let n = 20_000;
+        for _ in 0..n {
+            mean = &mean + &mvn.sample(&mut rng);
+        }
+        mean = &mean * (1.0 / n as f64);
+        assert!((mean[0] - 10.0).abs() < 0.01);
+        assert!((mean[1] + 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn mvn_rejects_bad_input() {
+        assert!(MultivariateNormal::new(Vector::zeros(3), Matrix::identity(2)).is_err());
+        let indefinite = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(MultivariateNormal::zero_mean(indefinite).is_err());
+    }
+}

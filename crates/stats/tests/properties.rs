@@ -1,0 +1,87 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use roboads_stats::gamma::{regularized_lower_gamma, regularized_upper_gamma};
+use roboads_stats::{ChiSquared, ConfusionCounts, SlidingWindow};
+
+proptest! {
+    #[test]
+    fn chi_square_cdf_is_monotone_and_bounded(dof in 1usize..12, a in 0.01f64..40.0, b in 0.01f64..40.0) {
+        let chi = ChiSquared::new(dof).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (cl, ch) = (chi.cdf(lo).unwrap(), chi.cdf(hi).unwrap());
+        prop_assert!((0.0..=1.0).contains(&cl));
+        prop_assert!((0.0..=1.0).contains(&ch));
+        prop_assert!(cl <= ch + 1e-12);
+    }
+
+    #[test]
+    fn chi_square_quantile_round_trips(dof in 1usize..12, p in 0.001f64..0.999) {
+        let chi = ChiSquared::new(dof).unwrap();
+        let x = chi.inverse_cdf(p).unwrap();
+        prop_assert!((chi.cdf(x).unwrap() - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gamma_complement_identity(s in 0.5f64..10.0, x in 0.0f64..30.0) {
+        let p = regularized_lower_gamma(s, x).unwrap();
+        let q = regularized_upper_gamma(s, x).unwrap();
+        prop_assert!((p + q - 1.0).abs() < 1e-10);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+    }
+
+    #[test]
+    fn sliding_window_matches_naive_count(
+        c in 1usize..5,
+        extra in 0usize..4,
+        inputs in proptest::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let w = c + extra;
+        let mut window = SlidingWindow::new(c, w).unwrap();
+        for (k, &v) in inputs.iter().enumerate() {
+            let fired = window.push(v);
+            let start = k.saturating_sub(w - 1);
+            let naive = inputs[start..=k].iter().filter(|&&b| b).count() >= c;
+            prop_assert_eq!(fired, naive, "mismatch at index {}", k);
+        }
+    }
+
+    #[test]
+    fn confusion_rates_are_consistent(
+        tp in 0u64..500, fp in 0u64..500, fn_ in 0u64..500, tn in 0u64..500,
+    ) {
+        let c = ConfusionCounts {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+            true_negatives: tn,
+        };
+        prop_assert_eq!(c.total(), tp + fp + fn_ + tn);
+        if tp + fn_ > 0 {
+            prop_assert!((c.true_positive_rate() + c.false_negative_rate() - 1.0).abs() < 1e-12);
+        }
+        let f1 = c.f1_score();
+        prop_assert!((0.0..=1.0).contains(&f1));
+        if tp > 0 {
+            // F1 is the harmonic mean: between min and max of P and R.
+            let p = c.precision();
+            let r = c.recall();
+            prop_assert!(f1 <= p.max(r) + 1e-12);
+            prop_assert!(f1 >= p.min(r) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn record_identified_never_counts_wrong_ids_as_true_positives(
+        truth in any::<bool>(),
+        alarm in any::<bool>(),
+        correct in any::<bool>(),
+    ) {
+        let mut c = ConfusionCounts::default();
+        c.record_identified(truth, alarm, correct);
+        prop_assert_eq!(c.total(), 1);
+        if c.true_positives == 1 {
+            prop_assert!(truth && alarm && correct);
+        }
+    }
+}

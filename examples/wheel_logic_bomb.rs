@@ -1,0 +1,62 @@
+//! Actuator-misbehavior walkthrough: Table II scenario #1 (wheel
+//! controller logic bomb, ∓6000 speed units) — how the unknown-input
+//! estimator quantifies an attack it cannot observe directly.
+//!
+//! ```text
+//! cargo run --release --example wheel_logic_bomb
+//! ```
+
+use roboads::sim::{Scenario, SimulationBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::wheel_logic_bomb();
+    println!("scenario #1: {}\n", scenario.description());
+
+    let outcome = SimulationBuilder::khepera()
+        .scenario(scenario)
+        .seed(42)
+        .run()?;
+
+    // The differential channel (vR − vL) is what the attack drives and
+    // what the pose sensors observe sharply; the common-mode channel is
+    // noisier (it only shows up through forward speed).
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "t (s)", "d̂a vL (m/s)", "d̂a vR (m/s)", "Δ = vR−vL", "χ² stat", "alarm"
+    );
+    for r in outcome.trace.records() {
+        if r.k % 20 != 19 {
+            continue; // one line per two seconds
+        }
+        let a = &r.report.actuator_anomaly;
+        println!(
+            "{:>5.1} {:>+12.4} {:>+12.4} {:>+12.4} {:>10.1} {:>10}",
+            r.time,
+            a.estimate[0],
+            a.estimate[1],
+            a.estimate[1] - a.estimate[0],
+            a.statistic,
+            if r.report.actuator_alarm { "ALARM" } else { "-" },
+        );
+    }
+
+    // Quantification accuracy over the attack steady state.
+    let (mut dl, mut dr, mut n) = (0.0, 0.0, 0);
+    for r in outcome.trace.records().iter().filter(|r| r.k >= 50) {
+        dl += r.report.actuator_anomaly.estimate[0];
+        dr += r.report.actuator_anomaly.estimate[1];
+        n += 1;
+    }
+    println!(
+        "\nmean anomaly estimate after onset: vL {:+.4} m/s, vR {:+.4} m/s \
+         (injected −0.04 / +0.04 = ∓6000 speed units)",
+        dl / n as f64,
+        dr / n as f64,
+    );
+    println!(
+        "actuator detection delay: {:.2} s; FNR {:.2}%",
+        outcome.eval.actuator_delay().expect("attack is detected"),
+        outcome.eval.actuator_fnr() * 100.0,
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # RoboADS — facade crate
+//!
+//! A from-scratch Rust reproduction of *"RoboADS: Anomaly Detection
+//! against Sensor and Actuator Misbehaviors in Mobile Robots"* (Guo, Kim,
+//! Virani, Xu, Zhu, Liu — DSN 2018).
+//!
+//! This crate re-exports the whole workspace so downstream users can
+//! depend on a single package:
+//!
+//! * [`linalg`] — dense matrices, LU/Cholesky/eigendecompositions,
+//!   pseudo-inverse and pseudo-determinant,
+//! * [`stats`] — χ² distribution and hypothesis tests, Gaussian sampling,
+//!   sliding windows, detection metrics,
+//! * [`models`] — robot dynamics (differential drive, bicycle), sensor
+//!   models (IPS, wheel encoder, LiDAR, IMU, GPS, magnetometer), arena
+//!   maps and observability analysis,
+//! * [`control`] — RRT* planning and PID path tracking,
+//! * [`core`] — the paper's contribution: the NUISE estimator, the
+//!   multi-mode engine, the mode selector, the decision maker, and the
+//!   [`core::RoboAds`] detector,
+//! * [`sim`] — closed-loop simulation with workflow-level misbehavior
+//!   injection and the paper's 11 evaluation scenarios.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use roboads::sim::{Scenario, SimulationBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Run the paper's scenario #4 (IPS spoofing) on the Khepera robot and
+//! // confirm the detector identifies the misbehaving sensor.
+//! let outcome = SimulationBuilder::khepera()
+//!     .scenario(Scenario::ips_spoofing())
+//!     .seed(7)
+//!     .run()?;
+//! assert!(outcome.report.sensor_misbehavior_detected());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use roboads_control as control;
+pub use roboads_core as core;
+pub use roboads_linalg as linalg;
+pub use roboads_models as models;
+pub use roboads_sim as sim;
+pub use roboads_stats as stats;

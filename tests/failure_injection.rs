@@ -1,0 +1,146 @@
+//! Failure injection on the detector itself: malformed readings, NaN
+//! payloads and degenerate configurations must produce typed errors and
+//! leave the detector usable — a dependable-systems detector must not be
+//! the least dependable component in the loop.
+
+use roboads::core::{CoreError, ModeSet, RoboAds, RoboAdsConfig};
+use roboads::linalg::Vector;
+use roboads::models::presets;
+
+fn detector() -> (roboads::models::RobotSystem, RoboAds, Vector, Vector) {
+    let system = presets::khepera_system();
+    let x0 = Vector::from_slice(&[1.0, 1.0, 0.2]);
+    let ads = RoboAds::with_defaults(system.clone(), x0.clone()).unwrap();
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    (system, ads, x0, u)
+}
+
+fn clean_readings(system: &roboads::models::RobotSystem, x: &Vector) -> Vec<Vector> {
+    (0..system.sensor_count())
+        .map(|i| system.sensor(i).unwrap().measure(x))
+        .collect()
+}
+
+#[test]
+fn nan_reading_is_rejected_and_detector_recovers() {
+    let (system, mut ads, x0, u) = detector();
+    let mut x_true = x0;
+
+    // Warm up.
+    for _ in 0..5 {
+        x_true = system.dynamics().step(&x_true, &u);
+        ads.step(&u, &clean_readings(&system, &x_true)).unwrap();
+    }
+    let iterations_before = ads.iteration();
+    let estimate_before = ads.state_estimate().clone();
+
+    // Inject a NaN payload: typed error, no state change, no iteration.
+    let mut poisoned = clean_readings(&system, &x_true);
+    poisoned[1][2] = f64::NAN;
+    let err = ads.step(&u, &poisoned).unwrap_err();
+    assert!(matches!(err, CoreError::BadReadings { .. }));
+    assert_eq!(ads.iteration(), iterations_before);
+    assert_eq!(ads.state_estimate(), &estimate_before);
+
+    // The skipped iteration does not break subsequent operation.
+    for _ in 0..5 {
+        x_true = system.dynamics().step(&x_true, &u);
+        let report = ads.step(&u, &clean_readings(&system, &x_true)).unwrap();
+        assert!(!report.sensor_alarm);
+    }
+}
+
+#[test]
+fn wrong_reading_count_and_dimension_are_rejected() {
+    let (system, mut ads, x0, u) = detector();
+    let readings = clean_readings(&system, &x0);
+
+    let mut short = readings.clone();
+    short.pop();
+    assert!(matches!(
+        ads.step(&u, &short),
+        Err(CoreError::BadReadings { .. })
+    ));
+
+    let mut misshapen = readings;
+    misshapen[0] = Vector::zeros(5);
+    assert!(matches!(
+        ads.step(&u, &misshapen),
+        Err(CoreError::BadReadings { .. })
+    ));
+}
+
+#[test]
+fn infinite_command_is_reported_not_propagated() {
+    let (system, mut ads, x0, _) = detector();
+    let readings = clean_readings(&system, &x0);
+    let bad_u = Vector::from_slice(&[f64::INFINITY, 0.05]);
+    // The estimator must not silently produce NaN estimates.
+    match ads.step(&bad_u, &readings) {
+        Err(_) => {}
+        Ok(report) => {
+            assert!(
+                !report.state_estimate.is_finite() || report.actuator_anomaly.exceeds,
+                "an infinite command must surface somewhere visible"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_configurations_fail_fast() {
+    let system = presets::khepera_system();
+    let x0 = Vector::from_slice(&[1.0, 1.0, 0.2]);
+
+    // Invalid alpha.
+    assert!(matches!(
+        RoboAds::new(
+            system.clone(),
+            RoboAdsConfig::paper_defaults().with_sensor_alpha(0.0),
+            x0.clone(),
+            ModeSet::one_reference_per_sensor(&system),
+        ),
+        Err(CoreError::InvalidConfig { .. })
+    ));
+
+    // Wrong state dimension.
+    assert!(RoboAds::with_defaults(system.clone(), Vector::zeros(2)).is_err());
+
+    // Empty reference group.
+    let broken = ModeSet::from_reference_groups(&system, &[vec![]]);
+    assert!(matches!(
+        RoboAds::new(
+            system.clone(),
+            RoboAdsConfig::paper_defaults(),
+            x0,
+            broken
+        ),
+        Err(CoreError::DegenerateMode { .. })
+    ));
+}
+
+#[test]
+fn frozen_sensor_attack_is_detected_as_that_sensors_misbehavior() {
+    // A frozen (jammed-output) IPS drifts away from the moving truth.
+    use roboads::sim::{Corruption, Misbehavior, Scenario, SimulationBuilder, Target};
+    let scenario = Scenario::new(
+        0,
+        "ips-freeze",
+        "IPS output frozen at its last value",
+        vec![Misbehavior::new(
+            "freeze",
+            Target::Sensor(0),
+            Corruption::Freeze,
+            40,
+            None,
+        )],
+        200,
+    );
+    let outcome = SimulationBuilder::khepera()
+        .scenario(scenario)
+        .seed(11)
+        .run()
+        .unwrap();
+    assert_eq!(outcome.report.misbehaving_sensors, vec![0]);
+    assert!(outcome.eval.sensor_delay().unwrap() < 3.0);
+}

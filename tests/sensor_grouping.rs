@@ -1,0 +1,98 @@
+//! §VI "Sensor capabilities" and "Mode set selection": partial-state
+//! sensors must be grouped before they can serve as references, and the
+//! mode-set validators must explain exactly why a degenerate set fails.
+
+use std::sync::Arc;
+
+use roboads::core::{CoreError, ModeSet, RoboAds, RoboAdsConfig};
+use roboads::linalg::{Matrix, Vector};
+use roboads::models::dynamics::Unicycle;
+use roboads::models::sensors::{Gps, Ips, Magnetometer, SensorModel};
+use roboads::models::{observability, DynamicsModel, RobotSystem};
+
+fn partial_sensor_system() -> RobotSystem {
+    let dynamics: Arc<dyn DynamicsModel> = Arc::new(Unicycle::new(0.1).unwrap());
+    let gps: Arc<dyn SensorModel> = Arc::new(Gps::new(0.05).unwrap());
+    let mag: Arc<dyn SensorModel> = Arc::new(Magnetometer::new(0.01).unwrap());
+    let ips: Arc<dyn SensorModel> = Arc::new(Ips::new(0.01, 0.01).unwrap());
+    RobotSystem::new(
+        dynamics,
+        Matrix::from_diagonal(&[1e-5, 1e-5, 1e-5]),
+        vec![gps, mag, ips],
+    )
+    .unwrap()
+}
+
+#[test]
+fn magnetometer_alone_fails_observability_validation() {
+    let system = partial_sensor_system();
+    let x0 = Vector::from_slice(&[0.0, 0.0, 0.0]);
+    // Mode set where the magnetometer (index 1) stands alone.
+    let set = ModeSet::from_reference_groups(&system, &[vec![1]]);
+    let err = RoboAds::new(system, RoboAdsConfig::paper_defaults(), x0, set).unwrap_err();
+    match err {
+        CoreError::DegenerateMode { reason, .. } => {
+            assert!(
+                reason.contains("cannot reconstruct the state"),
+                "unexpected reason: {reason}"
+            );
+        }
+        other => panic!("expected DegenerateMode, got {other}"),
+    }
+}
+
+#[test]
+fn grouping_restores_observability() {
+    let system = partial_sensor_system();
+    let x = Vector::from_slice(&[0.0, 0.0, 0.0]);
+    let u = Vector::from_slice(&[0.1, 0.1]);
+    assert!(!observability::is_observable(&system, &[1], &x, &u).unwrap());
+    assert!(observability::is_observable(&system, &[0, 1], &x, &u).unwrap());
+
+    // A grouped set where every reference includes a full-state or
+    // complementary pair validates and builds a working detector.
+    let set = ModeSet::from_reference_groups(&system, &[vec![0, 1], vec![2]]);
+    let x0 = Vector::from_slice(&[0.0, 0.0, 0.0]);
+    assert!(RoboAds::new(system, RoboAdsConfig::paper_defaults(), x0, set).is_ok());
+}
+
+#[test]
+fn grouped_detector_identifies_a_spoofed_full_state_sensor() {
+    let system = partial_sensor_system();
+    let x0 = Vector::from_slice(&[0.0, 0.0, 0.3]);
+    let set = ModeSet::from_reference_groups(&system, &[vec![0, 1], vec![2]]);
+    let mut ads = RoboAds::new(
+        system.clone(),
+        RoboAdsConfig::paper_defaults(),
+        x0.clone(),
+        set,
+    )
+    .unwrap();
+
+    let u = Vector::from_slice(&[0.2, 0.1]);
+    let mut x_true = x0;
+    let mut identified = None;
+    for k in 0..60 {
+        x_true = system.dynamics().step(&x_true, &u);
+        let mut readings: Vec<Vector> = (0..3)
+            .map(|i| system.sensor(i).unwrap().measure(&x_true))
+            .collect();
+        if k >= 30 {
+            readings[2][0] += 0.4; // spoof the IPS (index 2)
+        }
+        let report = ads.step(&u, &readings).unwrap();
+        if report.misbehaving_sensors == vec![2] && identified.is_none() {
+            identified = Some(k);
+        }
+    }
+    let k = identified.expect("spoofed IPS identified");
+    assert!(k < 36, "identification too slow: k = {k}");
+}
+
+#[test]
+fn mode_count_growth_matches_section_vi() {
+    // Default: M = p (linear); complete: 2^p − 1 (exponential).
+    let system = partial_sensor_system();
+    assert_eq!(ModeSet::one_reference_per_sensor(&system).len(), 3);
+    assert_eq!(ModeSet::complete(&system).len(), 7);
+}

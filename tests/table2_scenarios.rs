@@ -1,0 +1,191 @@
+//! End-to-end integration: every Table II scenario must be detected and
+//! correctly identified by the full pipeline (RRT* mission → PID tracker
+//! → workflows with injected misbehavior → RoboADS), with paper-scale
+//! rates and sub-second delays.
+
+use roboads::sim::{Scenario, SimulationBuilder};
+
+/// Expected final identified sensor set and actuator state per scenario,
+/// mirroring Table II's identification column.
+fn expectations() -> Vec<(Scenario, Vec<usize>, bool)> {
+    vec![
+        (Scenario::wheel_logic_bomb(), vec![], true),
+        (Scenario::wheel_jamming(), vec![], true),
+        (Scenario::ips_logic_bomb(), vec![0], false),
+        (Scenario::ips_spoofing(), vec![0], false),
+        (Scenario::encoder_logic_bomb(), vec![1], false),
+        (Scenario::lidar_dos(), vec![2], false),
+        (Scenario::lidar_blocking(), vec![2], false),
+        (Scenario::wheel_and_ips_logic_bomb(), vec![0], true),
+        (Scenario::lidar_dos_and_encoder_logic_bomb(), vec![1, 2], false),
+        (Scenario::ips_spoofing_and_lidar_dos(), vec![0], false),
+        (Scenario::ips_and_encoder_logic_bomb(), vec![0, 1], false),
+    ]
+}
+
+#[test]
+fn all_khepera_scenarios_are_detected_and_identified() {
+    for (scenario, expected_sensors, expect_actuator) in expectations() {
+        let name = scenario.name().to_string();
+        let outcome = SimulationBuilder::khepera()
+            .scenario(scenario)
+            .seed(11)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        assert_eq!(
+            outcome.report.misbehaving_sensors, expected_sensors,
+            "{name}: wrong final sensor identification"
+        );
+        assert_eq!(
+            outcome.report.actuator_alarm, expect_actuator,
+            "{name}: wrong final actuator state"
+        );
+        if !expected_sensors.is_empty() {
+            let delay = outcome
+                .eval
+                .sensor_delay()
+                .unwrap_or_else(|| panic!("{name}: sensor misbehavior never matched"));
+            assert!(delay < 1.5, "{name}: sensor delay {delay} s");
+            assert!(
+                outcome.eval.sensor_fnr() < 0.05,
+                "{name}: sensor FNR {}",
+                outcome.eval.sensor_fnr()
+            );
+        }
+        if expect_actuator {
+            let delay = outcome
+                .eval
+                .actuator_delay()
+                .unwrap_or_else(|| panic!("{name}: actuator misbehavior never matched"));
+            assert!(delay < 1.5, "{name}: actuator delay {delay} s");
+            assert!(
+                outcome.eval.actuator_fnr() < 0.10,
+                "{name}: actuator FNR {}",
+                outcome.eval.actuator_fnr()
+            );
+        }
+        assert!(
+            outcome.eval.sensor_fpr() < 0.10,
+            "{name}: sensor FPR {}",
+            outcome.eval.sensor_fpr()
+        );
+    }
+}
+
+#[test]
+fn multi_phase_scenarios_report_the_paper_transition_sequences() {
+    let cases = [
+        (
+            Scenario::lidar_dos_and_encoder_logic_bomb(),
+            vec!["S0", "S2", "S4"],
+        ),
+        (
+            Scenario::ips_spoofing_and_lidar_dos(),
+            vec!["S0", "S3", "S5", "S1"],
+        ),
+        (
+            Scenario::ips_and_encoder_logic_bomb(),
+            vec!["S0", "S2", "S6"],
+        ),
+    ];
+    for (scenario, expected) in cases {
+        let name = scenario.name().to_string();
+        let outcome = SimulationBuilder::khepera()
+            .scenario(scenario)
+            .seed(11)
+            .run()
+            .unwrap();
+        assert_eq!(
+            outcome.eval.detected_sensor_sequence, expected,
+            "{name}: wrong transition sequence"
+        );
+    }
+}
+
+#[test]
+fn clean_mission_stays_quiet_on_both_robots() {
+    for (name, outcome) in [
+        (
+            "khepera",
+            SimulationBuilder::khepera()
+                .scenario(Scenario::clean())
+                .seed(11)
+                .run()
+                .unwrap(),
+        ),
+        (
+            "tamiya",
+            SimulationBuilder::tamiya()
+                .scenario(Scenario::clean())
+                .seed(11)
+                .run()
+                .unwrap(),
+        ),
+    ] {
+        assert!(
+            outcome.eval.sensor_fpr() < 0.03,
+            "{name}: sensor FPR {}",
+            outcome.eval.sensor_fpr()
+        );
+        assert!(
+            outcome.eval.actuator_fpr() < 0.05,
+            "{name}: actuator FPR {}",
+            outcome.eval.actuator_fpr()
+        );
+    }
+}
+
+#[test]
+fn tamiya_scenarios_detect_without_retuning() {
+    // §V-D: the same configuration generalizes to distinct dynamics.
+    for scenario in [
+        Scenario::tamiya_ips_spoofing(),
+        Scenario::tamiya_imu_logic_bomb(),
+        Scenario::tamiya_lidar_dos(),
+    ] {
+        let name = scenario.name().to_string();
+        let outcome = SimulationBuilder::tamiya()
+            .scenario(scenario)
+            .seed(11)
+            .run()
+            .unwrap();
+        let delay = outcome
+            .eval
+            .sensor_delay()
+            .unwrap_or_else(|| panic!("{name}: not detected"));
+        assert!(delay < 1.0, "{name}: delay {delay}");
+    }
+    let takeover = SimulationBuilder::tamiya()
+        .scenario(Scenario::tamiya_steering_takeover())
+        .seed(11)
+        .run()
+        .unwrap();
+    assert!(
+        takeover.eval.actuator_delay().expect("detected") < 2.0,
+        "steering takeover detection delay"
+    );
+    assert!(takeover.eval.actuator_fnr() < 0.2);
+}
+
+#[test]
+fn runs_are_reproducible_per_seed() {
+    let run = |seed| {
+        SimulationBuilder::khepera()
+            .scenario(Scenario::ips_spoofing())
+            .seed(seed)
+            .duration(100)
+            .run()
+            .unwrap()
+    };
+    let (a, b, c) = (run(3), run(3), run(4));
+    assert_eq!(
+        a.trace.records()[99].report.mode_probabilities,
+        b.trace.records()[99].report.mode_probabilities
+    );
+    assert_eq!(a.report.misbehaving_sensors, b.report.misbehaving_sensors);
+    assert_ne!(
+        a.trace.records()[99].true_state,
+        c.trace.records()[99].true_state
+    );
+}
