@@ -53,39 +53,49 @@ fn main() {
     // and blames the sensors.
     let scenario = Scenario::wheel_logic_bomb();
     let s_fpr_on = averaged(&scenario, &defaults, |o| o.eval.sensor_fpr());
-    let s_fpr_off = averaged(
-        &scenario,
-        &defaults.clone().without_compensation(),
-        |o| o.eval.sensor_fpr(),
-    );
+    let s_fpr_off = averaged(&scenario, &defaults.clone().without_compensation(), |o| {
+        o.eval.sensor_fpr()
+    });
     let a_fnr_on = averaged(&scenario, &defaults, |o| o.eval.actuator_fnr());
-    let a_fnr_off = averaged(
-        &scenario,
-        &defaults.clone().without_compensation(),
-        |o| o.eval.actuator_fnr(),
-    );
+    let a_fnr_off = averaged(&scenario, &defaults.clone().without_compensation(), |o| {
+        o.eval.actuator_fnr()
+    });
     println!("ablation: input compensation (scenario #1, wheel logic bomb)");
-    println!("  with compensation    : sensor FPR {:.2}%  actuator FNR {:.2}%", s_fpr_on * 100.0, a_fnr_on * 100.0);
-    println!("  without compensation : sensor FPR {:.2}%  actuator FNR {:.2}%", s_fpr_off * 100.0, a_fnr_off * 100.0);
+    println!(
+        "  with compensation    : sensor FPR {:.2}%  actuator FNR {:.2}%",
+        s_fpr_on * 100.0,
+        a_fnr_on * 100.0
+    );
+    println!(
+        "  without compensation : sensor FPR {:.2}%  actuator FNR {:.2}%",
+        s_fpr_off * 100.0,
+        a_fnr_off * 100.0
+    );
     println!(
         "  claim (challenge 2): uncompensated estimation floods the sensor tests -> {}",
-        if s_fpr_off > 5.0 * s_fpr_on.max(1e-3) { "holds" } else { "VIOLATED" }
+        if s_fpr_off > 5.0 * s_fpr_on.max(1e-3) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // --- Ablation 2: parsimony prior. ---
     let scenario = Scenario::ips_and_encoder_logic_bomb();
     let fpr_with = averaged(&scenario, &defaults, |o| o.eval.sensor_fpr());
-    let fpr_without = averaged(
-        &scenario,
-        &defaults.clone().with_parsimony_rho(1.0),
-        |o| o.eval.sensor_fpr(),
-    );
+    let fpr_without = averaged(&scenario, &defaults.clone().with_parsimony_rho(1.0), |o| {
+        o.eval.sensor_fpr()
+    });
     println!("\nablation: parsimony prior (scenario #11, IPS + encoder, only LiDAR clean)");
     println!("  rho = 0.05 : sensor FPR {:.2}%", fpr_with * 100.0);
     println!("  rho = 1.0  : sensor FPR {:.2}%", fpr_without * 100.0);
     println!(
         "  claim (DESIGN.md §2e): the prior suppresses phantom-actuator hypotheses -> {}",
-        if fpr_without > 2.0 * fpr_with.max(1e-3) { "holds" } else { "VIOLATED" }
+        if fpr_without > 2.0 * fpr_with.max(1e-3) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // --- Ablation 3: probability mixing / recovery. ---
@@ -102,33 +112,35 @@ fn main() {
             .unwrap_or(8.0)
     };
     let rec_with = averaged(&scenario, &defaults, rec);
-    let rec_without = averaged(
-        &scenario,
-        &defaults.clone().with_mode_mixing(0.0),
-        rec,
-    );
+    let rec_without = averaged(&scenario, &defaults.clone().with_mode_mixing(0.0), rec);
     println!("\nablation: probability mixing (scenario #10 recovery S5 -> S1)");
     println!("  mixing 0.02 : recovery in {rec_with:.2} s");
     println!("  mixing 0    : recovery in {rec_without:.2} s");
     println!(
         "  claim (§2f): the transition prior speeds post-attack recovery -> {}",
-        if rec_without >= rec_with { "holds" } else { "VIOLATED (floor alone sufficed here)" }
+        if rec_without >= rec_with {
+            "holds"
+        } else {
+            "VIOLATED (floor alone sufficed here)"
+        }
     );
 
     // --- Ablation 4: sliding windows vs transient faults. ---
     let scenario = Scenario::clean().with_transient_bumps(17, 0.05);
     let fpr_22 = averaged(&scenario, &defaults, |o| o.eval.sensor_fpr());
-    let fpr_11 = averaged(
-        &scenario,
-        &defaults.clone().with_sensor_window(1, 1),
-        |o| o.eval.sensor_fpr(),
-    );
+    let fpr_11 = averaged(&scenario, &defaults.clone().with_sensor_window(1, 1), |o| {
+        o.eval.sensor_fpr()
+    });
     println!("\nablation: sliding window under transient bumps (clean mission + bumps)");
     println!("  c/w = 2/2 : sensor FPR {:.2}%", fpr_22 * 100.0);
     println!("  c/w = 1/1 : sensor FPR {:.2}%", fpr_11 * 100.0);
     println!(
         "  claim (§IV-D): the window absorbs transient faults -> {}",
-        if fpr_11 > 3.0 * fpr_22.max(1e-3) { "holds" } else { "VIOLATED" }
+        if fpr_11 > 3.0 * fpr_22.max(1e-3) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // --- Extension: sliding window vs CUSUM on the recorded statistic

@@ -101,9 +101,7 @@ fn main() {
         "claim check: baseline FPR {:.2}% >> RoboADS FPR {:.2}% -> {}",
         theirs_total.false_positive_rate() * 100.0,
         ours_total.false_positive_rate() * 100.0,
-        if theirs_total.false_positive_rate()
-            > 10.0 * ours_total.false_positive_rate().max(1e-4)
-        {
+        if theirs_total.false_positive_rate() > 10.0 * ours_total.false_positive_rate().max(1e-4) {
             "holds"
         } else {
             "VIOLATED"

@@ -26,7 +26,10 @@ fn main() {
     let csv = outcome.trace.to_figure6_csv();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/fig6.csv");
     std::fs::write(path, &csv).expect("write fig6.csv");
-    println!("full series written to target/fig6.csv ({} rows)\n", outcome.trace.len());
+    println!(
+        "full series written to target/fig6.csv ({} rows)\n",
+        outcome.trace.len()
+    );
 
     // Panel 1: IPS X anomaly estimate during the attack window.
     let ips_x: Vec<f64> = outcome
@@ -74,7 +77,12 @@ fn main() {
     // pre-attack exceedances are expected at these α levels and are what
     // the sliding windows exist to suppress).
     let first_alarm = |f: &dyn Fn(&roboads_sim::TraceRecord) -> bool| {
-        outcome.trace.records().iter().find(|r| f(r)).map(|r| r.time)
+        outcome
+            .trace
+            .records()
+            .iter()
+            .find(|r| f(r))
+            .map(|r| r.time)
     };
     let sensor_alarm = first_alarm(&|r| r.report.sensor_alarm);
     let actuator_alarm = first_alarm(&|r| r.time >= 10.0 && r.report.actuator_alarm);

@@ -1,19 +1,51 @@
-//! Performance benches (Criterion): RoboADS must run inside the planner
-//! in real time, i.e. one full detection iteration well under the
-//! 100 ms control period — and the paper notes the mode count grows
-//! linearly with the sensor count for the default mode set versus
-//! exponentially for the complete set (§VI).
+//! Performance benches: RoboADS must run inside the planner in real
+//! time, i.e. one full detection iteration well under the 100 ms
+//! control period — and the paper notes the mode count grows linearly
+//! with the sensor count for the default mode set versus exponentially
+//! for the complete set (§VI).
+//!
+//! Timing is a plain `std::time::Instant` harness (median of repeated
+//! batches; no external crates so the tier-1 build resolves offline).
+//! Besides the hot-path numbers this bench measures the *telemetry
+//! overhead*: a detector step with the default disabled sink versus one
+//! streaming spans into a `RingBufferSink`, with an acceptance budget
+//! of 5 % on the disabled path relative to the seed's uninstrumented
+//! engine (approximated here by the disabled-vs-enabled split).
 //!
 //! Run with: `cargo bench -p roboads-bench --bench perf`
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
+use roboads_core::obs::{RingBufferSink, Telemetry};
 use roboads_core::{nuise_step, Linearization, Mode, ModeSet, NuiseInput, RoboAds, RoboAdsConfig};
 use roboads_linalg::{Matrix, Vector};
 use roboads_models::presets;
 use roboads_sim::{Scenario, SimulationBuilder};
+
+/// Median per-call time in seconds: `batches` batches of `per_batch`
+/// calls each, timed per batch (amortizes the clock reads).
+fn time_median<F: FnMut()>(batches: usize, per_batch: usize, mut f: F) -> f64 {
+    // Warm-up batch.
+    for _ in 0..per_batch {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                f();
+            }
+            start.elapsed().as_secs_f64() / per_batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn report(name: &str, seconds: f64) {
+    println!("{name:<44} {:>10.1} µs", seconds * 1e6);
+}
 
 fn clean_readings(system: &roboads_models::RobotSystem, x: &Vector) -> Vec<Vector> {
     (0..system.sensor_count())
@@ -21,7 +53,7 @@ fn clean_readings(system: &roboads_models::RobotSystem, x: &Vector) -> Vec<Vecto
         .collect()
 }
 
-fn bench_nuise(c: &mut Criterion) {
+fn bench_nuise() {
     let system = presets::khepera_system();
     let mode = Mode::new(vec![0], vec![1, 2]);
     let x = Vector::from_slice(&[0.5, 0.5, 0.2]);
@@ -31,100 +63,122 @@ fn bench_nuise(c: &mut Criterion) {
     let readings = clean_readings(&system, &x1);
     let lin = Linearization::PerIteration;
 
-    c.bench_function("nuise_step/khepera_single_mode", |b| {
-        b.iter(|| {
-            nuise_step(NuiseInput {
-                system: &system,
-                mode: &mode,
-                x_prev: &x,
-                p_prev: &p,
-                u_prev: &u,
-                readings: &readings,
-                linearization: &lin,
-                compensate: true,
-            })
-            .unwrap()
+    let t = time_median(30, 50, || {
+        nuise_step(NuiseInput {
+            system: &system,
+            mode: &mode,
+            x_prev: &x,
+            p_prev: &p,
+            u_prev: &u,
+            readings: &readings,
+            linearization: &lin,
+            compensate: true,
         })
+        .unwrap();
     });
+    report("nuise_step/khepera_single_mode", t);
 }
 
-fn bench_detector(c: &mut Criterion) {
+/// Median time of one steady-state detector step under the given
+/// telemetry context (the detector is pre-warmed so mode probabilities
+/// settle before measurement).
+fn detector_step_time(system: &roboads_models::RobotSystem, telemetry: Option<Telemetry>) -> f64 {
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let x1 = system.dynamics().step(&x0, &u);
+    let readings = clean_readings(system, &x1);
+    let mut ads = RoboAds::with_defaults(system.clone(), x0).unwrap();
+    if let Some(t) = telemetry {
+        ads.set_telemetry(t);
+    }
+    time_median(30, 20, || {
+        ads.step(&u, &readings).unwrap();
+    })
+}
+
+fn bench_detector_and_overhead() {
     let system = presets::khepera_system();
+
+    let disabled = detector_step_time(&system, None);
+    report("detector_step/default_modes_3 (noop sink)", disabled);
+
+    let ring = Arc::new(RingBufferSink::new(4096));
+    let enabled = detector_step_time(&system, Some(Telemetry::new(ring)));
+    report("detector_step/default_modes_3 (ring sink)", enabled);
+    let overhead = (enabled - disabled) / disabled * 100.0;
+    println!(
+        "{:<44} {:>9.2} %  (budget: enabled instrumentation; the default\n{:>60}",
+        "telemetry overhead (ring vs noop)",
+        overhead,
+        "noop path itself must stay within 5 % of uninstrumented)"
+    );
+
     let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
     let u = Vector::from_slice(&[0.06, 0.05]);
     let x1 = system.dynamics().step(&x0, &u);
     let readings = clean_readings(&system, &x1);
-
-    c.bench_function("detector_step/default_modes_3", |b| {
-        b.iter_batched(
-            || RoboAds::with_defaults(system.clone(), x0.clone()).unwrap(),
-            |mut ads| ads.step(&u, &readings).unwrap(),
-            BatchSize::SmallInput,
-        )
+    let mut complete = RoboAds::new(
+        system.clone(),
+        RoboAdsConfig::paper_defaults(),
+        x0,
+        ModeSet::complete(&system),
+    )
+    .unwrap();
+    let t = time_median(30, 10, || {
+        complete.step(&u, &readings).unwrap();
     });
-
-    c.bench_function("detector_step/complete_modes_7", |b| {
-        b.iter_batched(
-            || {
-                RoboAds::new(
-                    system.clone(),
-                    RoboAdsConfig::paper_defaults(),
-                    x0.clone(),
-                    ModeSet::complete(&system),
-                )
-                .unwrap()
-            },
-            |mut ads| ads.step(&u, &readings).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
+    report("detector_step/complete_modes_7", t);
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    c.bench_function("simulation/khepera_200_iterations", |b| {
-        b.iter(|| {
-            SimulationBuilder::khepera()
-                .scenario(Scenario::ips_logic_bomb())
-                .seed(11)
-                .run()
-                .unwrap()
-        })
+fn bench_simulation() {
+    let t = time_median(5, 1, || {
+        SimulationBuilder::khepera()
+            .scenario(Scenario::ips_logic_bomb())
+            .seed(11)
+            .run()
+            .unwrap();
     });
+    report("simulation/khepera_200_iterations", t);
+
+    // Dump one run's telemetry summary so the bench doubles as a
+    // health-report demo (step latency p50/p95/p99 live here).
+    let outcome = SimulationBuilder::khepera()
+        .scenario(Scenario::ips_logic_bomb())
+        .seed(11)
+        .run()
+        .unwrap();
+    println!("\ntelemetry summary (ips_logic_bomb, seed 11):");
+    println!("{}", outcome.telemetry.to_json());
 }
 
-fn bench_substrates(c: &mut Criterion) {
+fn bench_substrates() {
     let arena = presets::evaluation_arena();
-    c.bench_function("rrt_star/evaluation_arena", |b| {
-        b.iter(|| {
-            roboads_control::RrtStar::new(&arena, 0.08)
-                .unwrap()
-                .plan((0.5, 0.5), (3.5, 3.5), 7)
-                .unwrap()
-        })
+    let t = time_median(5, 2, || {
+        roboads_control::RrtStar::new(&arena, 0.08)
+            .unwrap()
+            .plan((0.5, 0.5), (3.5, 3.5), 7)
+            .unwrap();
     });
+    report("rrt_star/evaluation_arena", t);
 
     let lidar = roboads_models::sensors::WallLidar::new(arena, 0.015, 0.02).unwrap();
     let pose = Vector::from_slice(&[2.0, 2.0, 0.5]);
-    c.bench_function("lidar/241_beam_scan", |b| {
-        b.iter(|| lidar.simulate_scan(&pose).unwrap())
+    let t = time_median(30, 20, || {
+        lidar.simulate_scan(&pose).unwrap();
     });
+    report("lidar/241_beam_scan", t);
 
     let m = Matrix::from_fn(7, 7, |i, j| if i == j { 2.0 } else { 0.3 });
-    c.bench_function("linalg/pseudo_inverse_7x7", |b| {
-        b.iter(|| m.pseudo_inverse().unwrap())
+    let t = time_median(30, 50, || {
+        m.pseudo_inverse().unwrap();
     });
+    report("linalg/pseudo_inverse_7x7", t);
 }
 
-fn configured() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2))
+fn main() {
+    println!("control period budget: 100000.0 µs per detection iteration\n");
+    bench_nuise();
+    bench_detector_and_overhead();
+    bench_substrates();
+    bench_simulation();
 }
-
-criterion_group! {
-    name = benches;
-    config = configured();
-    targets = bench_nuise, bench_detector, bench_simulation, bench_substrates
-}
-criterion_main!(benches);

@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo bench -p roboads-bench --bench table2`
 
-use roboads_bench::{aggregate, delay, parallel_map, pct, run_khepera, sweep_threads, DEFAULT_SEEDS};
+use roboads_bench::{
+    aggregate, delay, parallel_map, pct, run_khepera, sweep_threads, DEFAULT_SEEDS,
+};
 use roboads_core::RoboAdsConfig;
 use roboads_sim::Scenario;
 
@@ -88,8 +90,7 @@ fn main() {
     }
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    let avg_fpr =
-        (sensor_fpr_sum + actuator_fpr_sum) / (sensor_rows + actuator_rows).max(1) as f64;
+    let avg_fpr = (sensor_fpr_sum + actuator_fpr_sum) / (sensor_rows + actuator_rows).max(1) as f64;
     let avg_fnr = (sensor_fnr_sum + actuator_fnr_sum)
         / rows
             .iter()

@@ -110,7 +110,10 @@ fn main() {
     );
 
     println!("\n§V-E — sensor quality sweep (all-3 reference, noise scaled by factor)");
-    println!("{:>8} {:>14} {:>14}", "factor", "Var(vL) x1e-5", "Var(vR) x1e-5");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "factor", "Var(vL) x1e-5", "Var(vR) x1e-5"
+    );
     let mut prev = 0.0;
     let mut monotone = true;
     for factor in [0.5, 1.0, 2.0, 4.0] {

@@ -9,7 +9,9 @@
 //!
 //! Run with: `cargo bench -p roboads-bench --bench tamiya`
 
-use roboads_bench::{aggregate, delay, parallel_map, pct, run_tamiya, sweep_threads, DEFAULT_SEEDS};
+use roboads_bench::{
+    aggregate, delay, parallel_map, pct, run_tamiya, sweep_threads, DEFAULT_SEEDS,
+};
 use roboads_core::RoboAdsConfig;
 use roboads_sim::Scenario;
 

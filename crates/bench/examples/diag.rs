@@ -5,14 +5,20 @@ fn main() {
             .scenario(Scenario::clean())
             .seed(11)
             .linearized_baseline(baseline)
-            .run().unwrap();
+            .run()
+            .unwrap();
         let mut errs = Vec::new();
-        let mut sensor_pos = 0; let mut act_pos = 0;
+        let mut sensor_pos = 0;
+        let mut act_pos = 0;
         for r in o.trace.records() {
             let e = (&r.report.state_estimate - &r.true_state).norm();
             errs.push(e);
-            if r.report.sensor_anomaly.exceeds { sensor_pos += 1; }
-            if r.report.actuator_anomaly.exceeds { act_pos += 1; }
+            if r.report.sensor_anomaly.exceeds {
+                sensor_pos += 1;
+            }
+            if r.report.actuator_anomaly.exceeds {
+                act_pos += 1;
+            }
         }
         let maxe = errs.iter().cloned().fold(0.0f64, f64::max);
         let heading: Vec<f64> = o.trace.records().iter().map(|r| r.true_state[2]).collect();

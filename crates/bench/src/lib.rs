@@ -4,12 +4,11 @@
 //! regenerates one table or figure of the paper (see `DESIGN.md` §5 for
 //! the experiment index and `EXPERIMENTS.md` for recorded results).
 //! This library holds what they share: batched scenario execution,
-//! aggregation across seeds, a small thread pool built on crossbeam,
-//! and table formatting.
+//! aggregation across seeds, a small thread pool built on
+//! `std::thread::scope` (no external crates: the tier-1 build must
+//! resolve offline), and table formatting.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use roboads_core::RoboAdsConfig;
 use roboads_sim::{EvalResult, Scenario, SimOutcome, SimulationBuilder};
@@ -110,8 +109,13 @@ pub fn aggregate(name: &str, number: usize, evals: &[EvalResult]) -> ScenarioAgg
     }
 }
 
-/// Maps `jobs` through `f` on `threads` crossbeam-scoped workers,
-/// preserving input order in the output.
+/// Maps `jobs` through `f` on `threads` scoped workers, preserving
+/// input order in the output.
+///
+/// # Panics
+///
+/// Propagates a worker panic (a failing scenario run must not silently
+/// produce an empty table).
 pub fn parallel_map<T, R, F>(jobs: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -119,30 +123,23 @@ where
     F: Fn(T) -> R + Sync,
 {
     let threads = threads.max(1);
-    let jobs: Vec<(usize, T)> = jobs.into_iter().enumerate().collect();
-    let queue = Arc::new(Mutex::new(jobs));
-    let results = Arc::new(Mutex::new(Vec::<(usize, R)>::new()));
-    crossbeam::scope(|scope| {
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            let queue = Arc::clone(&queue);
-            let results = Arc::clone(&results);
-            let f = &f;
-            scope.spawn(move |_| loop {
-                let job = queue.lock().pop();
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("job queue poisoned").pop();
                 match job {
                     Some((i, t)) => {
                         let r = f(t);
-                        results.lock().push((i, r));
+                        results.lock().expect("result store poisoned").push((i, r));
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("worker panicked");
-    let mut out = Arc::try_unwrap(results)
-        .unwrap_or_else(|_| panic!("results still shared"))
-        .into_inner();
+    });
+    let mut out = results.into_inner().expect("result store poisoned");
     out.sort_by_key(|(i, _)| *i);
     out.into_iter().map(|(_, r)| r).collect()
 }

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_models::Arena;
 
 use crate::{Path, Result, RrtStar};
@@ -20,7 +18,8 @@ use crate::{Path, Result, RrtStar};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Mission {
     /// Start position (m).
     pub start: (f64, f64),

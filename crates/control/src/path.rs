@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{ControlError, Result};
 
 /// A piecewise-linear waypoint path through the arena.
@@ -21,7 +19,8 @@ use crate::{ControlError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Path {
     waypoints: Vec<(f64, f64)>,
     /// Cumulative arc length at each waypoint; `cumulative[0] = 0`.

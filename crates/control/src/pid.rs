@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{ControlError, Result};
 
 /// A discrete PID regulator with output clamping and integral anti-windup.
@@ -20,7 +18,8 @@ use crate::{ControlError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pid {
     kp: f64,
     ki: f64,
@@ -83,8 +82,7 @@ impl Pid {
         self.previous_error = Some(error);
 
         let candidate_integral = self.integral + error * self.dt;
-        let unclamped =
-            self.kp * error + self.ki * candidate_integral + self.kd * derivative;
+        let unclamped = self.kp * error + self.ki * candidate_integral + self.kd * derivative;
         let output = unclamped.clamp(-self.output_limit, self.output_limit);
         // Anti-windup: only accumulate the integral when not saturated.
         if output == unclamped {

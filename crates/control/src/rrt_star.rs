@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use roboads_stats::{Rng, SeedableRng, StdRng};
 
 use roboads_models::Arena;
 
@@ -109,12 +108,12 @@ impl RrtStar {
 
         for _ in 0..self.max_iterations {
             // Sample, with goal bias.
-            let (sx, sy) = if rng.random::<f64>() < self.goal_bias {
+            let (sx, sy) = if rng.random() < self.goal_bias {
                 goal
             } else {
                 (
-                    rng.random::<f64>() * self.arena.width(),
-                    rng.random::<f64>() * self.arena.height(),
+                    rng.random() * self.arena.width(),
+                    rng.random() * self.arena.height(),
                 )
             };
             // Nearest node.

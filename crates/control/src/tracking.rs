@@ -98,7 +98,8 @@ impl TrackingController for DifferentialDriveTracker {
         let omega = self.heading_pid.update(heading_error);
         // Slow down near the goal and while turning hard.
         let goal_d = pose.distance_to(&Pose2::new(self.path.goal().0, self.path.goal().1, 0.0));
-        let speed_scale = (goal_d / 0.3).min(1.0) * (1.0 - 0.7 * (heading_error.abs() / 1.2).min(1.0));
+        let speed_scale =
+            (goal_d / 0.3).min(1.0) * (1.0 - 0.7 * (heading_error.abs() / 1.2).min(1.0));
         let v = self.cruise_speed * speed_scale.max(0.15);
         let half = 0.5 * omega * self.wheel_base;
         let vl = (v - half).clamp(-self.max_wheel_speed, self.max_wheel_speed);

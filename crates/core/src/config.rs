@@ -1,12 +1,11 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::Vector;
 
 use crate::{CoreError, Result};
 
 /// Sliding-window decision parameters: `criteria` positives within the
 /// last `window` iterations confirm an alarm (paper notation `c/w`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WindowConfig {
     /// Required number of positives `c`.
     pub criteria: usize,
@@ -22,7 +21,8 @@ impl WindowConfig {
 }
 
 /// How the nonlinear model is linearized by the estimator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Linearization {
     /// Re-linearize at the current estimate every control iteration —
     /// the RoboADS approach.
@@ -53,7 +53,8 @@ pub enum Linearization {
 /// assert_eq!(config.sensor_alpha, 0.005);
 /// assert_eq!(config.actuator_window.criteria, 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RoboAdsConfig {
     /// Significance level for the sensor-misbehavior χ² tests.
     pub sensor_alpha: f64,
@@ -147,7 +148,9 @@ impl RoboAdsConfig {
                 value: format!("{}", self.initial_covariance),
             });
         }
-        if !(self.parsimony_rho.is_finite() && self.parsimony_rho > 0.0 && self.parsimony_rho <= 1.0)
+        if !(self.parsimony_rho.is_finite()
+            && self.parsimony_rho > 0.0
+            && self.parsimony_rho <= 1.0)
         {
             return Err(CoreError::InvalidConfig {
                 name: "parsimony_rho",

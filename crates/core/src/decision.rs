@@ -1,6 +1,7 @@
 use std::collections::HashMap;
 
 use roboads_models::RobotSystem;
+use roboads_obs::{Counter, Gauge, Telemetry, Value};
 use roboads_stats::{normalized_statistic, ChiSquareTest, SlidingWindow};
 
 use crate::config::RoboAdsConfig;
@@ -29,6 +30,47 @@ pub struct DecisionMaker {
     /// Conservative test for cross-mode actuator-estimate conflicts
     /// (α = 0.001: only a decisive contradiction suppresses an alarm).
     actuator_conflict_test: ChiSquareTest,
+    telemetry: Telemetry,
+    instruments: DecisionInstruments,
+    /// Previous iteration's window-confirmed alarms, for edge-triggered
+    /// confirmed/cleared events.
+    prev_sensor_alarm: bool,
+    prev_actuator_alarm: bool,
+}
+
+/// Pre-registered metric handles for the decision maker (same
+/// registration-once discipline as the engine's instruments).
+#[derive(Debug, Clone)]
+struct DecisionInstruments {
+    /// `decision.sensor_positives` — iterations whose aggregate sensor
+    /// statistic exceeded its threshold (pre-window).
+    sensor_positives: Counter,
+    /// `decision.actuator_positives` — pre-window actuator positives.
+    actuator_positives: Counter,
+    /// `decision.sensor_alarms` — rising edges of the window-confirmed
+    /// sensor alarm.
+    sensor_alarms: Counter,
+    /// `decision.actuator_alarms` — rising edges of the confirmed
+    /// actuator alarm.
+    actuator_alarms: Counter,
+    /// `decision.sensor_statistic` — latest aggregate sensor χ² value.
+    sensor_statistic: Gauge,
+    /// `decision.actuator_statistic` — latest actuator χ² value.
+    actuator_statistic: Gauge,
+}
+
+impl DecisionInstruments {
+    fn new(telemetry: &Telemetry) -> Self {
+        let m = telemetry.metrics();
+        DecisionInstruments {
+            sensor_positives: m.counter("decision.sensor_positives"),
+            actuator_positives: m.counter("decision.actuator_positives"),
+            sensor_alarms: m.counter("decision.sensor_alarms"),
+            actuator_alarms: m.counter("decision.actuator_alarms"),
+            sensor_statistic: m.gauge("decision.sensor_statistic"),
+            actuator_statistic: m.gauge("decision.actuator_statistic"),
+        }
+    }
 }
 
 /// The decision maker's verdict for one iteration.
@@ -66,6 +108,8 @@ impl DecisionMaker {
         )?;
         let actuator_test = ChiSquareTest::new(input_dim.max(1), config.actuator_alpha)?;
         let actuator_conflict_test = ChiSquareTest::new(input_dim.max(1), 0.001)?;
+        let telemetry = Telemetry::disabled();
+        let instruments = DecisionInstruments::new(&telemetry);
         Ok(DecisionMaker {
             sensor_alpha: config.sensor_alpha,
             actuator_alpha: config.actuator_alpha,
@@ -74,7 +118,18 @@ impl DecisionMaker {
             sensor_tests: HashMap::new(),
             actuator_test,
             actuator_conflict_test,
+            telemetry,
+            instruments,
+            prev_sensor_alarm: false,
+            prev_actuator_alarm: false,
         })
+    }
+
+    /// Replaces the telemetry context (default: disabled) and
+    /// re-registers the decision instruments in the new registry.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.instruments = DecisionInstruments::new(&telemetry);
+        self.telemetry = telemetry;
     }
 
     fn sensor_test(&mut self, dof: usize) -> Result<ChiSquareTest> {
@@ -97,6 +152,8 @@ impl DecisionMaker {
         modes: &ModeSet,
         engine_out: &EngineOutput,
     ) -> Result<Decision> {
+        let telemetry = self.telemetry.clone();
+        let _assess_span = telemetry.span("decision.assess");
         let selected = engine_out.selected;
         let selected_mode = &modes.modes()[selected];
         let selected_out = engine_out.selected_output();
@@ -190,9 +247,7 @@ impl DecisionMaker {
         //     identification (lines 13–18). ---
         let mut per_sensor = Vec::with_capacity(system.sensor_count());
         for sensor in 0..system.sensor_count() {
-            if let Some(view) =
-                self.per_sensor_view(system, modes, engine_out, sensor)?
-            {
+            if let Some(view) = self.per_sensor_view(system, modes, engine_out, sensor)? {
                 per_sensor.push(view);
             }
         }
@@ -204,15 +259,22 @@ impl DecisionMaker {
             per_sensor
                 .iter()
                 .filter(|v| {
-                    v.from_mode == selected
-                        && selected_mode.is_testing(v.sensor)
-                        && v.exceeds
+                    v.from_mode == selected && selected_mode.is_testing(v.sensor) && v.exceeds
                 })
                 .map(|v| v.sensor)
                 .collect()
         } else {
             Vec::new()
         };
+
+        self.record_verdict(
+            &telemetry,
+            &sensor_anomaly,
+            &actuator_anomaly,
+            sensor_alarm,
+            actuator_alarm,
+            &misbehaving_sensors,
+        );
 
         Ok(Decision {
             sensor_anomaly,
@@ -222,6 +284,67 @@ impl DecisionMaker {
             actuator_alarm,
             per_sensor,
         })
+    }
+
+    /// Publishes the iteration's verdict: statistic gauges, pre-window
+    /// positive counters, and edge-triggered confirmed/cleared events so
+    /// a JSONL trace reads as an incident log rather than a per-tick
+    /// firehose.
+    fn record_verdict(
+        &mut self,
+        telemetry: &Telemetry,
+        sensor_anomaly: &AnomalyEstimate,
+        actuator_anomaly: &AnomalyEstimate,
+        sensor_alarm: bool,
+        actuator_alarm: bool,
+        misbehaving_sensors: &[usize],
+    ) {
+        self.instruments
+            .sensor_statistic
+            .set(sensor_anomaly.statistic);
+        self.instruments
+            .actuator_statistic
+            .set(actuator_anomaly.statistic);
+        if sensor_anomaly.exceeds {
+            self.instruments.sensor_positives.incr();
+        }
+        if actuator_anomaly.exceeds {
+            self.instruments.actuator_positives.incr();
+        }
+        if sensor_alarm && !self.prev_sensor_alarm {
+            self.instruments.sensor_alarms.incr();
+            telemetry.event("decision.sensor_alarm_confirmed", || {
+                let sensors = misbehaving_sensors
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                vec![
+                    ("statistic", Value::F64(sensor_anomaly.statistic)),
+                    ("threshold", Value::F64(sensor_anomaly.threshold)),
+                    ("sensors", Value::Text(sensors)),
+                ]
+            });
+        } else if !sensor_alarm && self.prev_sensor_alarm {
+            telemetry.event("decision.sensor_alarm_cleared", || {
+                vec![("statistic", Value::F64(sensor_anomaly.statistic))]
+            });
+        }
+        if actuator_alarm && !self.prev_actuator_alarm {
+            self.instruments.actuator_alarms.incr();
+            telemetry.event("decision.actuator_alarm_confirmed", || {
+                vec![
+                    ("statistic", Value::F64(actuator_anomaly.statistic)),
+                    ("threshold", Value::F64(actuator_anomaly.threshold)),
+                ]
+            });
+        } else if !actuator_alarm && self.prev_actuator_alarm {
+            telemetry.event("decision.actuator_alarm_cleared", || {
+                vec![("statistic", Value::F64(actuator_anomaly.statistic))]
+            });
+        }
+        self.prev_sensor_alarm = sensor_alarm;
+        self.prev_actuator_alarm = actuator_alarm;
     }
 
     /// Builds the per-sensor anomaly view for one sensor: taken from the
@@ -290,8 +413,8 @@ impl DecisionMaker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use roboads_linalg::Vector;
     use crate::engine::MultiModeEngine;
+    use roboads_linalg::Vector;
     use roboads_models::presets;
 
     fn setup() -> (RobotSystem, MultiModeEngine, DecisionMaker, Vector) {
@@ -464,7 +587,10 @@ mod tests {
         );
         let d = dm.assess(&system, &modes, &out).unwrap();
         assert!(d.actuator_anomaly.statistic > d.actuator_anomaly.threshold);
-        assert!(!d.actuator_anomaly.exceeds, "contradicted claim must not alarm");
+        assert!(
+            !d.actuator_anomaly.exceeds,
+            "contradicted claim must not alarm"
+        );
     }
 
     #[test]

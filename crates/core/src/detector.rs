@@ -89,6 +89,27 @@ impl RoboAds {
         )
     }
 
+    /// Threads one telemetry context through the whole pipeline (engine
+    /// spans/metrics and decision events share the sink and registry).
+    /// The default is a disabled context; call this before the first
+    /// [`RoboAds::step`] so every sample lands in the shared registry.
+    pub fn set_telemetry(&mut self, telemetry: roboads_obs::Telemetry) {
+        self.engine.set_telemetry(telemetry.clone());
+        self.decision.set_telemetry(telemetry);
+    }
+
+    /// Builder-style variant of [`RoboAds::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: roboads_obs::Telemetry) -> Self {
+        self.set_telemetry(telemetry);
+        self
+    }
+
+    /// The telemetry context the pipeline reports into.
+    pub fn telemetry(&self) -> &roboads_obs::Telemetry {
+        self.engine.telemetry()
+    }
+
     /// One control iteration (the monitor's hand-off): the planned
     /// commands of the previous iteration and the fresh readings of
     /// every sensing workflow, in suite order.
@@ -101,9 +122,9 @@ impl RoboAds {
     /// skipped.
     pub fn step(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<DetectionReport> {
         let engine_out = self.engine.step(u_prev, readings)?;
-        let decision = self
-            .decision
-            .assess(self.engine.system(), self.engine.modes(), &engine_out)?;
+        let decision =
+            self.decision
+                .assess(self.engine.system(), self.engine.modes(), &engine_out)?;
         self.iteration += 1;
         Ok(DetectionReport {
             iteration: self.iteration,
@@ -218,7 +239,10 @@ mod tests {
             let report = ads.step(&u, &readings).unwrap();
             final_label = report.sensor_condition_label();
         }
-        assert_eq!(final_label, "S0", "detector should recover after the attack");
+        assert_eq!(
+            final_label, "S0",
+            "detector should recover after the attack"
+        );
     }
 
     #[test]

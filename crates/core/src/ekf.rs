@@ -73,12 +73,7 @@ impl ExtendedKalmanFilter {
     /// Returns [`CoreError::InvalidConfig`] for an empty or out-of-range
     /// sensor list, a state of the wrong dimension, or a non-positive
     /// initial covariance.
-    pub fn new(
-        system: RobotSystem,
-        sensors: Vec<usize>,
-        x0: Vector,
-        p0: f64,
-    ) -> Result<Self> {
+    pub fn new(system: RobotSystem, sensors: Vec<usize>, x0: Vector, p0: f64) -> Result<Self> {
         if sensors.is_empty() || sensors.iter().any(|&s| s >= system.sensor_count()) {
             return Err(CoreError::InvalidConfig {
                 name: "sensors",
@@ -278,7 +273,9 @@ mod tests {
         let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
         assert!(ExtendedKalmanFilter::new(system.clone(), vec![], x0.clone(), 1e-4).is_err());
         assert!(ExtendedKalmanFilter::new(system.clone(), vec![9], x0.clone(), 1e-4).is_err());
-        assert!(ExtendedKalmanFilter::new(system.clone(), vec![0], Vector::zeros(2), 1e-4).is_err());
+        assert!(
+            ExtendedKalmanFilter::new(system.clone(), vec![0], Vector::zeros(2), 1e-4).is_err()
+        );
         assert!(ExtendedKalmanFilter::new(system, vec![0], x0, 0.0).is_err());
     }
 

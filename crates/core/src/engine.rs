@@ -1,5 +1,6 @@
 use roboads_linalg::{Matrix, Vector};
 use roboads_models::RobotSystem;
+use roboads_obs::{Counter, Gauge, Histogram, Telemetry, Value};
 
 use crate::config::{Linearization, RoboAdsConfig};
 use crate::mode::ModeSet;
@@ -83,6 +84,56 @@ pub struct MultiModeEngine {
     /// Whether each mode's state was re-anchored at the end of the
     /// previous iteration.
     reanchored: Vec<bool>,
+    telemetry: Telemetry,
+    instruments: EngineInstruments,
+}
+
+/// Pre-registered metric handles for the engine hot path.
+///
+/// Looked up once (registration locks the registry and may allocate);
+/// every `step` then records through these handles with nothing but
+/// atomic operations, preserving the crate-wide no-alloc record-path
+/// invariant documented in `roboads_obs::metrics`.
+#[derive(Debug, Clone)]
+struct EngineInstruments {
+    /// `engine.steps` — successful iterations.
+    steps: Counter,
+    /// `engine.reanchor.count` — collapsed hypotheses re-anchored.
+    reanchors: Counter,
+    /// `engine.numeric_failures` — iterations lost to
+    /// [`CoreError::Numeric`].
+    numeric_failures: Counter,
+    /// `engine.cholesky_failures` — factorization breakdowns observed in
+    /// the linalg substrate while this engine was stepping (process-wide
+    /// attribution; see `roboads_linalg::health`).
+    cholesky_failures: Counter,
+    /// `engine.selected_mode` — index of the winning hypothesis.
+    selected_mode: Gauge,
+    /// `engine.mode{m}.probability` — posterior per mode.
+    mode_probability: Vec<Histogram>,
+    /// `engine.mode{m}.consistency` — innovation-consistency p-value per
+    /// mode (the numerical-health signal: a healthy clean run keeps
+    /// these well above the re-anchor floor).
+    mode_consistency: Vec<Histogram>,
+}
+
+impl EngineInstruments {
+    fn new(telemetry: &Telemetry, mode_count: usize) -> Self {
+        let m = telemetry.metrics();
+        EngineInstruments {
+            steps: m.counter("engine.steps"),
+            reanchors: m.counter("engine.reanchor.count"),
+            numeric_failures: m.counter("engine.numeric_failures"),
+            cholesky_failures: m.counter("engine.cholesky_failures"),
+            selected_mode: m.gauge("engine.selected_mode"),
+            mode_probability: (0..mode_count)
+                .map(|i| m.histogram(&format!("engine.mode{i}.probability")))
+                .collect(),
+            mode_consistency: (0..mode_count)
+                .map(|i| m.histogram(&format!("engine.mode{i}.consistency")))
+                .collect(),
+        }
+    }
 }
 
 /// Significance level at which an anomaly estimate counts as "implied"
@@ -165,6 +216,8 @@ impl MultiModeEngine {
         let p0 = Matrix::identity(n) * initial_covariance;
         let mode_states = vec![(initial_state.clone(), p0.clone()); modes.len()];
         let reanchored = vec![false; modes.len()];
+        let telemetry = Telemetry::disabled();
+        let instruments = EngineInstruments::new(&telemetry, modes.len());
         Ok(MultiModeEngine {
             system,
             modes,
@@ -176,7 +229,23 @@ impl MultiModeEngine {
             state_covariance: p0,
             mode_states,
             reanchored,
+            telemetry,
+            instruments,
         })
+    }
+
+    /// Replaces the telemetry context (default: disabled sink with a
+    /// private registry) and re-registers the engine's instruments in
+    /// the new registry. Call before the first [`MultiModeEngine::step`]
+    /// so no samples land in the discarded registry.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.instruments = EngineInstruments::new(&telemetry, self.modes.len());
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry context in use.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The system description.
@@ -269,8 +338,39 @@ impl MultiModeEngine {
     /// unchanged, so a transiently bad iteration (e.g. NaN readings) can
     /// simply be skipped by the caller.
     pub fn step(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<EngineOutput> {
+        let telemetry = self.telemetry.clone();
+        let _step_span = telemetry.span("engine.step");
+        let health_before = roboads_linalg::health::snapshot();
+        let result = self.step_inner(&telemetry, u_prev, readings);
+        let breakdowns = roboads_linalg::health::snapshot()
+            .since(&health_before)
+            .cholesky_failures;
+        if breakdowns > 0 {
+            self.instruments.cholesky_failures.add(breakdowns);
+        }
+        match &result {
+            Ok(_) => self.instruments.steps.incr(),
+            Err(CoreError::Numeric(msg)) => {
+                self.instruments.numeric_failures.incr();
+                let msg = msg.clone();
+                telemetry.event("engine.numeric_failure", || {
+                    vec![("error", Value::Text(msg))]
+                });
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn step_inner(
+        &mut self,
+        telemetry: &Telemetry,
+        u_prev: &Vector,
+        readings: &[Vector],
+    ) -> Result<EngineOutput> {
         let mut outputs = Vec::with_capacity(self.modes.len());
         for (mode, (x_m, p_m)) in self.modes.modes().iter().zip(&self.mode_states) {
+            let _mode_span = telemetry.span("engine.nuise_mode");
             outputs.push(nuise_step(NuiseInput {
                 system: &self.system,
                 mode,
@@ -301,11 +401,17 @@ impl MultiModeEngine {
         // prior; a genuine actuator attack costs every mode the same ρ¹,
         // leaving their ranking untouched.
         let mut weights = Vec::with_capacity(outputs.len());
-        for (mode, out) in self.modes.modes().iter().zip(&outputs) {
-            let count = self.implied_anomaly_count(mode, out)?;
-            weights.push(out.consistency * self.parsimony_rho.powi(count as i32));
+        {
+            let _parsimony_span = telemetry.span("engine.parsimony");
+            for (mode, out) in self.modes.modes().iter().zip(&outputs) {
+                let count = self.implied_anomaly_count(mode, out)?;
+                weights.push(out.consistency * self.parsimony_rho.powi(count as i32));
+            }
         }
-        let selected = self.selector.update(&weights)?;
+        let selected = {
+            let _select_span = telemetry.span("engine.select");
+            self.selector.update(&weights)?
+        };
 
         self.state_estimate = outputs[selected].state_estimate.clone();
         self.state_covariance = outputs[selected].state_covariance.clone();
@@ -314,6 +420,7 @@ impl MultiModeEngine {
         let reanchor_below = REANCHOR_FRACTION / self.modes.len() as f64;
         let probabilities = self.selector.probabilities().to_vec();
         let fresh_anchor = self.reanchored.clone();
+        let _reanchor_span = telemetry.span("engine.reanchor");
         for (m, state) in self.mode_states.iter_mut().enumerate() {
             // Re-anchor hypotheses that are both improbable *and*
             // innovation-inconsistent: their own filter no longer
@@ -327,6 +434,14 @@ impl MultiModeEngine {
             {
                 *state = (self.state_estimate.clone(), self.state_covariance.clone());
                 self.reanchored[m] = true;
+                self.instruments.reanchors.incr();
+                telemetry.event("engine.mode_reanchored", || {
+                    vec![
+                        ("mode", Value::U64(m as u64)),
+                        ("probability", Value::F64(probabilities[m])),
+                        ("consistency", Value::F64(outputs[m].consistency)),
+                    ]
+                });
             } else {
                 *state = (
                     outputs[m].state_estimate.clone(),
@@ -334,6 +449,13 @@ impl MultiModeEngine {
                 );
                 self.reanchored[m] = false;
             }
+        }
+        drop(_reanchor_span);
+
+        self.instruments.selected_mode.set(selected as f64);
+        for (m, out) in outputs.iter().enumerate() {
+            self.instruments.mode_probability[m].record(probabilities[m]);
+            self.instruments.mode_consistency[m].record(out.consistency);
         }
 
         Ok(EngineOutput {
@@ -425,7 +547,10 @@ mod tests {
         let u = Vector::from_slice(&[0.05, 0.05]);
         let x1 = system.dynamics().step(&x0, &u);
         let out = engine.step(&u, &clean_readings(&system, &x1)).unwrap();
-        assert_eq!(engine.state_estimate(), &out.selected_output().state_estimate);
+        assert_eq!(
+            engine.state_estimate(),
+            &out.selected_output().state_estimate
+        );
     }
 
     #[test]
@@ -452,9 +577,7 @@ mod tests {
             &RoboAdsConfig::paper_defaults()
         )
         .is_err());
-        assert!(
-            MultiModeEngine::new(system, modes, x0, &RoboAdsConfig::paper_defaults()).is_ok()
-        );
+        assert!(MultiModeEngine::new(system, modes, x0, &RoboAdsConfig::paper_defaults()).is_ok());
     }
 
     #[test]

@@ -41,14 +41,13 @@
 //! # }
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::Vector;
 
 use crate::report::DetectionReport;
 
 /// One contiguous confirmed misbehavior: the unit of a forensic report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Incident {
     /// Start time (seconds from the first pushed report).
     pub start: f64,
@@ -263,10 +262,7 @@ mod tests {
     use crate::detector::RoboAds;
     use roboads_models::presets;
 
-    fn run_with_attack(
-        attack: impl Fn(usize, &mut Vec<Vector>),
-        iterations: usize,
-    ) -> ForensicLog {
+    fn run_with_attack(attack: impl Fn(usize, &mut Vec<Vector>), iterations: usize) -> ForensicLog {
         let system = presets::khepera_system();
         let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
         let mut ads = RoboAds::with_defaults(system.clone(), x0.clone()).unwrap();

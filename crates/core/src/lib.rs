@@ -84,6 +84,11 @@ pub use nuise::{nuise_step, NuiseInput, NuiseOutput};
 pub use report::{AnomalyEstimate, DetectionReport, SensorAnomaly};
 pub use selector::{ModeSelector, MODE_MIXING, SELECTION_HYSTERESIS};
 
+/// Re-export of the observability layer the pipeline reports into, so
+/// detector users can build a [`roboads_obs::Telemetry`] for
+/// [`RoboAds::set_telemetry`] without naming the crate separately.
+pub use roboads_obs as obs;
+
 use std::error::Error;
 use std::fmt;
 

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::Vector;
 use roboads_models::{observability, RobotSystem};
 
@@ -19,7 +17,8 @@ use crate::{CoreError, Result};
 /// assert!(mode.is_testing(0));
 /// assert!(!mode.is_testing(1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Mode {
     reference: Vec<usize>,
     testing: Vec<usize>,
@@ -62,7 +61,11 @@ impl Mode {
                 .collect::<Vec<_>>()
                 .join(",")
         };
-        format!("ref{{{}}} test{{{}}}", fmt(&self.reference), fmt(&self.testing))
+        format!(
+            "ref{{{}}} test{{{}}}",
+            fmt(&self.reference),
+            fmt(&self.testing)
+        )
     }
 }
 
@@ -73,7 +76,8 @@ impl Mode {
 /// grows linearly in `p`; the complete set of `2^p − 1` hypotheses is
 /// also available for designers who accept the exponential cost, as is
 /// grouping for partial-state sensors.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ModeSet {
     modes: Vec<Mode>,
 }
@@ -266,7 +270,7 @@ mod tests {
         let sys = presets::khepera_system();
         let set = ModeSet::complete(&sys);
         assert_eq!(set.len(), 7); // 2³ − 1
-        // One of them is the all-reference (null) hypothesis.
+                                  // One of them is the all-reference (null) hypothesis.
         assert!(set
             .modes()
             .iter()

@@ -203,9 +203,9 @@ pub fn nuise_step(input: NuiseInput<'_>) -> Result<NuiseOutput> {
         .symmetrized()
         .expect("square by construction");
     let r2_star = (&c2.congruence(&p_tilde)? + &r2).symmetrized()?;
-    let r2_star_inv = r2_star.inverse().map_err(|_| {
-        CoreError::Numeric("reference innovation covariance is singular".into())
-    })?;
+    let r2_star_inv = r2_star
+        .inverse()
+        .map_err(|_| CoreError::Numeric("reference innovation covariance is singular".into()))?;
 
     let f_mat = &c2 * &g; // m₂ × q
     let normal = (&f_mat.transpose() * &(&r2_star_inv * &f_mat)).symmetrized()?;
@@ -246,7 +246,12 @@ pub fn nuise_step(input: NuiseInput<'_>) -> Result<NuiseOutput> {
         let s = -&(&gm2 * &r2);
         (x_pred, a_bar, q_bar, s)
     } else {
-        (x_bar.clone(), a.clone(), q.clone(), Matrix::zeros(n, m2_dim))
+        (
+            x_bar.clone(),
+            a.clone(),
+            q.clone(),
+            Matrix::zeros(n, m2_dim),
+        )
     };
     let p_pred = (&a_bar.congruence(p_prev)? + &q_bar).symmetrized()?;
 
@@ -435,8 +440,16 @@ mod tests {
         let x1 = system.dynamics().step(&x0, &u);
         let readings = clean_readings(&system, &x1);
         let out = step(&system, &mode, &x0, &p0, &u, &readings);
-        assert!(out.actuator_anomaly.max_abs() < 1e-9, "{:?}", out.actuator_anomaly);
-        assert!(out.sensor_anomaly.max_abs() < 1e-9, "{:?}", out.sensor_anomaly);
+        assert!(
+            out.actuator_anomaly.max_abs() < 1e-9,
+            "{:?}",
+            out.actuator_anomaly
+        );
+        assert!(
+            out.sensor_anomaly.max_abs() < 1e-9,
+            "{:?}",
+            out.sensor_anomaly
+        );
         assert!((&out.state_estimate - &x1).max_abs() < 1e-9);
         assert!(out.likelihood > 0.0);
     }
@@ -509,7 +522,9 @@ mod tests {
                 "P^x not PSD at iteration {k}"
             );
             assert!(
-                out.actuator_covariance.is_positive_semi_definite(1e-12).unwrap(),
+                out.actuator_covariance
+                    .is_positive_semi_definite(1e-12)
+                    .unwrap(),
                 "P^a not PSD at iteration {k}"
             );
             assert!(p.max_abs() < 1.0, "covariance diverged at iteration {k}");

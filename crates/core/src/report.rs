@@ -1,9 +1,8 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::{Matrix, Vector};
 
 /// A normalized anomaly estimate with its χ² test context.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AnomalyEstimate {
     /// The anomaly-vector estimate (`d̂^s` or `d̂^a`).
     pub estimate: Vector,
@@ -37,7 +36,8 @@ impl AnomalyEstimate {
 /// For Figure-6-style traces the report carries an estimate for *every*
 /// sensor: from the selected mode when the sensor is in its testing set,
 /// otherwise from the most probable mode that does test it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SensorAnomaly {
     /// Sensor suite index.
     pub sensor: usize,
@@ -56,7 +56,8 @@ pub struct SensorAnomaly {
 /// The complete output of one RoboADS iteration (Algorithm 1's outputs:
 /// abnormal workflow(s) and anomaly-vector estimates, plus every
 /// intermediate quantity the paper's Figure 6 plots).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DetectionReport {
     /// Control iteration counter `k` (1-based, counted by the detector).
     pub iteration: u64,

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{CoreError, Result};
 
 /// The mode selector of Algorithm 1 (lines 6–9): maintains normalized
@@ -35,7 +33,8 @@ use crate::{CoreError, Result};
 /// assert_eq!(sel.selected(), 1);
 /// assert!(sel.probabilities()[1] > 0.9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ModeSelector {
     probabilities: Vec<f64>,
     floor: f64,
@@ -144,8 +143,7 @@ impl ModeSelector {
             .expect("nonempty probabilities");
         // Hysteresis: keep the incumbent through near-ties.
         if argmax != self.selected
-            && self.probabilities[argmax]
-                < self.probabilities[self.selected] * SELECTION_HYSTERESIS
+            && self.probabilities[argmax] < self.probabilities[self.selected] * SELECTION_HYSTERESIS
         {
             return Ok(self.selected);
         }

@@ -41,6 +41,15 @@ impl Cholesky {
     /// [`LinalgError::NotPositiveDefinite`] if the matrix is asymmetric
     /// beyond floating-point noise or has a non-positive pivot.
     pub fn new(a: &Matrix) -> Result<Self> {
+        crate::health::note_cholesky_attempt();
+        let out = Self::factorize(a);
+        if matches!(out, Err(LinalgError::NotPositiveDefinite)) {
+            crate::health::note_cholesky_failure();
+        }
+        out
+    }
+
+    fn factorize(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
@@ -171,12 +180,8 @@ mod tests {
 
     #[test]
     fn reconstructs_spd_matrix() {
-        let a = Matrix::from_rows(&[
-            &[6.0, 3.0, 4.0],
-            &[3.0, 6.0, 5.0],
-            &[4.0, 5.0, 10.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[6.0, 3.0, 4.0], &[3.0, 6.0, 5.0], &[4.0, 5.0, 10.0]]).unwrap();
         let c = a.cholesky().unwrap();
         let r = c.l() * &c.l().transpose();
         assert!((&r - &a).max_abs() < 1e-12);
@@ -200,7 +205,10 @@ mod tests {
             Matrix::zeros(2, 3).cholesky(),
             Err(LinalgError::NotSquare { .. })
         ));
-        assert!(matches!(Matrix::zeros(0, 0).cholesky(), Err(LinalgError::Empty)));
+        assert!(matches!(
+            Matrix::zeros(0, 0).cholesky(),
+            Err(LinalgError::Empty)
+        ));
     }
 
     #[test]

@@ -60,13 +60,7 @@ impl SymmetricEigen {
             return Err(LinalgError::Empty);
         }
         // Work on the symmetrized copy.
-        let mut a = Matrix::from_fn(n, n, |i, j| {
-            if i <= j {
-                m[(i, j)]
-            } else {
-                m[(j, i)]
-            }
-        });
+        let mut a = Matrix::from_fn(n, n, |i, j| if i <= j { m[(i, j)] } else { m[(j, i)] });
         let mut v = Matrix::identity(n);
         let norm = a.frobenius_norm().max(f64::MIN_POSITIVE);
 
@@ -199,24 +193,15 @@ mod tests {
 
     #[test]
     fn reconstruction_matches_input() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 5.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 5.0]]).unwrap();
         let e = a.symmetric_eigen().unwrap();
         assert!((&reconstruct(&e) - &a).max_abs() < 1e-10);
     }
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]).unwrap();
         let e = a.symmetric_eigen().unwrap();
         let v = e.eigenvectors();
         let vvt = v * &v.transpose();

@@ -53,7 +53,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not symmetric positive definite")
             }
             LinalgError::NoConvergence { sweeps } => {
-                write!(f, "eigendecomposition did not converge after {sweeps} sweeps")
+                write!(
+                    f,
+                    "eigendecomposition did not converge after {sweeps} sweeps"
+                )
             }
             LinalgError::Empty => write!(f, "operand is empty"),
         }

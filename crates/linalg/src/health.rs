@@ -1,0 +1,93 @@
+//! Process-global numerical-health counters.
+//!
+//! The linear-algebra substrate sits below the telemetry layer (the
+//! `roboads-obs` crate depends on nothing, and this crate must not
+//! depend on it either), so breakdowns are tallied here in plain
+//! process-global atomics and surfaced to the observability layer by
+//! whoever owns a registry: the detection engine snapshots these
+//! counters around each step and re-publishes the delta as a proper
+//! metric.
+//!
+//! The counters are monotonic for the lifetime of the process and are
+//! shared across threads; consumers that want per-run numbers must diff
+//! a [`snapshot`] taken before the run against one taken after, rather
+//! than read absolute values.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CHOLESKY_FACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+static CHOLESKY_FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time copy of the health counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthSnapshot {
+    /// Cholesky factorizations attempted since process start.
+    pub cholesky_factorizations: u64,
+    /// Cholesky factorizations that failed (asymmetric input or a
+    /// non-positive pivot — the classic covariance-breakdown signal).
+    pub cholesky_failures: u64,
+}
+
+impl HealthSnapshot {
+    /// Counter increments between `earlier` and `self`.
+    ///
+    /// Saturates at zero, so a stale "earlier" snapshot from a
+    /// different process cannot produce bogus huge deltas.
+    pub fn since(&self, earlier: &HealthSnapshot) -> HealthSnapshot {
+        HealthSnapshot {
+            cholesky_factorizations: self
+                .cholesky_factorizations
+                .saturating_sub(earlier.cholesky_factorizations),
+            cholesky_failures: self
+                .cholesky_failures
+                .saturating_sub(earlier.cholesky_failures),
+        }
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> HealthSnapshot {
+    HealthSnapshot {
+        cholesky_factorizations: CHOLESKY_FACTORIZATIONS.load(Ordering::Relaxed),
+        cholesky_failures: CHOLESKY_FAILURES.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn note_cholesky_attempt() {
+    CHOLESKY_FACTORIZATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_cholesky_failure() {
+    CHOLESKY_FAILURES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn cholesky_outcomes_are_tallied() {
+        let before = snapshot();
+        Matrix::from_diagonal(&[1.0, 2.0]).cholesky().unwrap();
+        Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]])
+            .unwrap()
+            .cholesky()
+            .unwrap_err();
+        let delta = snapshot().since(&before);
+        // Other tests may factorize concurrently, so lower bounds only.
+        assert!(delta.cholesky_factorizations >= 2);
+        assert!(delta.cholesky_failures >= 1);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let big = HealthSnapshot {
+            cholesky_factorizations: 10,
+            cholesky_failures: 3,
+        };
+        let small = HealthSnapshot::default();
+        assert_eq!(big.since(&small).cholesky_failures, 3);
+        assert_eq!(small.since(&big).cholesky_failures, 0);
+    }
+}

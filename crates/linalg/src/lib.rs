@@ -37,8 +37,9 @@
 //! ```
 
 mod cholesky;
-mod error;
 mod eigen;
+mod error;
+pub mod health;
 mod lu;
 mod matrix;
 mod ops;

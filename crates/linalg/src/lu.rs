@@ -218,12 +218,8 @@ mod tests {
 
     #[test]
     fn inverse_round_trip() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[3.0, 6.0, -4.0],
-            &[2.0, 1.0, 8.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[3.0, 6.0, -4.0], &[2.0, 1.0, 8.0]]).unwrap();
         let inv = a.inverse().unwrap();
         assert_close(&(&a * &inv), &Matrix::identity(3), 1e-12);
         assert_close(&(&inv * &a), &Matrix::identity(3), 1e-12);
@@ -242,7 +238,11 @@ mod tests {
     #[test]
     fn pivoting_handles_zero_leading_entry() {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
-        let x = a.lu().unwrap().solve(&Vector::from_slice(&[2.0, 3.0])).unwrap();
+        let x = a
+            .lu()
+            .unwrap()
+            .solve(&Vector::from_slice(&[2.0, 3.0]))
+            .unwrap();
         assert_eq!(x.as_slice(), &[3.0, 2.0]);
     }
 
@@ -252,7 +252,10 @@ mod tests {
         let lu = a.lu().unwrap();
         assert!(lu.is_singular());
         assert_eq!(lu.determinant(), 0.0);
-        assert_eq!(lu.solve(&Vector::zeros(2)).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            lu.solve(&Vector::zeros(2)).unwrap_err(),
+            LinalgError::Singular
+        );
         assert_eq!(lu.inverse().unwrap_err(), LinalgError::Singular);
     }
 
@@ -267,7 +270,11 @@ mod tests {
         let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[2.0, 4.0], &[4.0, 8.0]]).unwrap();
         let x = a.lu().unwrap().solve_matrix(&b).unwrap();
-        assert_close(&x, &Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap(), 1e-12);
+        assert_close(
+            &x,
+            &Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap(),
+            1e-12,
+        );
     }
 
     #[test]

@@ -1,8 +1,6 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Cholesky, LinalgError, Lu, Result, SymmetricEigen, Vector};
 
 /// A dense, row-major, `f64` matrix.
@@ -25,7 +23,8 @@ use crate::{Cholesky, LinalgError, Lu, Result, SymmetricEigen, Vector};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -209,7 +208,11 @@ impl Matrix {
     ///
     /// Panics if `j >= self.cols()`.
     pub fn column(&self, j: usize) -> Vector {
-        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
         Vector::from_fn(self.rows, |i| self[(i, j)])
     }
 
@@ -372,7 +375,9 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for non-square input.
     pub fn symmetrized(&self) -> Result<Matrix> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         Ok(Matrix::from_fn(self.rows, self.cols, |i, j| {
             0.5 * (self[(i, j)] + self[(j, i)])
@@ -458,14 +463,24 @@ impl Index<(usize, usize)> for Matrix {
     ///
     /// Panics if the index is out of bounds.
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[i * self.cols + j]
     }
 }

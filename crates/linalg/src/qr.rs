@@ -160,13 +160,7 @@ mod tests {
 
     #[test]
     fn reconstructs_and_q_is_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]).unwrap();
         let qr = Qr::new(&a).unwrap();
         let rec = qr.q() * qr.r();
         assert!((&rec - &a).max_abs() < 1e-12);
@@ -187,13 +181,7 @@ mod tests {
 
     #[test]
     fn least_squares_residual_is_orthogonal_to_the_column_space() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.5],
-            &[1.0, 1.5],
-            &[1.0, 2.5],
-            &[1.0, 3.5],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.5], &[1.0, 1.5], &[1.0, 2.5], &[1.0, 3.5]]).unwrap();
         let b = Vector::from_slice(&[1.0, 2.2, 2.8, 4.3]);
         let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
         let residual = &(&a * &x) - &b;
@@ -214,7 +202,10 @@ mod tests {
 
     #[test]
     fn shape_validation() {
-        assert!(matches!(Qr::new(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+        assert!(matches!(
+            Qr::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
         assert!(matches!(
             Qr::new(&Matrix::zeros(2, 3)),
             Err(LinalgError::DimensionMismatch { .. })

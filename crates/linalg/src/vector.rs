@@ -1,8 +1,6 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use serde::{Deserialize, Serialize};
-
 use crate::{LinalgError, Matrix, Result};
 
 /// A dense column vector of `f64` values.
@@ -19,7 +17,8 @@ use crate::{LinalgError, Matrix, Result};
 /// assert_eq!(v.norm(), 5.0);
 /// assert_eq!(v.dot(&v), 25.0);
 /// ```
-#[derive(Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vector {
     data: Vec<f64>,
 }

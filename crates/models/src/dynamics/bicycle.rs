@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::{Matrix, Vector};
 
 use crate::angle::wrap_angle;
@@ -40,7 +38,8 @@ use crate::{ModelError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bicycle {
     wheelbase: f64,
     max_steer: f64,

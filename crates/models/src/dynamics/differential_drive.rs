@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::{Matrix, Vector};
 
 use crate::angle::wrap_angle;
@@ -43,7 +41,8 @@ use crate::{ModelError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DifferentialDrive {
     wheel_base: f64,
     dt: f64,

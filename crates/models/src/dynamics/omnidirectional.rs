@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::{Matrix, Vector};
 
 use crate::angle::wrap_angle;
@@ -41,7 +39,8 @@ use crate::{ModelError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Omnidirectional {
     dt: f64,
 }
@@ -164,10 +163,7 @@ mod tests {
         // q = 3 with a full-pose sensor: C₂G square and invertible, so a
         // three-channel actuator anomaly is fully attributable.
         let omni = Omnidirectional::new(0.1).unwrap();
-        let g = omni.input_jacobian(
-            &Vector::from_slice(&[0.0, 0.0, 0.7]),
-            &Vector::zeros(3),
-        );
+        let g = omni.input_jacobian(&Vector::from_slice(&[0.0, 0.0, 0.7]), &Vector::zeros(3));
         assert!(g.determinant().unwrap().abs() > 1e-6);
     }
 

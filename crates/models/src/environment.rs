@@ -1,9 +1,8 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{ModelError, Result};
 
 /// An axis-aligned box obstacle inside the arena, in meters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Aabb {
     /// Minimum corner x.
     pub min_x: f64,
@@ -86,7 +85,8 @@ impl Aabb {
 }
 
 /// The result of a LiDAR raycast.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RaycastHit {
     /// Distance from the ray origin to the hit, meters.
     pub distance: f64,
@@ -111,7 +111,8 @@ pub struct RaycastHit {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Arena {
     width: f64,
     height: f64,
@@ -178,7 +179,10 @@ impl Arena {
     /// Whether a disc of radius `radius` centered at `(x, y)` is fully
     /// inside the arena and clear of all obstacles.
     pub fn is_free(&self, x: f64, y: f64, radius: f64) -> bool {
-        if x - radius < 0.0 || y - radius < 0.0 || x + radius > self.width || y + radius > self.height
+        if x - radius < 0.0
+            || y - radius < 0.0
+            || x + radius > self.width
+            || y + radius > self.height
         {
             return false;
         }

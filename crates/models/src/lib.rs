@@ -107,7 +107,10 @@ impl fmt::Display for ModelError {
                 what,
                 expected,
                 actual,
-            } => write!(f, "{what} dimension mismatch: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "{what} dimension mismatch: expected {expected}, got {actual}"
+            ),
         }
     }
 }

@@ -45,8 +45,7 @@ pub fn observability_rank(
         blocks.push(ca.clone());
         ca = &ca * &a;
     }
-    let obs =
-        Matrix::vstack_all(blocks.iter()).expect("observability blocks share column count");
+    let obs = Matrix::vstack_all(blocks.iter()).expect("observability blocks share column count");
     // rank(O) = rank(OᵀO); the Gram matrix is symmetric, which our
     // eigendecomposition-based rank requires.
     let gram = &obs.transpose() * &obs;

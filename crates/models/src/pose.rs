@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::Vector;
 
 use crate::angle::{angle_difference, wrap_angle};
@@ -18,7 +16,8 @@ use crate::angle::{angle_difference, wrap_angle};
 /// let v = p.to_vector();
 /// assert_eq!(Pose2::from_vector(&v).unwrap(), p);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pose2 {
     /// X position in meters.
     pub x: f64,

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::{Matrix, Vector};
 
 use crate::sensors::SensorModel;
@@ -30,7 +28,8 @@ use crate::{ModelError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BeaconRange {
     beacons: Vec<(f64, f64)>,
     range_std: f64,
@@ -55,7 +54,10 @@ impl BeaconRange {
                 value: "empty anchor list".into(),
             });
         }
-        if beacons.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+        if beacons
+            .iter()
+            .any(|(x, y)| !x.is_finite() || !y.is_finite())
+        {
             return Err(ModelError::InvalidParameter {
                 name: "beacons",
                 value: "non-finite anchor".into(),

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::{Matrix, Vector};
 
 use crate::environment::Arena;
@@ -39,7 +37,8 @@ use crate::{ModelError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WallLidar {
     arena: Arena,
     range_std: f64,
@@ -206,7 +205,9 @@ mod tests {
     #[test]
     fn scan_outside_arena_is_none() {
         let l = lidar();
-        assert!(l.simulate_scan(&Vector::from_slice(&[-1.0, 0.0, 0.0])).is_none());
+        assert!(l
+            .simulate_scan(&Vector::from_slice(&[-1.0, 0.0, 0.0]))
+            .is_none());
     }
 
     #[test]

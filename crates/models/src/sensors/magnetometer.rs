@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::{Matrix, Vector};
 
 use crate::sensors::SensorModel;
@@ -28,7 +26,8 @@ use crate::{ModelError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Magnetometer {
     heading_std: f64,
 }
@@ -94,7 +93,11 @@ mod tests {
     fn measures_heading_only() {
         let mag = Magnetometer::new(0.01).unwrap();
         assert_eq!(mag.dim(), 1);
-        assert_eq!(mag.measure(&Vector::from_slice(&[9.0, 9.0, -1.2])).as_slice(), &[-1.2]);
+        assert_eq!(
+            mag.measure(&Vector::from_slice(&[9.0, 9.0, -1.2]))
+                .as_slice(),
+            &[-1.2]
+        );
         assert_eq!(mag.angular_components(), &[0]);
     }
 

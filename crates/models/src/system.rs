@@ -296,7 +296,10 @@ mod tests {
         assert_eq!(sys.sensor_count(), 3);
         assert_eq!(sys.total_measurement_dim(), 3 + 3 + 4);
         assert_eq!(sys.sensor_name(presets::KHEPERA_IPS), "ips");
-        assert_eq!(sys.sensor_name(presets::KHEPERA_WHEEL_ENCODER), "wheel-encoder");
+        assert_eq!(
+            sys.sensor_name(presets::KHEPERA_WHEEL_ENCODER),
+            "wheel-encoder"
+        );
         assert_eq!(sys.sensor_name(presets::KHEPERA_LIDAR), "lidar");
         assert_eq!(sys.sensor_name(99), "?");
     }
@@ -321,8 +324,22 @@ mod tests {
     fn subset_slices_and_extraction() {
         let sys = presets::khepera_system();
         let slices = sys.subset_slices(&[1, 2]);
-        assert_eq!(slices[0], SensorSlice { sensor: 1, offset: 0, len: 3 });
-        assert_eq!(slices[1], SensorSlice { sensor: 2, offset: 3, len: 4 });
+        assert_eq!(
+            slices[0],
+            SensorSlice {
+                sensor: 1,
+                offset: 0,
+                len: 3
+            }
+        );
+        assert_eq!(
+            slices[1],
+            SensorSlice {
+                sensor: 2,
+                offset: 3,
+                len: 4
+            }
+        );
 
         let stacked = Vector::from_fn(7, |i| i as f64);
         let lidar_part = sys.extract_sensor(&[1, 2], &stacked, 2);
@@ -361,7 +378,9 @@ mod tests {
         let ips: Arc<dyn SensorModel> = Arc::new(Ips::new(0.01, 0.01).unwrap());
 
         // Wrong Q shape.
-        assert!(RobotSystem::new(dynamics.clone(), Matrix::identity(2), vec![ips.clone()]).is_err());
+        assert!(
+            RobotSystem::new(dynamics.clone(), Matrix::identity(2), vec![ips.clone()]).is_err()
+        );
         // Q not SPD.
         assert!(RobotSystem::new(
             dynamics.clone(),

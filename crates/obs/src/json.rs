@@ -1,0 +1,167 @@
+//! Hand-rolled JSON encoding.
+//!
+//! The observability layer exports JSONL records and summary documents
+//! without any external serialization crate (the tier-1 build must
+//! resolve offline). Only what the sinks need is implemented: object
+//! assembly, string escaping per RFC 8259, and `f64` formatting that
+//! maps non-finite values to `null` (JSON has no NaN/Infinity).
+
+/// Escapes `s` into `buf` as a JSON string body (no surrounding quotes).
+pub fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Writes `v` into `buf` as a JSON number, or `null` if non-finite.
+pub fn write_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` keeps round-trip precision ("0.1", not "0.100000...")
+        // and always includes a decimal point or exponent for floats.
+        buf.push_str(&format!("{v:?}"));
+    } else {
+        buf.push_str("null");
+    }
+}
+
+/// Incremental JSON object builder.
+///
+/// ```
+/// use roboads_obs::json::JsonObject;
+///
+/// let mut o = JsonObject::new();
+/// o.field_str("name", "engine.step");
+/// o.field_u64("count", 3);
+/// o.field_f64("p50", 0.5);
+/// assert_eq!(o.finish(), r#"{"name":"engine.step","count":3,"p50":0.5}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, name);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, name: &str, v: &str) {
+        self.key(name);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn field_f64(&mut self, name: &str, v: f64) {
+        self.key(name);
+        write_f64(&mut self.buf, v);
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, v: u64) {
+        self.key(name);
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Adds a signed integer field.
+    pub fn field_i64(&mut self, name: &str, v: i64) {
+        self.key(name);
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, name: &str, v: bool) {
+        self.key(name);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Adds a pre-encoded JSON value verbatim (nested object/array).
+    pub fn field_raw(&mut self, name: &str, json: &str) {
+        self.key(name);
+        self.buf.push_str(json);
+    }
+
+    /// Closes the object and returns the encoded string.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Encodes a sequence of pre-encoded JSON values as an array.
+pub fn array_of(items: impl IntoIterator<Item = String>) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_controls_and_unicode() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\te\u{1}π");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001π");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut o = JsonObject::new();
+        o.field_f64("nan", f64::NAN);
+        o.field_f64("inf", f64::INFINITY);
+        o.field_f64("x", 1.5);
+        assert_eq!(o.finish(), r#"{"nan":null,"inf":null,"x":1.5}"#);
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let inner = {
+            let mut o = JsonObject::new();
+            o.field_u64("k", 1);
+            o.finish()
+        };
+        let mut outer = JsonObject::new();
+        outer.field_raw("rows", &array_of([inner]));
+        assert_eq!(outer.finish(), r#"{"rows":[{"k":1}]}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # roboads-obs — zero-dependency observability for the RoboADS pipeline
+//!
+//! The paper's whole evaluation is about *observable* detector behavior
+//! — mode probabilities, anomaly statistics, detection delay — yet a
+//! deployed estimator bank is easy to run as a black box. This crate is
+//! the workspace's telemetry substrate: spans (timed pipeline stages),
+//! structured events (alarms, re-anchors), and a metrics registry
+//! (counters, gauges, log-linear histograms with p50/p95/p99), all in
+//! plain `std` so the tier-1 build resolves with no registry access.
+//!
+//! Three layers:
+//!
+//! * [`MetricsRegistry`] / [`Counter`] / [`Gauge`] / [`Histogram`] —
+//!   always-on numeric instruments with a lock-free, allocation-free
+//!   record path (see `metrics` module docs for the invariant),
+//! * [`Sink`] — where spans and events go: [`NoopSink`] (default,
+//!   disabled, near-zero cost), [`RingBufferSink`] (flight recorder),
+//!   [`WriterSink`] (JSONL to any `io::Write`),
+//! * [`Telemetry`] — the cheap-to-clone context the detection pipeline
+//!   threads through engine, decision maker and simulation runner.
+//!
+//! ```
+//! use roboads_obs::{RingBufferSink, Telemetry};
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(RingBufferSink::new(1024));
+//! let telemetry = Telemetry::new(ring.clone());
+//!
+//! let step_latency = telemetry.metrics().histogram("sim.step_latency_s");
+//! {
+//!     let _span = telemetry.span("engine.step");
+//!     step_latency.record(0.0004);
+//! }
+//! assert_eq!(ring.spans()[0].name, "engine.step");
+//! assert_eq!(step_latency.count(), 1);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod telemetry;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use sink::{
+    EventRecord, Field, NoopSink, RingBufferSink, Sink, SpanRecord, TelemetryRecord, Value,
+    WriterSink,
+};
+pub use telemetry::{Span, Telemetry};

@@ -1,0 +1,619 @@
+//! Counters, gauges and log-linear histograms.
+//!
+//! ## The no-alloc record-path invariant
+//!
+//! Instrument *registration* (`MetricsRegistry::counter` & co.) may
+//! allocate and takes a registry lock; it happens once, at detector
+//! construction. Instrument *recording* (`Counter::incr`,
+//! `Histogram::record`, `Gauge::set`) happens every control iteration on
+//! the estimation hot path and therefore performs **no allocation and no
+//! locking** — every record is a handful of relaxed/CAS atomic
+//! operations on pre-sized storage. Handles are `Arc`-backed and cheap
+//! to clone, so callers cache them in their own structs and never touch
+//! the registry map again.
+//!
+//! ## Histogram design
+//!
+//! Fixed log-linear buckets (the HDR-histogram idea, sized for `f64`
+//! telemetry): the positive axis from 2⁻³⁰ (≈ 1 ns when recording
+//! seconds) to 2²⁰ (≈ 10⁶) is split into octaves, each octave into
+//! [`SUBBUCKETS`] linear sub-buckets, giving a guaranteed relative error
+//! of at most 1/[`SUBBUCKETS`] per recorded value. Values at or below
+//! zero land in a dedicated underflow bucket, values beyond the top in
+//! an overflow bucket, and non-finite values are *counted* (numerical
+//! health is this layer's whole point) but excluded from quantiles.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonObject;
+
+/// Sub-buckets per octave; relative quantile error is bounded by its
+/// reciprocal (≈ 6.25%).
+pub const SUBBUCKETS: usize = 16;
+const SUB_BITS: u32 = 4; // log2(SUBBUCKETS)
+const MIN_EXP: i32 = -30;
+const MAX_EXP: i32 = 20;
+/// Underflow + log-linear span + overflow.
+const BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) * SUBBUCKETS + 2;
+const OVERFLOW: usize = BUCKETS - 1;
+
+fn bucket_index(v: f64) -> usize {
+    let floor = (MIN_EXP as f64).exp2();
+    if v < floor {
+        // Zero, negatives and subnormal-small values: underflow bucket.
+        return 0;
+    }
+    if v >= (MAX_EXP as f64).exp2() {
+        return OVERFLOW;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUBBUCKETS as u64 - 1)) as usize;
+    1 + ((exp - MIN_EXP) as usize) * SUBBUCKETS + sub
+}
+
+/// `[lo, hi)` value range of bucket `i`.
+fn bucket_bounds(i: usize) -> (f64, f64) {
+    if i == 0 {
+        return (0.0, (MIN_EXP as f64).exp2());
+    }
+    if i >= OVERFLOW {
+        return ((MAX_EXP as f64).exp2(), f64::INFINITY);
+    }
+    let j = i - 1;
+    let exp = MIN_EXP + (j / SUBBUCKETS) as i32;
+    let base = (exp as f64).exp2();
+    let step = base / SUBBUCKETS as f64;
+    let lo = base + step * (j % SUBBUCKETS) as f64;
+    (lo, lo + step)
+}
+
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f64::from_bits(cur) + v;
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+fn atomic_f64_extreme(cell: &AtomicU64, v: f64, want_max: bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let cur_v = f64::from_bits(cur);
+        let replace = if want_max { v > cur_v } else { v < cur_v };
+        if !replace {
+            return;
+        }
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A monotone event counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins float gauge. Cloning shares the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    nonfinite: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket log-linear histogram of `f64` samples.
+///
+/// Recording is lock-free and allocation-free; see the module docs for
+/// the bucket layout and error bound. Cloning shares the storage.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, || AtomicU64::new(0));
+        Histogram(Arc::new(HistogramCore {
+            buckets,
+            count: AtomicU64::new(0),
+            nonfinite: AtomicU64::new(0),
+            sum: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (identical to `default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. NaN and ±∞ increment the non-finite counter
+    /// (they signal numerical trouble, the very thing this layer is
+    /// watching for) but do not enter the distribution.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            self.0.nonfinite.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.0.sum, v);
+        atomic_f64_extreme(&self.0.min, v, false);
+        atomic_f64_extreme(&self.0.max, v, true);
+    }
+
+    /// Number of finite samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Number of non-finite samples rejected.
+    pub fn nonfinite(&self) -> u64 {
+        self.0.nonfinite.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the containing bucket, clamped to the exact
+    /// observed min/max. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let min = f64::from_bits(self.0.min.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.0.max.load(Ordering::Relaxed));
+        // The extremes are tracked exactly — don't approximate them.
+        if q == 0.0 {
+            return Some(min);
+        }
+        if q == 1.0 {
+            return Some(max);
+        }
+        // 1-based rank of the order statistic we are after.
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (rank - cum) as f64 / c as f64;
+                let hi = if hi.is_finite() { hi } else { max };
+                let est = lo + (hi - lo) * frac;
+                return Some(est.clamp(min, max));
+            }
+            cum += c;
+        }
+        Some(max)
+    }
+
+    /// Mean of the recorded samples (exact, from the running sum).
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        Some(f64::from_bits(self.0.sum.load(Ordering::Relaxed)) / n as f64)
+    }
+
+    /// Point-in-time summary with the standard quantiles.
+    pub fn summary(&self) -> HistogramSummary {
+        let n = self.count();
+        HistogramSummary {
+            count: n,
+            nonfinite: self.nonfinite(),
+            mean: self.mean().unwrap_or(f64::NAN),
+            min: if n == 0 {
+                f64::NAN
+            } else {
+                f64::from_bits(self.0.min.load(Ordering::Relaxed))
+            },
+            max: if n == 0 {
+                f64::NAN
+            } else {
+                f64::from_bits(self.0.max.load(Ordering::Relaxed))
+            },
+            p50: self.quantile(0.50).unwrap_or(f64::NAN),
+            p95: self.quantile(0.95).unwrap_or(f64::NAN),
+            p99: self.quantile(0.99).unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// Point-in-time digest of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Finite samples recorded.
+    pub count: u64,
+    /// Non-finite samples rejected (NaN/±∞ — numerical-health signal).
+    pub nonfinite: u64,
+    /// Exact mean (NaN when empty).
+    pub mean: f64,
+    /// Exact minimum (NaN when empty).
+    pub min: f64,
+    /// Exact maximum (NaN when empty).
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// The summary of a histogram that never recorded anything.
+    pub fn empty() -> Self {
+        HistogramSummary {
+            count: 0,
+            nonfinite: 0,
+            mean: f64::NAN,
+            min: f64::NAN,
+            max: f64::NAN,
+            p50: f64::NAN,
+            p95: f64::NAN,
+            p99: f64::NAN,
+        }
+    }
+
+    /// Encodes the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("count", self.count);
+        o.field_u64("nonfinite", self.nonfinite);
+        o.field_f64("mean", self.mean);
+        o.field_f64("min", self.min);
+        o.field_f64("max", self.max);
+        o.field_f64("p50", self.p50);
+        o.field_f64("p95", self.p95);
+        o.field_f64("p99", self.p99);
+        o.finish()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of instruments.
+///
+/// Get-or-create accessors hand out shared handles; see the module docs
+/// for the registration-vs-record cost split. Names are ordinary string
+/// keys (`BTreeMap`, so snapshots iterate deterministically); callers on
+/// the hot path cache the returned handles instead of re-looking-up.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different instrument
+    /// kind — that is a programming error worth failing loudly on.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Counter::default()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on instrument-kind conflict, as [`MetricsRegistry::counter`].
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Gauge::default()))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on instrument-kind conflict, as [`MetricsRegistry::counter`].
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Histogram::default()))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Current value of a counter, `None` if absent or not a counter.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        match map.get(name) {
+            Some(Instrument::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Summary of a histogram, `None` if absent or not a histogram.
+    pub fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        match map.get(name) {
+            Some(Instrument::Histogram(h)) => Some(h.summary()),
+            _ => None,
+        }
+    }
+
+    /// Point-in-time snapshot of every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let mut snap = MetricsSnapshot::default();
+        for (name, inst) in map.iter() {
+            match inst {
+                Instrument::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Instrument::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Instrument::Histogram(h) => snap.histograms.push((name.clone(), h.summary())),
+            }
+        }
+        snap
+    }
+}
+
+/// A point-in-time copy of a registry's contents.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, summary)` for every histogram.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Encodes the snapshot as one JSON object with `counters`,
+    /// `gauges` and `histograms` sub-objects.
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObject::new();
+        for (name, v) in &self.counters {
+            counters.field_u64(name, *v);
+        }
+        let mut gauges = JsonObject::new();
+        for (name, v) in &self.gauges {
+            gauges.field_f64(name, *v);
+        }
+        let mut hists = JsonObject::new();
+        for (name, s) in &self.histograms {
+            hists.field_raw(name, &s.to_json());
+        }
+        let mut o = JsonObject::new();
+        o.field_raw("counters", &counters.finish());
+        o.field_raw("gauges", &gauges.finish());
+        o.field_raw("histograms", &hists.finish());
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_state_across_clones() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.incr();
+        b.add(2);
+        assert_eq!(reg.counter_value("x"), Some(3));
+
+        let g = reg.gauge("g");
+        g.set(2.5);
+        assert_eq!(reg.gauge("g").get(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_within_bounds() {
+        let mut prev = 0usize;
+        let mut v = 1e-10f64;
+        while v < 1e7 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "bucket index must be monotone in v (v={v})");
+            let (lo, hi) = bucket_bounds(i);
+            if i != 0 && i != OVERFLOW {
+                assert!(lo <= v && v < hi, "v={v} not in [{lo},{hi})");
+                // Relative bucket width bounds the quantile error.
+                assert!((hi - lo) / lo <= 1.0 / SUBBUCKETS as f64 + 1e-12);
+            }
+            prev = i;
+            v *= 1.07;
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(1e30), OVERFLOW);
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_grid_within_bucket_error() {
+        let h = Histogram::new();
+        // 0.001, 0.002, ..., 1.000: exact q-quantile is ~q.
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0);
+        }
+        for (q, exact) in [(0.5, 0.5), (0.95, 0.95), (0.99, 0.99)] {
+            let est = h.quantile(q).unwrap();
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.07, "q={q}: est {est} vs exact {exact} (rel {rel})");
+        }
+        assert_eq!(h.quantile(0.0).unwrap(), 0.001);
+        assert_eq!(h.quantile(1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_track_an_exponential_sample() {
+        // Deterministic inverse-CDF sampling of Exp(1): quantiles are
+        // known in closed form, and the distribution spans several
+        // octaves — the log-linear layout's home turf.
+        let h = Histogram::new();
+        let n = 5000;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            h.record(-(1.0 - u).ln());
+        }
+        for q in [0.5, 0.95, 0.99] {
+            let exact = -(1.0f64 - q).ln();
+            let est = h.quantile(q).unwrap();
+            assert!(
+                ((est - exact) / exact).abs() < 0.07,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let h = Histogram::new();
+        for v in [0.1, 0.2, 0.3, 10.0] {
+            h.record(v);
+        }
+        assert!((h.mean().unwrap() - 2.65).abs() < 1e-12);
+        let s = h.summary();
+        assert_eq!(s.min, 0.1);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn nonfinite_samples_are_counted_not_mixed_in() {
+        let h = Histogram::new();
+        h.record(1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.nonfinite(), 2);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_well_formed() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert!(s.p50.is_nan());
+        // JSON maps the NaNs to null.
+        assert!(s.to_json().contains("\"p50\":null"));
+    }
+
+    #[test]
+    fn snapshot_to_json_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(1.5);
+        reg.histogram("h").record(0.25);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"counters\":{\"c\":7}"));
+        assert!(json.contains("\"gauges\":{\"g\":1.5}"));
+        assert!(json.contains("\"h\":{\"count\":1"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        let c = reg.counter("n");
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..10_000 {
+                        h.record((t * 10_000 + i) as f64 * 1e-6);
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,369 @@
+//! Span/event records and the [`Sink`] trait with its three shipped
+//! implementations: [`NoopSink`], [`RingBufferSink`] and [`WriterSink`].
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::json::JsonObject;
+
+/// A typed field value carried by an [`EventRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer (iteration counts, indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (statistics, thresholds, estimates).
+    F64(f64),
+    /// Static string (labels known at compile time).
+    Str(&'static str),
+    /// Owned string (rare, for dynamic content such as sensor lists).
+    Text(String),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(u) => write!(f, "{u}"),
+            Value::I64(i) => write!(f, "{i}"),
+            Value::F64(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// One named event field.
+pub type Field = (&'static str, Value);
+
+/// A completed, timed region of the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name, e.g. `"engine.step"`.
+    pub name: &'static str,
+    /// Start offset from the telemetry epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// A structured point-in-time event (alarm raised, mode re-anchored…).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Static event name, e.g. `"decision.sensor_alarm_confirmed"`.
+    pub name: &'static str,
+    /// Offset from the telemetry epoch, nanoseconds.
+    pub time_ns: u64,
+    /// Typed payload fields.
+    pub fields: Vec<Field>,
+}
+
+fn value_into(o: &mut JsonObject, key: &str, v: &Value) {
+    match v {
+        Value::Bool(b) => o.field_bool(key, *b),
+        Value::U64(u) => o.field_u64(key, *u),
+        Value::I64(i) => o.field_i64(key, *i),
+        Value::F64(f) => o.field_f64(key, *f),
+        Value::Str(s) => o.field_str(key, s),
+        Value::Text(s) => o.field_str(key, s),
+    }
+}
+
+impl SpanRecord {
+    /// One-line JSON encoding (`{"type":"span",...}`).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("type", "span");
+        o.field_str("name", self.name);
+        o.field_u64("start_ns", self.start_ns);
+        o.field_u64("duration_ns", self.duration_ns);
+        o.finish()
+    }
+}
+
+impl EventRecord {
+    /// One-line JSON encoding (`{"type":"event",...,"fields":{...}}`).
+    pub fn to_json(&self) -> String {
+        let mut fields = JsonObject::new();
+        for (k, v) in &self.fields {
+            value_into(&mut fields, k, v);
+        }
+        let mut o = JsonObject::new();
+        o.field_str("type", "event");
+        o.field_str("name", self.name);
+        o.field_u64("time_ns", self.time_ns);
+        o.field_raw("fields", &fields.finish());
+        o.finish()
+    }
+}
+
+/// Receives completed spans and events.
+///
+/// Implementations must be thread-safe: the sim harness maps scenarios
+/// over worker threads, each with its own detector but potentially a
+/// shared sink. `enabled()` lets the instrumentation skip clock reads
+/// and field assembly entirely when nobody is listening — that is how
+/// the default [`NoopSink`] keeps the hot path within the measured
+/// overhead budget.
+pub trait Sink: Send + Sync + std::fmt::Debug {
+    /// Whether span/event assembly is worth the caller's time.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accepts a completed span.
+    fn record_span(&self, span: &SpanRecord);
+
+    /// Accepts an event.
+    fn record_event(&self, event: &EventRecord);
+}
+
+/// Discards everything; reports itself as disabled so callers skip
+/// timing and field assembly altogether.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record_span(&self, _span: &SpanRecord) {}
+
+    fn record_event(&self, _event: &EventRecord) {}
+}
+
+/// One record as stored by [`RingBufferSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryRecord {
+    /// A completed span.
+    Span(SpanRecord),
+    /// An event.
+    Event(EventRecord),
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    buf: VecDeque<TelemetryRecord>,
+    dropped: u64,
+}
+
+/// Keeps the most recent `capacity` records in memory, overwriting the
+/// oldest when full (flight-recorder semantics: after an incident the
+/// tail of the telemetry is what matters).
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        // Pre-size (bounded) so steady-state pushes never reallocate;
+        // rings larger than the bound grow once past it, amortized.
+        let preallocate = capacity.min(1 << 16);
+        RingBufferSink {
+            capacity,
+            inner: Mutex::new(RingInner {
+                buf: VecDeque::with_capacity(preallocate),
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn push(&self, r: TelemetryRecord) {
+        let mut inner = self.inner.lock().expect("ring sink poisoned");
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(r);
+    }
+
+    /// Copies out the buffered records, oldest first.
+    pub fn records(&self) -> Vec<TelemetryRecord> {
+        self.inner
+            .lock()
+            .expect("ring sink poisoned")
+            .buf
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Buffered spans only, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.records()
+            .into_iter()
+            .filter_map(|r| match r {
+                TelemetryRecord::Span(s) => Some(s),
+                TelemetryRecord::Event(_) => None,
+            })
+            .collect()
+    }
+
+    /// Buffered events only, oldest first.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.records()
+            .into_iter()
+            .filter_map(|r| match r {
+                TelemetryRecord::Event(e) => Some(e),
+                TelemetryRecord::Span(_) => None,
+            })
+            .collect()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring sink poisoned").buf.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records overwritten since creation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("ring sink poisoned").dropped
+    }
+}
+
+impl Sink for RingBufferSink {
+    fn record_span(&self, span: &SpanRecord) {
+        self.push(TelemetryRecord::Span(span.clone()));
+    }
+
+    fn record_event(&self, event: &EventRecord) {
+        self.push(TelemetryRecord::Event(event.clone()));
+    }
+}
+
+/// Streams records as JSON Lines (one object per line) to any writer —
+/// a file, a pipe, or an in-memory buffer in tests.
+pub struct WriterSink<W: Write + Send> {
+    w: Mutex<W>,
+}
+
+impl<W: Write + Send> std::fmt::Debug for WriterSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriterSink").finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> WriterSink<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        WriterSink { w: Mutex::new(w) }
+    }
+
+    /// Unwraps the inner writer (e.g. to inspect a `Vec<u8>` in tests).
+    pub fn into_inner(self) -> W {
+        self.w.into_inner().expect("writer sink poisoned")
+    }
+
+    fn line(&self, json: &str) {
+        let mut w = self.w.lock().expect("writer sink poisoned");
+        // Telemetry must never take the robot down: I/O errors are
+        // swallowed by design.
+        let _ = writeln!(w, "{json}");
+    }
+}
+
+impl<W: Write + Send> Sink for WriterSink<W> {
+    fn record_span(&self, span: &SpanRecord) {
+        self.line(&span.to_json());
+    }
+
+    fn record_event(&self, event: &EventRecord) {
+        self.line(&event.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, d: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            start_ns: 10,
+            duration_ns: d,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_overwrites_oldest_and_counts_drops() {
+        let ring = RingBufferSink::new(3);
+        for i in 0..5 {
+            ring.record_span(&span("s", i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let kept: Vec<u64> = ring.spans().iter().map(|s| s.duration_ns).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest records must be evicted first");
+    }
+
+    #[test]
+    fn ring_buffer_separates_spans_and_events() {
+        let ring = RingBufferSink::new(8);
+        ring.record_span(&span("a", 1));
+        ring.record_event(&EventRecord {
+            name: "alarm",
+            time_ns: 99,
+            fields: vec![("sensor", Value::U64(0))],
+        });
+        assert_eq!(ring.spans().len(), 1);
+        assert_eq!(ring.events().len(), 1);
+        assert_eq!(ring.events()[0].fields[0].1, Value::U64(0));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let ring = RingBufferSink::new(0);
+        ring.record_span(&span("a", 1));
+        ring.record_span(&span("a", 2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn writer_sink_emits_one_json_object_per_line() {
+        let sink = WriterSink::new(Vec::new());
+        sink.record_span(&span("engine.step", 1234));
+        sink.record_event(&EventRecord {
+            name: "decision.sensor_alarm_confirmed",
+            time_ns: 77,
+            fields: vec![
+                ("iteration", Value::U64(12)),
+                ("statistic", Value::F64(25.5)),
+                ("sensors", Value::Text("0,2".into())),
+                ("confirmed", Value::Bool(true)),
+            ],
+        });
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"type":"span","name":"engine.step","start_ns":10,"duration_ns":1234}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"type":"event","name":"decision.sensor_alarm_confirmed","time_ns":77,"fields":{"iteration":12,"statistic":25.5,"sensors":"0,2","confirmed":true}}"#
+        );
+    }
+
+    #[test]
+    fn noop_sink_reports_disabled() {
+        assert!(!NoopSink.enabled());
+        let ring = RingBufferSink::new(4);
+        assert!(ring.enabled());
+    }
+}

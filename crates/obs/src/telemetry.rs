@@ -1,0 +1,209 @@
+//! The [`Telemetry`] handle: one cheap-to-clone object bundling a span/
+//! event [`Sink`] with a [`MetricsRegistry`], plus the RAII [`Span`]
+//! timer the pipeline instruments itself with.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::MetricsRegistry;
+use crate::sink::{EventRecord, Field, NoopSink, Sink, SpanRecord};
+
+/// Shared telemetry context threaded through the detection pipeline.
+///
+/// Cloning shares the sink, the registry and the epoch, so a simulation
+/// run can hand the same context to the engine, the decision maker and
+/// the runner and read one coherent snapshot afterwards.
+///
+/// The default is [`Telemetry::disabled`]: spans and events vanish into
+/// a [`NoopSink`] without even reading the clock, while metrics are
+/// still collected (atomics are cheap enough to always stay on, and the
+/// post-run health summary depends on them).
+#[derive(Clone)]
+pub struct Telemetry {
+    sink: Arc<dyn Sink>,
+    metrics: Arc<MetricsRegistry>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .field("sink", &self.sink)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl Telemetry {
+    /// A context whose sink drops everything (metrics still collect).
+    pub fn disabled() -> Self {
+        Telemetry::new(Arc::new(NoopSink))
+    }
+
+    /// A context with the given sink and a fresh registry.
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Telemetry::with_registry(sink, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// A context with the given sink and an existing registry.
+    pub fn with_registry(sink: Arc<dyn Sink>, metrics: Arc<MetricsRegistry>) -> Self {
+        Telemetry {
+            sink,
+            metrics,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The sink.
+    pub fn sink(&self) -> &Arc<dyn Sink> {
+        &self.sink
+    }
+
+    /// Whether the sink is listening (spans/events are worth timing).
+    pub fn enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Nanoseconds since this context's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a timed span; the span is recorded when the guard drops.
+    /// With a disabled sink this never reads the clock.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            telemetry: self,
+            name,
+            start: if self.enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Emits an event. `fields` is a closure so that argument assembly
+    /// (including any string formatting) is skipped entirely when the
+    /// sink is disabled.
+    pub fn event(&self, name: &'static str, fields: impl FnOnce() -> Vec<Field>) {
+        if !self.enabled() {
+            return;
+        }
+        self.sink.record_event(&EventRecord {
+            name,
+            time_ns: self.now_ns(),
+            fields: fields(),
+        });
+    }
+}
+
+/// RAII span timer returned by [`Telemetry::span`].
+///
+/// ```
+/// use roboads_obs::{RingBufferSink, Telemetry};
+/// use std::sync::Arc;
+///
+/// let ring = Arc::new(RingBufferSink::new(16));
+/// let telemetry = Telemetry::new(ring.clone());
+/// {
+///     let _span = telemetry.span("engine.step");
+///     // ... timed work ...
+/// }
+/// assert_eq!(ring.spans()[0].name, "engine.step");
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    telemetry: &'a Telemetry,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            // One clock read serves both the duration and the epoch
+            // offset — this runs once per pipeline stage per step.
+            let now = Instant::now();
+            let duration_ns = now.duration_since(start).as_nanos() as u64;
+            let end_ns = now.duration_since(self.telemetry.epoch).as_nanos() as u64;
+            self.telemetry.sink.record_span(&SpanRecord {
+                name: self.name,
+                start_ns: end_ns.saturating_sub(duration_ns),
+                duration_ns,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{RingBufferSink, Value};
+
+    #[test]
+    fn disabled_telemetry_skips_spans_and_events_but_keeps_metrics() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        {
+            let _s = t.span("x");
+        }
+        let mut built = false;
+        t.event("e", || {
+            built = true;
+            vec![]
+        });
+        assert!(!built, "field closure must not run when disabled");
+        t.metrics().counter("c").incr();
+        assert_eq!(t.metrics().counter_value("c"), Some(1));
+    }
+
+    #[test]
+    fn spans_and_events_reach_the_sink_in_order() {
+        let ring = Arc::new(RingBufferSink::new(16));
+        let t = Telemetry::new(ring.clone());
+        {
+            let _outer = t.span("outer");
+            let inner = t.span("inner");
+            inner.finish();
+            t.event("marker", || vec![("k", Value::U64(1))]);
+        }
+        let records = ring.records();
+        // inner finishes first, then the event, then outer on drop.
+        assert_eq!(records.len(), 3);
+        assert!(matches!(&records[0], crate::sink::TelemetryRecord::Span(s) if s.name == "inner"));
+        assert!(
+            matches!(&records[1], crate::sink::TelemetryRecord::Event(e) if e.name == "marker")
+        );
+        assert!(matches!(&records[2], crate::sink::TelemetryRecord::Span(s) if s.name == "outer"));
+    }
+
+    #[test]
+    fn clones_share_sink_and_registry() {
+        let ring = Arc::new(RingBufferSink::new(4));
+        let t = Telemetry::new(ring.clone());
+        let t2 = t.clone();
+        t2.metrics().counter("shared").incr();
+        assert_eq!(t.metrics().counter_value("shared"), Some(1));
+        {
+            let _s = t2.span("s");
+        }
+        assert_eq!(ring.len(), 1);
+    }
+}

@@ -15,8 +15,6 @@
 //! speedometer-packet injection of the Jeep/Ford attacks the paper
 //! cites.
 
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::Vector;
 
 /// Fixed-point scale: payload integers are nano-units (1e-9).
@@ -31,7 +29,8 @@ pub const COMMAND_ID: u16 = 0x200;
 
 /// One bus frame: an arbitration id, the publishing workflow's name and
 /// a fixed-point payload.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Frame {
     /// Arbitration id (lower wins on a real CAN bus; here it only keys
     /// the consumer's lookup).
@@ -71,7 +70,9 @@ impl Frame {
 
     /// Decodes the payload back to a reading vector.
     pub fn decode(&self) -> Vector {
-        Vector::from_fn(self.payload.len(), |i| self.payload[i] as f64 * PAYLOAD_SCALE)
+        Vector::from_fn(self.payload.len(), |i| {
+            self.payload[i] as f64 * PAYLOAD_SCALE
+        })
     }
 }
 
@@ -170,8 +171,16 @@ mod tests {
     #[test]
     fn ids_are_independent() {
         let mut bus = Bus::new();
-        bus.publish(Frame::encode(SENSOR_ID_BASE, "ips", &Vector::from_slice(&[1.0])));
-        bus.publish(Frame::encode(COMMAND_ID, "planner", &Vector::from_slice(&[0.05, 0.05])));
+        bus.publish(Frame::encode(
+            SENSOR_ID_BASE,
+            "ips",
+            &Vector::from_slice(&[1.0]),
+        ));
+        bus.publish(Frame::encode(
+            COMMAND_ID,
+            "planner",
+            &Vector::from_slice(&[0.05, 0.05]),
+        ));
         assert_eq!(bus.latest(SENSOR_ID_BASE).unwrap().source, "ips");
         assert_eq!(bus.latest(COMMAND_ID).unwrap().payload.len(), 2);
         assert!(bus.latest(0x300).is_none());
@@ -180,7 +189,11 @@ mod tests {
     #[test]
     fn clear_resets_for_the_next_iteration() {
         let mut bus = Bus::new();
-        bus.publish(Frame::encode(SENSOR_ID_BASE, "ips", &Vector::from_slice(&[1.0])));
+        bus.publish(Frame::encode(
+            SENSOR_ID_BASE,
+            "ips",
+            &Vector::from_slice(&[1.0]),
+        ));
         assert!(!bus.is_empty());
         bus.clear();
         assert!(bus.is_empty());

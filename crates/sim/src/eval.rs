@@ -10,15 +10,14 @@
 //!   condition first matches the new truth (the `S0→2→4`-style rows of
 //!   Table II report one delay per transition, including recoveries).
 
-use serde::{Deserialize, Serialize};
-
 use roboads_stats::ConfusionCounts;
 
 use crate::scenario::GroundTruth;
 use crate::trace::{sensor_mode_code, Trace};
 
 /// The delay of one ground-truth condition transition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TransitionDelay {
     /// Time of the ground-truth transition, seconds.
     pub at: f64,
@@ -30,7 +29,8 @@ pub struct TransitionDelay {
 }
 
 /// Aggregated evaluation of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EvalResult {
     /// The scenario name.
     pub scenario: String,
@@ -136,18 +136,16 @@ pub fn evaluate(trace: &Trace, ground_truth: &GroundTruth) -> EvalResult {
         detected_actuator.push(d_act);
     }
 
-    let sensor_transitions = transitions(
-        &truth_sensor,
-        &detected_sensor,
-        dt,
-        |v| format!("S{}", sensor_mode_code(v)),
-    );
-    let actuator_transitions = transitions(
-        &truth_actuator,
-        &detected_actuator,
-        dt,
-        |&v| if v { "A1".to_string() } else { "A0".to_string() },
-    );
+    let sensor_transitions = transitions(&truth_sensor, &detected_sensor, dt, |v| {
+        format!("S{}", sensor_mode_code(v))
+    });
+    let actuator_transitions = transitions(&truth_actuator, &detected_actuator, dt, |&v| {
+        if v {
+            "A1".to_string()
+        } else {
+            "A0".to_string()
+        }
+    });
 
     EvalResult {
         scenario: trace.scenario_name().to_string(),
@@ -234,9 +232,9 @@ mod tests {
     use super::*;
     use crate::misbehavior::{Corruption, Misbehavior, Target};
     use crate::scenario::Scenario;
+    use crate::trace::TraceRecord;
     use roboads_core::{AnomalyEstimate, DetectionReport};
     use roboads_linalg::Vector;
-    use crate::trace::TraceRecord;
 
     /// Builds a synthetic trace where the detector reports `detected`
     /// at each iteration.
@@ -311,8 +309,7 @@ mod tests {
     #[test]
     fn wrong_identification_is_false_positive() {
         // Truth: sensor 0; detector blames sensor 1 throughout.
-        let detected: Vec<(Vec<usize>, bool)> =
-            (0..10).map(|_| (vec![1], false)).collect();
+        let detected: Vec<(Vec<usize>, bool)> = (0..10).map(|_| (vec![1], false)).collect();
         let trace = synthetic_trace(detected);
         let gt = scenario_sensor0_from(0, 10).ground_truth();
         let eval = evaluate(&trace, &gt);
@@ -333,9 +330,8 @@ mod tests {
 
     #[test]
     fn actuator_rates() {
-        let detected: Vec<(Vec<usize>, bool)> = (0..10)
-            .map(|k| (vec![], k == 2 || k >= 5))
-            .collect();
+        let detected: Vec<(Vec<usize>, bool)> =
+            (0..10).map(|k| (vec![], k == 2 || k >= 5)).collect();
         let trace = synthetic_trace(detected);
         let s = Scenario::new(
             0,

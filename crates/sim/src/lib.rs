@@ -46,6 +46,7 @@ mod misbehavior;
 mod platform;
 mod runner;
 mod scenario;
+mod telemetry;
 mod trace;
 mod workflow;
 
@@ -54,8 +55,14 @@ pub use misbehavior::{Corruption, Misbehavior, Target};
 pub use platform::RobotPlatform;
 pub use runner::{RobotKind, SimOutcome, SimulationBuilder};
 pub use scenario::{GroundTruth, Scenario};
+pub use telemetry::{ModeTelemetry, TelemetrySummary};
 pub use trace::{Trace, TraceRecord};
 pub use workflow::{ActuationWorkflow, SensingWorkflow};
+
+/// Re-export of the observability layer, so harnesses can build sinks
+/// and [`roboads_obs::Telemetry`] contexts for
+/// [`SimulationBuilder::telemetry`] without naming the crate.
+pub use roboads_obs as obs;
 
 use std::error::Error;
 use std::fmt;

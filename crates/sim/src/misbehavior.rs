@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::Vector;
 use roboads_models::sensors::WheelEncoderOdometry;
 
@@ -7,7 +5,8 @@ use crate::{Result, SimError};
 
 /// Where a misbehavior acts: one sensing workflow or the actuation
 /// workflows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Target {
     /// A sensing workflow, by sensor suite index.
     Sensor(usize),
@@ -21,7 +20,8 @@ pub enum Target {
 /// corruptions `d^s` / `d^a` on the planner-visible reading or the
 /// executed command — but *generated* at the workflow step where each
 /// Table-II scenario physically acts (tick counters, raw commands, …).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Corruption {
     /// Adds a constant vector (logic bombs, spoofing shifts).
     Bias(Vector),
@@ -65,7 +65,8 @@ pub enum Corruption {
 /// assert!(!m.is_active(39));
 /// assert!(m.is_active(40));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Misbehavior {
     name: String,
     target: Target,
@@ -281,7 +282,10 @@ mod tests {
             None,
         );
         let clean = Vector::from_slice(&[1.0, 2.0, 3.0, 0.4]);
-        assert_eq!(m.apply(0, &clean, None, 0.0, None).unwrap(), Vector::zeros(4));
+        assert_eq!(
+            m.apply(0, &clean, None, 0.0, None).unwrap(),
+            Vector::zeros(4)
+        );
     }
 
     #[test]
@@ -311,7 +315,7 @@ mod tests {
         let corrupted = m.apply(0, &clean, None, 0.0, Some(&enc)).unwrap();
         assert!(corrupted[0] > 1.0); // forward shift
         assert!(corrupted[2] < 0.0); // clockwise heading shift
-        // Without geometry it must error, not silently pass.
+                                     // Without geometry it must error, not silently pass.
         assert!(m.apply(0, &clean, None, 0.0, None).is_err());
     }
 

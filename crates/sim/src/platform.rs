@@ -1,4 +1,4 @@
-use rand::rngs::StdRng;
+use roboads_stats::StdRng;
 
 use roboads_linalg::Vector;
 use roboads_models::RobotSystem;
@@ -13,7 +13,7 @@ use crate::Result;
 /// # Example
 ///
 /// ```
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use roboads_stats::{SeedableRng, StdRng};
 /// use roboads_linalg::Vector;
 /// use roboads_models::presets;
 /// use roboads_sim::RobotPlatform;
@@ -54,8 +54,8 @@ impl RobotPlatform {
 
     /// Advances one control iteration with the *executed* commands.
     pub fn step(&mut self, system: &RobotSystem, u_executed: &Vector, rng: &mut StdRng) {
-        let mut next = &system.dynamics().step(&self.state, u_executed)
-            + &self.process_noise.sample(rng);
+        let mut next =
+            &system.dynamics().step(&self.state, u_executed) + &self.process_noise.sample(rng);
         for &i in system.dynamics().angular_state_components() {
             next[i] = roboads_models::wrap_angle(next[i]);
         }
@@ -66,8 +66,8 @@ impl RobotPlatform {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use roboads_models::presets;
+    use roboads_stats::SeedableRng;
 
     #[test]
     fn noise_stays_near_deterministic_trajectory() {
@@ -102,8 +102,7 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let system = presets::khepera_system();
         let run = |seed| {
-            let mut p =
-                RobotPlatform::new(&system, Vector::from_slice(&[1.0, 1.0, 0.0])).unwrap();
+            let mut p = RobotPlatform::new(&system, Vector::from_slice(&[1.0, 1.0, 0.0])).unwrap();
             let mut rng = StdRng::seed_from_u64(seed);
             for _ in 0..10 {
                 p.step(&system, &Vector::from_slice(&[0.05, 0.04]), &mut rng);

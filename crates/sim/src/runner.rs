@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use roboads_stats::{SeedableRng, StdRng};
 
 use roboads_control::{
     BicycleTracker, DifferentialDriveTracker, Mission, Path, TrackingController,
@@ -10,10 +9,13 @@ use roboads_linalg::Vector;
 use roboads_models::sensors::WheelEncoderOdometry;
 use roboads_models::{presets, Pose2, RobotSystem};
 
+use roboads_obs::Telemetry;
+
 use crate::bus::{Bus, Frame, COMMAND_ID, SENSOR_ID_BASE};
 use crate::eval::{evaluate, EvalResult};
 use crate::platform::RobotPlatform;
 use crate::scenario::Scenario;
+use crate::telemetry::TelemetrySummary;
 use crate::trace::{Trace, TraceRecord};
 use crate::workflow::{ActuationWorkflow, SensingWorkflow};
 use crate::{Result, SimError};
@@ -36,6 +38,9 @@ pub struct SimOutcome {
     pub eval: EvalResult,
     /// The final iteration's detection report.
     pub report: DetectionReport,
+    /// Detector-health summary condensed from the run's telemetry
+    /// registry (step latency, per-mode distributions, failure counts).
+    pub telemetry: TelemetrySummary,
 }
 
 /// Builder wiring an arena, mission, tracker, workflows and the RoboADS
@@ -66,6 +71,7 @@ pub struct SimulationBuilder {
     mode_set: Option<ModeSet>,
     path_override: Option<Path>,
     use_linearized_baseline: bool,
+    telemetry: Option<Telemetry>,
 }
 
 enum Detector {
@@ -96,6 +102,7 @@ impl SimulationBuilder {
             mode_set: None,
             path_override: None,
             use_linearized_baseline: false,
+            telemetry: None,
         }
     }
 
@@ -158,6 +165,17 @@ impl SimulationBuilder {
         self
     }
 
+    /// Supplies the telemetry context threaded through the detector
+    /// pipeline and the run loop. The default context has a disabled
+    /// sink (spans/events vanish without reading the clock) but a live
+    /// registry, so [`SimOutcome::telemetry`] is populated either way;
+    /// pass one backed by a `RingBufferSink`/`WriterSink` to also
+    /// capture spans and alarm events.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Executes the run.
     ///
     /// # Errors
@@ -199,6 +217,7 @@ impl SimulationBuilder {
             .mode_set
             .clone()
             .unwrap_or_else(|| ModeSet::one_reference_per_sensor(&system));
+        let telemetry = self.telemetry.clone().unwrap_or_default();
         let mut detector = if self.use_linearized_baseline {
             Detector::Baseline(LinearizedOnceDetector::new(
                 system.clone(),
@@ -207,12 +226,10 @@ impl SimulationBuilder {
                 mode_set,
             )?)
         } else {
-            Detector::RoboAds(RoboAds::new(
-                system.clone(),
-                self.config.clone(),
-                x0.clone(),
-                mode_set,
-            )?)
+            Detector::RoboAds(
+                RoboAds::new(system.clone(), self.config.clone(), x0.clone(), mode_set)?
+                    .with_telemetry(telemetry.clone()),
+            )
         };
 
         let misbehaviors = self.scenario.misbehaviors().to_vec();
@@ -236,8 +253,13 @@ impl SimulationBuilder {
         // before the first reading it knows the initial pose.
         let mut controller_pose = Pose2::from_vector(&x0).expect("pose state");
 
+        // Step latency is a metric, not a span: collected even with the
+        // default disabled sink so the outcome summary always has it.
+        let step_latency = telemetry.metrics().histogram("sim.step_latency_s");
+
         let mut bus = Bus::new();
         for k in 0..duration {
+            let _iter_span = telemetry.span("sim.iteration");
             let u_planned = tracker.command(&controller_pose);
             let (u_executed, d_a_true) = actuation.execute(k, &u_planned)?;
             platform.step(&system, &u_executed, &mut rng);
@@ -265,14 +287,12 @@ impl SimulationBuilder {
                         .decode()
                 })
                 .collect();
-            let u_monitored = bus
-                .latest(COMMAND_ID)
-                .expect("planner published")
-                .decode();
+            let u_monitored = bus.latest(COMMAND_ID).expect("planner published").decode();
 
+            let step_started = std::time::Instant::now();
             let report = detector.step(&u_monitored, &readings)?;
-            controller_pose =
-                Pose2::from_vector(&readings[0]).expect("IPS readings carry a pose");
+            step_latency.record(step_started.elapsed().as_secs_f64());
+            controller_pose = Pose2::from_vector(&readings[0]).expect("IPS readings carry a pose");
 
             trace.push(TraceRecord {
                 k,
@@ -288,18 +308,20 @@ impl SimulationBuilder {
         }
 
         let eval = evaluate(&trace, &self.scenario.ground_truth());
-        let report = trace
-            .records()
-            .last()
-            .map(|r| r.report.clone())
-            .ok_or(SimError::InvalidParameter {
-                name: "duration",
-                value: "0".into(),
-            })?;
+        let report =
+            trace
+                .records()
+                .last()
+                .map(|r| r.report.clone())
+                .ok_or(SimError::InvalidParameter {
+                    name: "duration",
+                    value: "0".into(),
+                })?;
         Ok(SimOutcome {
             trace,
             eval,
             report,
+            telemetry: TelemetrySummary::from_registry(telemetry.metrics()),
         })
     }
 }
@@ -316,7 +338,11 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(outcome.trace.len(), 200);
-        assert!(outcome.eval.sensor_fpr() < 0.05, "fpr {}", outcome.eval.sensor_fpr());
+        assert!(
+            outcome.eval.sensor_fpr() < 0.05,
+            "fpr {}",
+            outcome.eval.sensor_fpr()
+        );
         assert!(outcome.eval.actuator_fpr() < 0.05);
     }
 
@@ -336,10 +362,7 @@ mod tests {
             a.trace.records()[79].true_state,
             b.trace.records()[79].true_state
         );
-        assert_eq!(
-            a.report.misbehaving_sensors,
-            b.report.misbehaving_sensors
-        );
+        assert_eq!(a.report.misbehaving_sensors, b.report.misbehaving_sensors);
         let c = run(10);
         assert_ne!(
             a.trace.records()[79].true_state,
@@ -386,5 +409,50 @@ mod tests {
     fn zero_duration_is_an_error() {
         let r = SimulationBuilder::khepera().duration(0).run();
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn outcome_telemetry_summarizes_the_run() {
+        let outcome = SimulationBuilder::khepera()
+            .scenario(Scenario::clean())
+            .seed(1)
+            .duration(40)
+            .run()
+            .unwrap();
+        let t = &outcome.telemetry;
+        assert_eq!(t.steps, 40);
+        assert_eq!(t.step_latency.count, 40);
+        assert!(t.step_latency.p50 > 0.0);
+        assert!(t.step_latency.p99 >= t.step_latency.p50);
+        assert_eq!(t.modes.len(), 3, "one hypothesis per sensor");
+        assert_eq!(t.numeric_failures, 0);
+        assert_eq!(t.modes[0].probability.count, 40);
+        let json = t.to_json();
+        assert!(json.contains("\"steps\":40"), "json {json}");
+    }
+
+    #[test]
+    fn ring_buffer_telemetry_captures_spans_and_alarm_events() {
+        use roboads_obs::{RingBufferSink, Telemetry};
+        use std::sync::Arc;
+        let ring = Arc::new(RingBufferSink::new(100_000));
+        let outcome = SimulationBuilder::khepera()
+            .scenario(Scenario::ips_spoofing())
+            .seed(7)
+            .telemetry(Telemetry::new(ring.clone()))
+            .run()
+            .unwrap();
+        assert!(outcome.report.sensor_misbehavior_detected());
+        let spans = ring.spans();
+        assert!(spans.iter().any(|s| s.name == "engine.step"));
+        assert!(spans.iter().any(|s| s.name == "sim.iteration"));
+        let events = ring.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.name == "decision.sensor_alarm_confirmed"),
+            "spoofing run must log a confirmed sensor alarm"
+        );
+        assert!(outcome.telemetry.sensor_alarms >= 1);
     }
 }

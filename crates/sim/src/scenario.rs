@@ -7,8 +7,6 @@
 //! wheels, +0.07 m / −0.1 m IPS shifts, 100 encoder ticks, all-zero
 //! LiDAR ranges).
 
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::Vector;
 use roboads_models::dynamics::DifferentialDrive;
 
@@ -23,7 +21,8 @@ pub const DEFAULT_DURATION: usize = 200;
 
 /// Ground-truth misbehavior timeline derived from a scenario's
 /// misbehavior windows, used by the evaluation harness.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GroundTruth {
     misbehaviors: Vec<Misbehavior>,
 }
@@ -71,7 +70,8 @@ impl GroundTruth {
 /// assert!(s.ground_truth().actuator_at(50));
 /// assert!(!s.ground_truth().actuator_at(10));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Scenario {
     number: usize,
     name: String,
@@ -394,10 +394,7 @@ impl Scenario {
         while k < self.duration {
             // Skip bumps too close to a real misbehavior onset so delay
             // measurements stay attributable.
-            let near_onset = self
-                .misbehaviors
-                .iter()
-                .any(|m| k.abs_diff(m.start()) < 3);
+            let near_onset = self.misbehaviors.iter().any(|m| k.abs_diff(m.start()) < 3);
             if !near_onset {
                 let dim = match sensor {
                     2 => 4, // LiDAR workflow has 4 components
@@ -661,9 +658,9 @@ mod tests {
     fn tamiya_set_is_complete() {
         let all = Scenario::all_tamiya();
         assert_eq!(all.len(), 6);
-        assert!(all.iter().any(|s| s
-            .ground_truth()
-            .actuator_at(FIRST_TRIGGER)));
+        assert!(all
+            .iter()
+            .any(|s| s.ground_truth().actuator_at(FIRST_TRIGGER)));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Post-run telemetry summary attached to every [`SimOutcome`].
+//!
+//! The runner threads one [`Telemetry`] context through the detector
+//! pipeline; after the loop it condenses the shared metrics registry
+//! into this plain-data summary so harnesses (and the `telemetry`
+//! example) can print detector health without touching the registry
+//! API.
+//!
+//! [`SimOutcome`]: crate::SimOutcome
+//! [`Telemetry`]: roboads_obs::Telemetry
+
+use roboads_obs::json::JsonObject;
+use roboads_obs::{HistogramSummary, MetricsRegistry};
+
+/// Distribution summaries for one estimator-bank hypothesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeTelemetry {
+    /// Mode index within the run's mode set.
+    pub mode: usize,
+    /// Posterior probability distribution over the run.
+    pub probability: HistogramSummary,
+    /// Innovation-consistency p-value distribution over the run (the
+    /// numerical-health signal: a clean run keeps the median well above
+    /// the engine's re-anchor floor).
+    pub consistency: HistogramSummary,
+}
+
+/// Detector-health summary of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    /// Successful engine iterations.
+    pub steps: u64,
+    /// Wall-clock latency of `detector.step` per iteration, seconds.
+    pub step_latency: HistogramSummary,
+    /// Collapsed hypotheses re-anchored to the winner.
+    pub reanchors: u64,
+    /// Iterations lost to `CoreError::Numeric`.
+    pub numeric_failures: u64,
+    /// Cholesky breakdowns observed in the linalg substrate during the
+    /// run (process-wide attribution; see `roboads_linalg::health`).
+    pub cholesky_failures: u64,
+    /// Rising edges of the window-confirmed sensor alarm.
+    pub sensor_alarms: u64,
+    /// Rising edges of the window-confirmed actuator alarm.
+    pub actuator_alarms: u64,
+    /// Per-mode probability/consistency distributions, in mode order.
+    pub modes: Vec<ModeTelemetry>,
+}
+
+impl TelemetrySummary {
+    /// Condenses the registry the runner shared with the pipeline.
+    ///
+    /// Missing instruments read as zero/empty (e.g. a baseline-detector
+    /// run registers no engine metrics).
+    pub fn from_registry(metrics: &MetricsRegistry) -> Self {
+        let counter = |name: &str| metrics.counter_value(name).unwrap_or(0);
+        let histogram = |name: &str| {
+            metrics
+                .histogram_summary(name)
+                .unwrap_or_else(HistogramSummary::empty)
+        };
+        let mut modes = Vec::new();
+        for m in 0.. {
+            let probability = metrics.histogram_summary(&format!("engine.mode{m}.probability"));
+            let consistency = metrics.histogram_summary(&format!("engine.mode{m}.consistency"));
+            match (probability, consistency) {
+                (Some(probability), Some(consistency)) => modes.push(ModeTelemetry {
+                    mode: m,
+                    probability,
+                    consistency,
+                }),
+                _ => break,
+            }
+        }
+        TelemetrySummary {
+            steps: counter("engine.steps"),
+            step_latency: histogram("sim.step_latency_s"),
+            reanchors: counter("engine.reanchor.count"),
+            numeric_failures: counter("engine.numeric_failures"),
+            cholesky_failures: counter("engine.cholesky_failures"),
+            sensor_alarms: counter("decision.sensor_alarms"),
+            actuator_alarms: counter("decision.actuator_alarms"),
+            modes,
+        }
+    }
+
+    /// One-line JSON encoding (harness output, `examples/telemetry.rs`).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("steps", self.steps);
+        o.field_raw("step_latency_s", &self.step_latency.to_json());
+        o.field_u64("reanchors", self.reanchors);
+        o.field_u64("numeric_failures", self.numeric_failures);
+        o.field_u64("cholesky_failures", self.cholesky_failures);
+        o.field_u64("sensor_alarms", self.sensor_alarms);
+        o.field_u64("actuator_alarms", self.actuator_alarms);
+        let modes: Vec<String> = self
+            .modes
+            .iter()
+            .map(|m| {
+                let mut mo = JsonObject::new();
+                mo.field_u64("mode", m.mode as u64);
+                mo.field_raw("probability", &m.probability.to_json());
+                mo.field_raw("consistency", &m.consistency.to_json());
+                mo.finish()
+            })
+            .collect();
+        o.field_raw("modes", &format!("[{}]", modes.join(",")));
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_summarizes_to_zeros() {
+        let metrics = MetricsRegistry::new();
+        let s = TelemetrySummary::from_registry(&metrics);
+        assert_eq!(s.steps, 0);
+        assert_eq!(s.step_latency.count, 0);
+        assert!(s.modes.is_empty());
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"modes\":[]"));
+    }
+
+    #[test]
+    fn populated_registry_is_condensed_per_mode() {
+        let metrics = MetricsRegistry::new();
+        metrics.counter("engine.steps").add(30);
+        metrics.counter("engine.reanchor.count").add(2);
+        for m in 0..3 {
+            let p = metrics.histogram(&format!("engine.mode{m}.probability"));
+            let c = metrics.histogram(&format!("engine.mode{m}.consistency"));
+            for _ in 0..10 {
+                p.record(1.0 / 3.0);
+                c.record(0.5);
+            }
+        }
+        metrics.histogram("sim.step_latency_s").record(0.0004);
+        let s = TelemetrySummary::from_registry(&metrics);
+        assert_eq!(s.steps, 30);
+        assert_eq!(s.reanchors, 2);
+        assert_eq!(s.modes.len(), 3);
+        assert_eq!(s.modes[2].mode, 2);
+        assert_eq!(s.modes[0].probability.count, 10);
+        assert_eq!(s.step_latency.count, 1);
+        assert!(s.to_json().contains("\"steps\":30"));
+    }
+}

@@ -1,10 +1,9 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_core::DetectionReport;
 use roboads_linalg::Vector;
 
 /// Everything recorded about one control iteration of a simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TraceRecord {
     /// Iteration index `k` (0-based).
     pub k: usize,
@@ -44,7 +43,8 @@ pub struct TraceRecord {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Trace {
     records: Vec<TraceRecord>,
     dt: f64,
@@ -165,8 +165,10 @@ impl Trace {
         for c in 0..first.report.state_estimate.len() {
             out.push_str(&format!(",est_x{c}"));
         }
-        out.push_str(",sensor_stat,actuator_stat,sensor_mode,actuator_alarm
-");
+        out.push_str(
+            ",sensor_stat,actuator_stat,sensor_mode,actuator_alarm
+",
+        );
         for r in &self.records {
             out.push_str(&format!("{},{:.2}", r.k, r.time));
             for &v in r.true_state.as_slice() {

@@ -1,4 +1,4 @@
-use rand::rngs::StdRng;
+use roboads_stats::StdRng;
 
 use roboads_linalg::Vector;
 use roboads_models::sensors::WheelEncoderOdometry;
@@ -36,8 +36,7 @@ impl SensingWorkflow {
         misbehaviors: &[Misbehavior],
         encoder_geometry: Option<WheelEncoderOdometry>,
     ) -> Result<Self> {
-        let sensor = system
-            .sensor(sensor_index)?;
+        let sensor = system.sensor(sensor_index)?;
         let noise = MultivariateNormal::zero_mean(sensor.noise_covariance())?;
         let mine: Vec<Misbehavior> = misbehaviors
             .iter()
@@ -72,8 +71,7 @@ impl SensingWorkflow {
         x_true: &Vector,
         rng: &mut StdRng,
     ) -> Result<(Vector, Vector)> {
-        let sensor = system
-            .sensor(self.sensor_index)?;
+        let sensor = system.sensor(self.sensor_index)?;
         let clean = &sensor.measure(x_true) + &self.noise.sample(rng);
         let mut reading = clean.clone();
         for m in &self.misbehaviors {
@@ -145,8 +143,8 @@ impl ActuationWorkflow {
 mod tests {
     use super::*;
     use crate::misbehavior::Corruption;
-    use rand::SeedableRng;
     use roboads_models::presets;
+    use roboads_stats::SeedableRng;
 
     #[test]
     fn clean_workflow_reading_tracks_measurement() {

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::gamma::regularized_lower_gamma;
 use crate::{Result, StatsError};
 
@@ -19,7 +17,8 @@ use crate::{Result, StatsError};
 /// // Median of chi-square(2) is 2·ln 2 ≈ 1.386.
 /// assert!((chi.inverse_cdf(0.5).unwrap() - 1.386).abs() < 0.01);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChiSquared {
     dof: usize,
 }
@@ -148,8 +147,18 @@ impl ChiSquared {
 /// approximation), used only to seed the bisection with a good guess.
 fn standard_normal_quantile(p: f64) -> f64 {
     // Beasley–Springer–Moro.
-    const A: [f64; 4] = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637];
-    const B: [f64; 4] = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833];
+    const A: [f64; 4] = [
+        2.50662823884,
+        -18.61500062529,
+        41.39119773534,
+        -25.44106049637,
+    ];
+    const B: [f64; 4] = [
+        -8.47351093090,
+        23.08336743743,
+        -21.06224101826,
+        3.13082909833,
+    ];
     const C: [f64; 9] = [
         0.3374754822726147,
         0.9761690190917186,

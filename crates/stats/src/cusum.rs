@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, StatsError};
 
 /// One-sided CUSUM change detector on a statistic stream.
@@ -28,7 +26,8 @@ use crate::{Result, StatsError};
 /// }
 /// assert!(fired);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cusum {
     reference: f64,
     threshold: f64,
@@ -98,10 +97,9 @@ impl Cusum {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sampling::{SeedableRng, StdRng};
     use crate::ChiSquared;
     use crate::GaussianSampler;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn in_control_stream_never_accumulates() {

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use roboads_linalg::{Matrix, Vector};
 
 use crate::{ChiSquared, Result, StatsError};
@@ -61,7 +59,8 @@ pub fn normalized_statistic(d: &Vector, covariance: &Matrix) -> Result<f64> {
 /// assert!(!test.exceeds(4.0));   // typical statistic under no anomaly
 /// assert!(test.exceeds(40.0));   // far above the 12.84 threshold
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChiSquareTest {
     dof: usize,
     alpha: f64,
@@ -123,8 +122,7 @@ impl ChiSquareTest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::sampling::{SeedableRng, StdRng};
 
     use crate::MultivariateNormal;
 

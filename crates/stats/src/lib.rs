@@ -47,7 +47,7 @@ pub use cusum::Cusum;
 pub use descriptive::{mean, sample_std_dev, sample_variance};
 pub use hypothesis::{normalized_statistic, ChiSquareTest};
 pub use metrics::{ConfusionCounts, RocCurve, RocPoint};
-pub use sampling::{GaussianSampler, MultivariateNormal};
+pub use sampling::{GaussianSampler, MultivariateNormal, Rng, SeedableRng, StdRng};
 pub use window::SlidingWindow;
 
 use std::error::Error;

@@ -8,8 +8,6 @@
 //! a **true negative**. Figure 7 sweeps the decision parameters and plots
 //! ROC curves and F1 scores built from these counts.
 
-use serde::{Deserialize, Serialize};
-
 /// Confusion-matrix counts accumulated over detector iterations or runs.
 ///
 /// # Example
@@ -24,7 +22,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c.true_positives, 1);
 /// assert!((c.false_positive_rate() - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConfusionCounts {
     /// Alarms raised with the correct condition identified.
     pub true_positives: u64,
@@ -86,22 +85,34 @@ impl ConfusionCounts {
 
     /// `FP / (FP + TN)`; 0 when no negatives were recorded.
     pub fn false_positive_rate(&self) -> f64 {
-        ratio(self.false_positives, self.false_positives + self.true_negatives)
+        ratio(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
     }
 
     /// `FN / (FN + TP)`; 0 when no positives were recorded.
     pub fn false_negative_rate(&self) -> f64 {
-        ratio(self.false_negatives, self.false_negatives + self.true_positives)
+        ratio(
+            self.false_negatives,
+            self.false_negatives + self.true_positives,
+        )
     }
 
     /// `TP / (TP + FN)` (recall / sensitivity); 0 when no positives.
     pub fn true_positive_rate(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_negatives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
     }
 
     /// `TP / (TP + FP)`; 0 when nothing was flagged.
     pub fn precision(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_positives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
     }
 
     /// Recall, alias of [`ConfusionCounts::true_positive_rate`].
@@ -130,7 +141,8 @@ fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// One operating point on a ROC curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RocPoint {
     /// False positive rate at this operating point.
     pub false_positive_rate: f64,
@@ -153,7 +165,8 @@ pub struct RocPoint {
 /// roc.push(RocPoint { false_positive_rate: 1.0, true_positive_rate: 1.0, parameter: 0.995 });
 /// assert!(roc.area_under_curve() > 0.8);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RocCurve {
     points: Vec<RocPoint>,
 }

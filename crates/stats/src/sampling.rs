@@ -1,8 +1,99 @@
-use rand::{Rng, RngExt};
-
 use roboads_linalg::{Cholesky, Matrix, Vector};
 
 use crate::{Result, StatsError};
+
+/// A source of uniformly distributed random bits.
+///
+/// This is the workspace's in-tree replacement for the `rand` crate's
+/// trait of the same name: the tier-1 build must resolve with no
+/// registry access, so the simulation substrate draws every noise and
+/// attack stream from this zero-dependency layer instead. Only what the
+/// workspace actually consumes is provided — raw 64-bit words and
+/// uniform `f64`s; Gaussian shaping lives in [`GaussianSampler`].
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    fn random(&mut self) -> f64 {
+        // Take the top 53 bits: the f64 mantissa width, so every
+        // representable value in [0, 1) with spacing 2⁻⁵³ is reachable.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a 64-bit seed (API-compatible with
+/// the `rand` crate's method of the same name so call sites read the
+/// same).
+pub trait SeedableRng: Sized {
+    /// Builds a deterministic generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's standard generator: xoshiro256++ (Blackman & Vigna),
+/// seeded through SplitMix64 so that nearby seeds — including 0 — yield
+/// uncorrelated streams.
+///
+/// Not cryptographic; statistical quality is what the closed-loop
+/// simulations need (equidistribution in 64-bit words, 256-bit state,
+/// period 2²⁵⁶ − 1).
+///
+/// # Example
+///
+/// ```
+/// use roboads_stats::{Rng, SeedableRng, StdRng};
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let u = rng.random();
+/// assert!((0.0..1.0).contains(&u));
+/// assert_eq!(StdRng::seed_from_u64(42).next_u64(), StdRng::seed_from_u64(42).next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state; the
+        // all-zero state (unreachable from SplitMix64) would be a fixed
+        // point of xoshiro.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// Standard-normal sampler using the Box–Muller transform.
 ///
@@ -14,7 +105,7 @@ use crate::{Result, StatsError};
 /// # Example
 ///
 /// ```
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use roboads_stats::{SeedableRng, StdRng};
 /// use roboads_stats::GaussianSampler;
 ///
 /// let mut rng = StdRng::seed_from_u64(42);
@@ -73,7 +164,7 @@ impl GaussianSampler {
 /// # Example
 ///
 /// ```
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use roboads_stats::{SeedableRng, StdRng};
 /// use roboads_linalg::{Matrix, Vector};
 /// use roboads_stats::MultivariateNormal;
 ///
@@ -153,8 +244,6 @@ impl MultivariateNormal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn standard_normal_moments() {
@@ -207,7 +296,10 @@ mod tests {
             }
         }
         let emp = &acc * (1.0 / n as f64);
-        assert!((&emp - &cov).max_abs() < 0.005, "empirical covariance {emp:?}");
+        assert!(
+            (&emp - &cov).max_abs() < 0.005,
+            "empirical covariance {emp:?}"
+        );
     }
 
     #[test]

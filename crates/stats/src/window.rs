@@ -1,7 +1,5 @@
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, StatsError};
 
 /// The `c`-of-`w` sliding-window decision rule of the RoboADS decision
@@ -27,7 +25,8 @@ use crate::{Result, StatsError};
 /// // Third positive arrives within the 6-wide window → alarm.
 /// assert_eq!(alarms, [false, false, false, false, false, true]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SlidingWindow {
     criteria: usize,
     window: usize,
@@ -71,10 +70,9 @@ impl SlidingWindow {
     /// Pushes one test outcome and returns whether the window condition
     /// is met (`≥ c` positives among the last `w` outcomes).
     pub fn push(&mut self, positive: bool) -> bool {
-        if self.history.len() == self.window
-            && self.history.pop_front() == Some(true) {
-                self.positives -= 1;
-            }
+        if self.history.len() == self.window && self.history.pop_front() == Some(true) {
+            self.positives -= 1;
+        }
         self.history.push_back(positive);
         if positive {
             self.positives += 1;

@@ -1,3 +1,8 @@
+//! Property suite — gated behind the `proptest-suites` feature because
+//! the tier-1 build must resolve offline with no external packages
+//! (vendor proptest and re-add the dev-dependency to enable).
+#![cfg(feature = "proptest-suites")]
+
 //! Property-based tests for the statistics substrate.
 
 use proptest::prelude::*;

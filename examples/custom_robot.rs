@@ -17,8 +17,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use roboads::stats::{SeedableRng, StdRng};
 
 use roboads::core::{Mode, ModeSet, RoboAds, RoboAdsConfig};
 use roboads::linalg::{Matrix, Vector};

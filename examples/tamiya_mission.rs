@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let name = scenario.name().to_string();
         let description = scenario.description().to_string();
-        let outcome = SimulationBuilder::tamiya().scenario(scenario).seed(5).run()?;
+        let outcome = SimulationBuilder::tamiya()
+            .scenario(scenario)
+            .seed(5)
+            .run()?;
         println!("{name}: {description}");
         println!(
             "  sensor sequence {} / actuator sequence {}",

@@ -1,0 +1,96 @@
+//! Telemetry walkthrough: run the IPS-spoofing mission with a flight
+//! recorder attached, then print the incident log (structured alarm
+//! events), the pipeline span timings, and the run's health summary as
+//! JSON — everything `roboads::obs` collects, with zero external
+//! dependencies.
+//!
+//! ```text
+//! cargo run --release --example telemetry
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use roboads::obs::{RingBufferSink, Telemetry, Value};
+use roboads::sim::{Scenario, SimulationBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A ring buffer keeps the most recent records (flight-recorder
+    // semantics); 100k is plenty for one 200-iteration mission. Use
+    // `WriterSink::new(std::fs::File::create("run.jsonl")?)` instead to
+    // stream every span and event to disk as JSON Lines.
+    let ring = Arc::new(RingBufferSink::new(100_000));
+
+    let outcome = SimulationBuilder::khepera()
+        .scenario(Scenario::ips_spoofing())
+        .seed(7)
+        .telemetry(Telemetry::new(ring.clone()))
+        .run()?;
+
+    // --- The incident log: edge-triggered alarm events. ---
+    println!("incident log:");
+    for event in ring.events() {
+        let fields = event
+            .fields
+            .iter()
+            .map(|(k, v)| {
+                let v = match v {
+                    Value::F64(f) => format!("{f:.2}"),
+                    other => other.to_string(),
+                };
+                format!("{k}={v}")
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "  t={:>7.3}s  {:<34} {}",
+            event.time_ns as f64 / 1e9,
+            event.name,
+            fields
+        );
+    }
+
+    // --- Span timings: where a detection iteration spends its time. ---
+    let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for span in ring.spans() {
+        let entry = by_name.entry(span.name).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += span.duration_ns;
+    }
+    println!("\npipeline spans (count, mean):");
+    for (name, (count, total_ns)) in &by_name {
+        println!(
+            "  {:<22} {:>6}×  {:>8.1} µs",
+            name,
+            count,
+            *total_ns as f64 / *count as f64 / 1e3
+        );
+    }
+
+    // --- The health summary every SimOutcome carries (even with the
+    //     default NoopSink — metrics always collect). ---
+    println!("\nhealth summary:");
+    println!(
+        "  {} steps, step latency p50/p95/p99 = {:.1}/{:.1}/{:.1} µs",
+        outcome.telemetry.steps,
+        outcome.telemetry.step_latency.p50 * 1e6,
+        outcome.telemetry.step_latency.p95 * 1e6,
+        outcome.telemetry.step_latency.p99 * 1e6,
+    );
+    println!(
+        "  re-anchors: {}, numeric failures: {}, cholesky breakdowns: {}",
+        outcome.telemetry.reanchors,
+        outcome.telemetry.numeric_failures,
+        outcome.telemetry.cholesky_failures,
+    );
+    for mode in &outcome.telemetry.modes {
+        println!(
+            "  mode {}: probability p50 {:.3}, consistency p50 {:.3}",
+            mode.mode, mode.probability.p50, mode.consistency.p50
+        );
+    }
+
+    // Machine-readable form (the bench harnesses dump the same shape).
+    println!("\nsummary json:\n{}", outcome.telemetry.to_json());
+    Ok(())
+}

@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             a.estimate[1],
             a.estimate[1] - a.estimate[0],
             a.statistic,
-            if r.report.actuator_alarm { "ALARM" } else { "-" },
+            if r.report.actuator_alarm {
+                "ALARM"
+            } else {
+                "-"
+            },
         );
     }
 

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: the workspace must build and test with NO
+# registry/network access (see DESIGN.md §9). `--offline` makes a
+# dependency regression fail here exactly as it would in the offline
+# environment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release (offline) =="
+cargo build --release --offline
+
+echo "== tier1: cargo test -q (offline) =="
+cargo test -q --offline
+
+echo "== tier1: OK =="

@@ -19,7 +19,11 @@
 //!   multi-mode engine, the mode selector, the decision maker, and the
 //!   [`core::RoboAds`] detector,
 //! * [`sim`] — closed-loop simulation with workflow-level misbehavior
-//!   injection and the paper's 11 evaluation scenarios.
+//!   injection and the paper's 11 evaluation scenarios,
+//! * [`obs`] — zero-dependency telemetry: spans, structured events,
+//!   counters/gauges/histograms, and the sinks (`NoopSink`,
+//!   `RingBufferSink`, JSONL `WriterSink`) the pipeline reports into
+//!   (see `examples/telemetry.rs` and the README's Telemetry section).
 //!
 //! # Quickstart
 //!
@@ -42,5 +46,6 @@ pub use roboads_control as control;
 pub use roboads_core as core;
 pub use roboads_linalg as linalg;
 pub use roboads_models as models;
+pub use roboads_obs as obs;
 pub use roboads_sim as sim;
 pub use roboads_stats as stats;

@@ -143,13 +143,8 @@ fn linearize_once_baseline_degrades_on_a_turning_mission() {
     // §V-G in miniature: drive three quarters of the perimeter loop
     // (heading sweeps past 180°); the frozen model must produce far
     // more false positives.
-    let path = roboads::control::Path::new(vec![
-        (0.5, 0.5),
-        (3.5, 0.5),
-        (3.5, 3.5),
-        (0.5, 3.5),
-    ])
-    .unwrap();
+    let path =
+        roboads::control::Path::new(vec![(0.5, 0.5), (3.5, 0.5), (3.5, 3.5), (0.5, 3.5)]).unwrap();
     let run = |baseline| {
         SimulationBuilder::khepera()
             .scenario(Scenario::clean())
@@ -214,10 +209,18 @@ fn covariances_exposed_by_reports_are_psd() {
         .unwrap();
     for r in outcome.trace.records() {
         let a = &r.report.actuator_anomaly.covariance;
-        assert!(a.is_positive_semi_definite(1e-9).unwrap(), "P^a at k = {}", r.k);
+        assert!(
+            a.is_positive_semi_definite(1e-9).unwrap(),
+            "P^a at k = {}",
+            r.k
+        );
         let s = &r.report.sensor_anomaly.covariance;
         if s.rows() > 0 {
-            assert!(s.is_positive_semi_definite(1e-9).unwrap(), "P^s at k = {}", r.k);
+            assert!(
+                s.is_positive_semi_definite(1e-9).unwrap(),
+                "P^s at k = {}",
+                r.k
+            );
         }
     }
     let _ = Matrix::identity(2); // keep linalg import exercised

@@ -5,8 +5,7 @@
 //! Mis-signed cross-covariance terms (the paper's printed inconsistency)
 //! would show up here as NEES inflation.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use roboads::stats::{SeedableRng, StdRng};
 
 use roboads::core::{nuise_step, Linearization, Mode, NuiseInput};
 use roboads::linalg::{Matrix, Vector};
@@ -44,8 +43,8 @@ fn run_trial(seed: u64, steps: usize) -> Trial {
     let mut p = Matrix::identity(3) * 1e-4;
     let mut last = None;
     for _ in 0..steps {
-        x_true = &system.dynamics().step(&x_true, &(&u + &actuator_bias))
-            + &process.sample(&mut rng);
+        x_true =
+            &system.dynamics().step(&x_true, &(&u + &actuator_bias)) + &process.sample(&mut rng);
         let mut readings: Vec<Vector> = (0..3)
             .map(|i| {
                 &system.sensor(i).unwrap().measure(&x_true) + &sensor_noise[i].sample(&mut rng)
@@ -109,17 +108,32 @@ fn anomaly_estimates_are_unbiased_and_covariance_calibrated() {
     // Covariance calibration: E[NEES] equals the dof. A 30 % band is
     // generous for 300 trials of a nonlinear filter; the paper's printed
     // sign inconsistency would inflate these by far more.
-    let a_nees = mean(&trials.iter().map(|t| t.actuator_error_nees).collect::<Vec<_>>());
+    let a_nees = mean(
+        &trials
+            .iter()
+            .map(|t| t.actuator_error_nees)
+            .collect::<Vec<_>>(),
+    );
     assert!(
         (1.4..=2.6).contains(&a_nees),
         "actuator NEES {a_nees}, expected ≈ 2"
     );
-    let s_nees = mean(&trials.iter().map(|t| t.sensor_error_nees).collect::<Vec<_>>());
+    let s_nees = mean(
+        &trials
+            .iter()
+            .map(|t| t.sensor_error_nees)
+            .collect::<Vec<_>>(),
+    );
     assert!(
         (4.9..=9.1).contains(&s_nees),
         "sensor NEES {s_nees}, expected ≈ 7"
     );
-    let x_nees = mean(&trials.iter().map(|t| t.state_error_nees).collect::<Vec<_>>());
+    let x_nees = mean(
+        &trials
+            .iter()
+            .map(|t| t.state_error_nees)
+            .collect::<Vec<_>>(),
+    );
     assert!(
         (2.1..=3.9).contains(&x_nees),
         "state NEES {x_nees}, expected ≈ 3"

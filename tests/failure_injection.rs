@@ -109,12 +109,7 @@ fn degenerate_configurations_fail_fast() {
     // Empty reference group.
     let broken = ModeSet::from_reference_groups(&system, &[vec![]]);
     assert!(matches!(
-        RoboAds::new(
-            system.clone(),
-            RoboAdsConfig::paper_defaults(),
-            x0,
-            broken
-        ),
+        RoboAds::new(system.clone(), RoboAdsConfig::paper_defaults(), x0, broken),
         Err(CoreError::DegenerateMode { .. })
     ));
 }

@@ -6,8 +6,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use roboads::stats::{SeedableRng, StdRng};
 
 use roboads::core::{ModeSet, RoboAds, RoboAdsConfig};
 use roboads::linalg::{Matrix, Vector};
@@ -21,9 +20,8 @@ use roboads::stats::MultivariateNormal;
 fn beacon_system() -> RobotSystem {
     let dynamics: Arc<dyn DynamicsModel> = Arc::new(Unicycle::new(0.1).unwrap());
     let ips: Arc<dyn SensorModel> = Arc::new(Ips::new(0.01, 0.01).unwrap());
-    let beacons: Arc<dyn SensorModel> = Arc::new(
-        BeaconRange::new(vec![(0.0, 0.0), (6.0, 0.0), (3.0, 6.0)], 0.02).unwrap(),
-    );
+    let beacons: Arc<dyn SensorModel> =
+        Arc::new(BeaconRange::new(vec![(0.0, 0.0), (6.0, 0.0), (3.0, 6.0)], 0.02).unwrap());
     RobotSystem::new(
         dynamics,
         Matrix::from_diagonal(&[1e-5, 1e-5, 1e-5]),
@@ -105,7 +103,11 @@ fn spoofed_beacon_workflow_is_identified_through_the_nonlinearity() {
         5,
     );
     // Identified within half a second and held.
-    assert!(detected[45..].iter().all(|d| d == &vec![1]), "{:?}", &detected[40..50]);
+    assert!(
+        detected[45..].iter().all(|d| d == &vec![1]),
+        "{:?}",
+        &detected[40..50]
+    );
     assert!(detected[..40].iter().all(|d| d.is_empty()));
 }
 
@@ -137,9 +139,8 @@ fn beacon_geometry_matters_for_observability() {
     use roboads::models::sensors::Magnetometer;
 
     let dynamics: Arc<dyn DynamicsModel> = Arc::new(Unicycle::new(0.1).unwrap());
-    let collinear: Arc<dyn SensorModel> = Arc::new(
-        BeaconRange::new(vec![(0.0, 0.0), (3.0, 0.0), (6.0, 0.0)], 0.02).unwrap(),
-    );
+    let collinear: Arc<dyn SensorModel> =
+        Arc::new(BeaconRange::new(vec![(0.0, 0.0), (3.0, 0.0), (6.0, 0.0)], 0.02).unwrap());
     let mag: Arc<dyn SensorModel> = Arc::new(Magnetometer::new(0.01).unwrap());
     let system = RobotSystem::new(
         dynamics,
@@ -152,7 +153,10 @@ fn beacon_geometry_matters_for_observability() {
     let on_line = Vector::from_slice(&[2.0, 0.0, 0.3]);
     let u = Vector::from_slice(&[0.0, 0.0]);
     let rank = observability_rank(&system, &[0, 1], &on_line, &u).unwrap();
-    assert!(rank < 3, "collinear geometry should lose a direction, rank {rank}");
+    assert!(
+        rank < 3,
+        "collinear geometry should lose a direction, rank {rank}"
+    );
     // Off the line the triangulation works.
     let off_line = Vector::from_slice(&[2.0, 2.0, 0.3]);
     let rank = observability_rank(&system, &[0, 1], &off_line, &u).unwrap();

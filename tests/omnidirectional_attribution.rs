@@ -6,8 +6,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use roboads::stats::{SeedableRng, StdRng};
 
 use roboads::core::{CoreError, ModeSet, RoboAds, RoboAdsConfig};
 use roboads::linalg::{Matrix, Vector};
@@ -92,13 +91,24 @@ fn per_channel_actuator_anomalies_are_attributed() {
     }
 
     // The alarm is confirmed and held.
-    assert!(alarms > 60, "actuator alarm held for only {alarms}/70 iterations");
+    assert!(
+        alarms > 60,
+        "actuator alarm held for only {alarms}/70 iterations"
+    );
     // Channel attribution: the clean channel stays near zero, the two
     // attacked channels are quantified.
     let means: Vec<f64> = estimates.iter().map(|e| mean(e)).collect();
-    assert!(means[0].abs() < 0.02, "clean v_x channel blamed: {}", means[0]);
+    assert!(
+        means[0].abs() < 0.02,
+        "clean v_x channel blamed: {}",
+        means[0]
+    );
     assert!((means[1] - 0.06).abs() < 0.02, "v_y channel: {}", means[1]);
-    assert!((means[2] + 0.15).abs() < 0.05, "omega channel: {}", means[2]);
+    assert!(
+        (means[2] + 0.15).abs() < 0.05,
+        "omega channel: {}",
+        means[2]
+    );
 }
 
 #[test]
@@ -137,5 +147,8 @@ fn sensor_attacks_still_identified_with_three_input_channels() {
             identified += 1;
         }
     }
-    assert!(identified > 45, "IPS identified in only {identified}/55 iterations");
+    assert!(
+        identified > 45,
+        "IPS identified in only {identified}/55 iterations"
+    );
 }

@@ -17,7 +17,11 @@ fn expectations() -> Vec<(Scenario, Vec<usize>, bool)> {
         (Scenario::lidar_dos(), vec![2], false),
         (Scenario::lidar_blocking(), vec![2], false),
         (Scenario::wheel_and_ips_logic_bomb(), vec![0], true),
-        (Scenario::lidar_dos_and_encoder_logic_bomb(), vec![1, 2], false),
+        (
+            Scenario::lidar_dos_and_encoder_logic_bomb(),
+            vec![1, 2],
+            false,
+        ),
         (Scenario::ips_spoofing_and_lidar_dos(), vec![0], false),
         (Scenario::ips_and_encoder_logic_bomb(), vec![0, 1], false),
     ]
