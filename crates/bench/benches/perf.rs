@@ -6,19 +6,33 @@
 //!
 //! Timing is a plain `std::time::Instant` harness (median of repeated
 //! batches; no external crates so the tier-1 build resolves offline).
-//! Besides the hot-path numbers this bench measures the *telemetry
-//! overhead*: a detector step with the default disabled sink versus one
-//! streaming spans into a `RingBufferSink`, with an acceptance budget
-//! of 5 % on the disabled path relative to the seed's uninstrumented
-//! engine (approximated here by the disabled-vs-enabled split).
+//! Besides the hot-path numbers this bench measures:
+//!
+//! * the *allocation-free* NUISE path (`nuise_step_into` with a warm
+//!   [`NuiseWorkspace`]) against the allocating reference,
+//! * multi-thread *scaling* of the complete 7-mode Khepera bank at
+//!   1/2/4 fan-out workers (bitwise-identical outputs; see
+//!   `DESIGN.md`, threading model),
+//! * the *telemetry overhead*: a detector step with the default
+//!   disabled sink versus one streaming spans into a
+//!   `RingBufferSink`, with an acceptance budget of 5 % on the
+//!   disabled path relative to the seed's uninstrumented engine
+//!   (approximated here by the disabled-vs-enabled split).
+//!
+//! Results are also written to `BENCH_perf.json` at the workspace root
+//! so CI can archive them. Set `ROBOADS_BENCH_FAST=1` for a smoke run
+//! with reduced batch counts (used by the CI perf smoke job).
 //!
 //! Run with: `cargo bench -p roboads-bench --bench perf`
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use roboads_core::obs::{RingBufferSink, Telemetry};
-use roboads_core::{nuise_step, Linearization, Mode, ModeSet, NuiseInput, RoboAds, RoboAdsConfig};
+use roboads_core::obs::{json::JsonObject, RingBufferSink, Telemetry};
+use roboads_core::{
+    nuise_step, nuise_step_into, Linearization, Mode, ModeSet, MultiModeEngine, NuiseInput,
+    NuiseWorkspace, RoboAds, RoboAdsConfig,
+};
 use roboads_linalg::{Matrix, Vector};
 use roboads_models::presets;
 use roboads_sim::{Scenario, SimulationBuilder};
@@ -47,13 +61,18 @@ fn report(name: &str, seconds: f64) {
     println!("{name:<44} {:>10.1} µs", seconds * 1e6);
 }
 
+fn fast_mode() -> bool {
+    std::env::var_os("ROBOADS_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
 fn clean_readings(system: &roboads_models::RobotSystem, x: &Vector) -> Vec<Vector> {
     (0..system.sensor_count())
         .map(|i| system.sensor(i).unwrap().measure(x))
         .collect()
 }
 
-fn bench_nuise() {
+/// Returns `(allocating µs, workspace µs)` for a single NUISE step.
+fn bench_nuise(fast: bool) -> (f64, f64) {
     let system = presets::khepera_system();
     let mode = Mode::new(vec![0], vec![1, 2]);
     let x = Vector::from_slice(&[0.5, 0.5, 0.2]);
@@ -62,27 +81,40 @@ fn bench_nuise() {
     let x1 = system.dynamics().step(&x, &u);
     let readings = clean_readings(&system, &x1);
     let lin = Linearization::PerIteration;
+    let input = NuiseInput {
+        system: &system,
+        mode: &mode,
+        x_prev: &x,
+        p_prev: &p,
+        u_prev: &u,
+        readings: &readings,
+        linearization: &lin,
+        compensate: true,
+    };
+    let (batches, per_batch) = if fast { (5, 10) } else { (30, 50) };
 
-    let t = time_median(30, 50, || {
-        nuise_step(NuiseInput {
-            system: &system,
-            mode: &mode,
-            x_prev: &x,
-            p_prev: &p,
-            u_prev: &u,
-            readings: &readings,
-            linearization: &lin,
-            compensate: true,
-        })
-        .unwrap();
+    let alloc = time_median(batches, per_batch, || {
+        nuise_step(input).unwrap();
     });
-    report("nuise_step/khepera_single_mode", t);
+    report("nuise_step/khepera_single_mode", alloc);
+
+    let mut ws = NuiseWorkspace::new(&system, &mode);
+    let mut out = ws.new_output();
+    let workspace = time_median(batches, per_batch, || {
+        nuise_step_into(input, &mut ws, &mut out).unwrap();
+    });
+    report("nuise_step_into/khepera_single_mode", workspace);
+    (alloc, workspace)
 }
 
 /// Median time of one steady-state detector step under the given
 /// telemetry context (the detector is pre-warmed so mode probabilities
 /// settle before measurement).
-fn detector_step_time(system: &roboads_models::RobotSystem, telemetry: Option<Telemetry>) -> f64 {
+fn detector_step_time(
+    system: &roboads_models::RobotSystem,
+    telemetry: Option<Telemetry>,
+    fast: bool,
+) -> f64 {
     let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
     let u = Vector::from_slice(&[0.06, 0.05]);
     let x1 = system.dynamics().step(&x0, &u);
@@ -91,19 +123,21 @@ fn detector_step_time(system: &roboads_models::RobotSystem, telemetry: Option<Te
     if let Some(t) = telemetry {
         ads.set_telemetry(t);
     }
-    time_median(30, 20, || {
+    let (batches, per_batch) = if fast { (5, 5) } else { (30, 20) };
+    time_median(batches, per_batch, || {
         ads.step(&u, &readings).unwrap();
     })
 }
 
-fn bench_detector_and_overhead() {
+/// Returns `(disabled µs, ring-sink µs, overhead %)`.
+fn bench_detector_and_overhead(fast: bool) -> (f64, f64, f64) {
     let system = presets::khepera_system();
 
-    let disabled = detector_step_time(&system, None);
+    let disabled = detector_step_time(&system, None, fast);
     report("detector_step/default_modes_3 (noop sink)", disabled);
 
     let ring = Arc::new(RingBufferSink::new(4096));
-    let enabled = detector_step_time(&system, Some(Telemetry::new(ring)));
+    let enabled = detector_step_time(&system, Some(Telemetry::new(ring)), fast);
     report("detector_step/default_modes_3 (ring sink)", enabled);
     let overhead = (enabled - disabled) / disabled * 100.0;
     println!(
@@ -112,26 +146,54 @@ fn bench_detector_and_overhead() {
         overhead,
         "noop path itself must stay within 5 % of uninstrumented)"
     );
+    (disabled, enabled, overhead)
+}
 
+/// Steps the complete 7-mode Khepera bank at 1/2/4 fan-out workers and
+/// returns `(threads, step seconds)` rows. The parallel runs produce
+/// bitwise-identical outputs to the sequential one (enforced by
+/// `roboads-core`'s determinism suite), so this measures pure schedule
+/// overhead vs. win.
+fn bench_scaling(fast: bool) -> Vec<(usize, f64)> {
+    let system = presets::khepera_system();
     let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
     let u = Vector::from_slice(&[0.06, 0.05]);
     let x1 = system.dynamics().step(&x0, &u);
     let readings = clean_readings(&system, &x1);
-    let mut complete = RoboAds::new(
-        system.clone(),
-        RoboAdsConfig::paper_defaults(),
-        x0,
-        ModeSet::complete(&system),
-    )
-    .unwrap();
-    let t = time_median(30, 10, || {
-        complete.step(&u, &readings).unwrap();
-    });
-    report("detector_step/complete_modes_7", t);
+    let (batches, per_batch) = if fast { (5, 5) } else { (30, 20) };
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut engine = MultiModeEngine::new(
+            system.clone(),
+            ModeSet::complete(&system),
+            x0.clone(),
+            &RoboAdsConfig::paper_defaults().with_threads(threads),
+        )
+        .unwrap();
+        assert_eq!(engine.threads(), threads);
+        let t = time_median(batches, per_batch, || {
+            engine.step(&u, &readings).unwrap();
+        });
+        report(
+            &format!("engine_step/complete_modes_7 threads={threads}"),
+            t,
+        );
+        rows.push((threads, t));
+    }
+    let sequential = rows[0].1;
+    for (threads, t) in rows.iter().skip(1) {
+        println!(
+            "{:<44} {:>9.2} x",
+            format!("engine_step speedup threads={threads}"),
+            sequential / t
+        );
+    }
+    rows
 }
 
-fn bench_simulation() {
-    let t = time_median(5, 1, || {
+fn bench_simulation(fast: bool) {
+    let (batches, per_batch) = if fast { (1, 1) } else { (5, 1) };
+    let t = time_median(batches, per_batch, || {
         SimulationBuilder::khepera()
             .scenario(Scenario::ips_logic_bomb())
             .seed(11)
@@ -151,9 +213,10 @@ fn bench_simulation() {
     println!("{}", outcome.telemetry.to_json());
 }
 
-fn bench_substrates() {
+fn bench_substrates(fast: bool) {
     let arena = presets::evaluation_arena();
-    let t = time_median(5, 2, || {
+    let (b1, n1) = if fast { (2, 1) } else { (5, 2) };
+    let t = time_median(b1, n1, || {
         roboads_control::RrtStar::new(&arena, 0.08)
             .unwrap()
             .plan((0.5, 0.5), (3.5, 3.5), 7)
@@ -163,22 +226,58 @@ fn bench_substrates() {
 
     let lidar = roboads_models::sensors::WallLidar::new(arena, 0.015, 0.02).unwrap();
     let pose = Vector::from_slice(&[2.0, 2.0, 0.5]);
-    let t = time_median(30, 20, || {
+    let (b2, n2) = if fast { (5, 5) } else { (30, 20) };
+    let t = time_median(b2, n2, || {
         lidar.simulate_scan(&pose).unwrap();
     });
     report("lidar/241_beam_scan", t);
 
     let m = Matrix::from_fn(7, 7, |i, j| if i == j { 2.0 } else { 0.3 });
-    let t = time_median(30, 50, || {
+    let t = time_median(b2, 50, || {
         m.pseudo_inverse().unwrap();
     });
     report("linalg/pseudo_inverse_7x7", t);
 }
 
+fn write_results(
+    nuise: (f64, f64),
+    detector: (f64, f64, f64),
+    scaling: &[(usize, f64)],
+    fast: bool,
+) {
+    let mut o = JsonObject::new();
+    o.field_str("bench", "perf");
+    o.field_bool("fast_mode", fast);
+    o.field_f64("nuise_step_us", nuise.0 * 1e6);
+    o.field_f64("nuise_step_into_us", nuise.1 * 1e6);
+    o.field_f64("detector_step_noop_us", detector.0 * 1e6);
+    o.field_f64("detector_step_ring_us", detector.1 * 1e6);
+    o.field_f64("telemetry_overhead_pct", detector.2);
+    let rows = roboads_core::obs::json::array_of(scaling.iter().map(|(threads, t)| {
+        let mut row = JsonObject::new();
+        row.field_u64("threads", *threads as u64);
+        row.field_f64("engine_step_us", t * 1e6);
+        row.field_f64("speedup", scaling[0].1 / t);
+        row.finish()
+    }));
+    o.field_raw("scaling_complete_modes_7", &rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    match std::fs::write(path, o.finish() + "\n") {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}
+
 fn main() {
-    println!("control period budget: 100000.0 µs per detection iteration\n");
-    bench_nuise();
-    bench_detector_and_overhead();
-    bench_substrates();
-    bench_simulation();
+    let fast = fast_mode();
+    println!(
+        "control period budget: 100000.0 µs per detection iteration{}\n",
+        if fast { "  [fast mode]" } else { "" }
+    );
+    let nuise = bench_nuise(fast);
+    let detector = bench_detector_and_overhead(fast);
+    let scaling = bench_scaling(fast);
+    bench_substrates(fast);
+    bench_simulation(fast);
+    write_results(nuise, detector, &scaling, fast);
 }

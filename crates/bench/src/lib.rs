@@ -4,13 +4,12 @@
 //! regenerates one table or figure of the paper (see `DESIGN.md` §5 for
 //! the experiment index and `EXPERIMENTS.md` for recorded results).
 //! This library holds what they share: batched scenario execution,
-//! aggregation across seeds, a small thread pool built on
-//! `std::thread::scope` (no external crates: the tier-1 build must
-//! resolve offline), and table formatting.
-
-use std::sync::Mutex;
+//! aggregation across seeds, order-preserving parallel mapping on the
+//! workspace's `roboads-pool` workers (no external crates: the tier-1
+//! build must resolve offline), and table formatting.
 
 use roboads_core::RoboAdsConfig;
+use roboads_pool::Pool;
 use roboads_sim::{EvalResult, Scenario, SimOutcome, SimulationBuilder};
 use roboads_stats::ConfusionCounts;
 
@@ -109,8 +108,10 @@ pub fn aggregate(name: &str, number: usize, evals: &[EvalResult]) -> ScenarioAgg
     }
 }
 
-/// Maps `jobs` through `f` on `threads` scoped workers, preserving
-/// input order in the output.
+/// Maps `jobs` through `f` on a `threads`-worker [`Pool`], preserving
+/// input order in the output (each job writes its pre-assigned slot —
+/// no sorting pass, and the same engine that runs the detector's own
+/// NUISE fan-out).
 ///
 /// # Panics
 ///
@@ -122,26 +123,7 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = threads.max(1);
-    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(jobs.into_iter().enumerate().collect());
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("job queue poisoned").pop();
-                match job {
-                    Some((i, t)) => {
-                        let r = f(t);
-                        results.lock().expect("result store poisoned").push((i, r));
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    let mut out = results.into_inner().expect("result store poisoned");
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, r)| r).collect()
+    Pool::new(threads).map(jobs, f)
 }
 
 /// Formats a rate as a percentage with two decimals, `"-"` when the

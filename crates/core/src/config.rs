@@ -88,6 +88,13 @@ pub struct RoboAdsConfig {
     /// (the IMM transition prior; DESIGN.md §2f). `0.0` disables mixing
     /// (ablation).
     pub mode_mixing: f64,
+    /// Worker threads for the per-mode NUISE fan-out. `None` (the
+    /// default) resolves to the machine's available parallelism;
+    /// `Some(1)` forces the exact sequential path. The engine never
+    /// spawns more workers than it has modes, and parallel output is
+    /// bitwise identical to sequential (see `DESIGN.md`, threading
+    /// model).
+    pub threads: Option<usize>,
 }
 
 impl RoboAdsConfig {
@@ -104,6 +111,7 @@ impl RoboAdsConfig {
             compensate_actuator_anomalies: true,
             parsimony_rho: 0.05,
             mode_mixing: 0.02,
+            threads: None,
         }
     }
 
@@ -163,6 +171,12 @@ impl RoboAdsConfig {
                 value: format!("{}", self.mode_mixing),
             });
         }
+        if self.threads == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                name: "threads",
+                value: "0".into(),
+            });
+        }
         Ok(())
     }
 
@@ -207,6 +221,13 @@ impl RoboAdsConfig {
     /// Returns a copy with a different probability mixing rate.
     pub fn with_mode_mixing(mut self, mixing: f64) -> Self {
         self.mode_mixing = mixing;
+        self
+    }
+
+    /// Returns a copy pinning the NUISE fan-out to `threads` workers
+    /// (`1` = sequential; must be nonzero).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 }
@@ -281,5 +302,22 @@ mod tests {
         let mut c = RoboAdsConfig::paper_defaults();
         c.initial_covariance = -1.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn thread_knob_validates() {
+        assert!(RoboAdsConfig::paper_defaults().threads.is_none());
+        RoboAdsConfig::paper_defaults()
+            .with_threads(1)
+            .validate()
+            .unwrap();
+        RoboAdsConfig::paper_defaults()
+            .with_threads(8)
+            .validate()
+            .unwrap();
+        assert!(RoboAdsConfig::paper_defaults()
+            .with_threads(0)
+            .validate()
+            .is_err());
     }
 }

@@ -563,7 +563,6 @@ mod tests {
             modes: outputs,
             probabilities: vec![1.0 / 3.0; 3],
             selected: 0,
-            fresh_anchor: vec![false; 3],
         }
     }
 

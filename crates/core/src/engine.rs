@@ -1,15 +1,18 @@
+use std::sync::Arc;
+
 use roboads_linalg::{Matrix, Vector};
-use roboads_models::RobotSystem;
+use roboads_models::{RobotSystem, SensorSlice};
 use roboads_obs::{Counter, Gauge, Histogram, Telemetry, Value};
+use roboads_pool::Pool;
 
 use crate::config::{Linearization, RoboAdsConfig};
 use crate::mode::ModeSet;
-use crate::nuise::{nuise_step, NuiseInput, NuiseOutput};
+use crate::nuise::{nuise_step_into, NuiseInput, NuiseOutput, NuiseWorkspace};
 use crate::selector::ModeSelector;
 use crate::{CoreError, Result};
 
 /// One iteration's output from the multi-mode estimation engine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineOutput {
     /// Per-mode NUISE outputs, in mode-set order.
     pub modes: Vec<NuiseOutput>,
@@ -17,10 +20,6 @@ pub struct EngineOutput {
     pub probabilities: Vec<f64>,
     /// Index of the selected (most likely) mode `M_k`.
     pub selected: usize,
-    /// Modes whose filter state entering this iteration was re-anchored
-    /// (their anomaly estimates are computed against a borrowed prior
-    /// and must not source the actuator decision).
-    pub fresh_anchor: Vec<bool>,
 }
 
 impl EngineOutput {
@@ -34,6 +33,13 @@ impl EngineOutput {
 /// NUISE estimators, one per sensor-condition hypothesis, sharing a
 /// single state estimate that is refreshed from the selected mode each
 /// iteration.
+///
+/// The per-mode NUISE runs are independent, so the engine fans them out
+/// over a persistent worker pool when [`RoboAdsConfig::threads`]
+/// resolves to more than one worker. Results are written into
+/// pre-assigned per-mode slots and consumed in mode order, so the
+/// parallel output is bitwise identical to the sequential path (see
+/// `DESIGN.md`, threading model).
 ///
 /// # Example
 ///
@@ -81,9 +87,20 @@ pub struct MultiModeEngine {
     /// selected mode's estimate so they recover quickly once their
     /// reference is clean again (see `REANCHOR_FRACTION`).
     mode_states: Vec<(Vector, Matrix)>,
-    /// Whether each mode's state was re-anchored at the end of the
-    /// previous iteration.
-    reanchored: Vec<bool>,
+    /// Per-mode NUISE scratch memory, reused every iteration so the
+    /// warmed-up hot path performs no heap allocation (see
+    /// [`NuiseWorkspace`]).
+    workspaces: Vec<NuiseWorkspace>,
+    /// χ² critical value for the actuator parsimony check, at the
+    /// system's input dimension (computed once at construction).
+    actuator_threshold: f64,
+    /// Per-mode χ² critical values for the per-testing-sensor parsimony
+    /// checks, aligned with each workspace's `testing_slices()`.
+    testing_thresholds: Vec<Vec<f64>>,
+    /// Worker pool for the per-mode fan-out; `None` runs the exact
+    /// sequential path. Shared by clones of the engine (the pool is a
+    /// stateless job queue, so sharing is safe).
+    pool: Option<Arc<Pool>>,
     telemetry: Telemetry,
     instruments: EngineInstruments,
 }
@@ -149,25 +166,55 @@ const REANCHOR_FRACTION: f64 = 0.25;
 /// state) and re-anchored.
 const REANCHOR_CONSISTENCY: f64 = 1e-4;
 
-/// Cached χ² critical values for the parsimony significance checks
-/// (small dof set; computed once per dof).
+/// χ² critical value for the parsimony significance checks. Evaluated
+/// only at construction — the engine caches the results per mode
+/// (`actuator_threshold`, `testing_thresholds`) so the quantile search
+/// stays out of the per-iteration hot path.
 fn parsimony_threshold(dof: usize) -> Result<f64> {
-    use std::sync::OnceLock;
-    static CACHE: OnceLock<parking_lot_free::Cache> = OnceLock::new();
-    mod parking_lot_free {
-        use std::sync::Mutex;
-        #[derive(Default)]
-        pub struct Cache(pub Mutex<std::collections::HashMap<usize, f64>>);
-    }
-    let cache = CACHE.get_or_init(Default::default);
-    if let Some(&v) = cache.0.lock().expect("cache lock").get(&dof) {
-        return Ok(v);
-    }
-    let v = roboads_stats::ChiSquared::new(dof)
+    roboads_stats::ChiSquared::new(dof)
         .and_then(|chi| chi.critical_value(PARSIMONY_ALPHA))
+        .map_err(|e| CoreError::Numeric(e.to_string()))
+}
+
+/// Number of active misbehaviors a mode's explanation of this
+/// iteration implies: one per testing sensor whose anomaly estimate
+/// is significant at the [`PARSIMONY_ALPHA`] level, plus one when
+/// the mode's own actuator anomaly estimate is — a hypothesis that
+/// needs a phantom input to absorb a sensor corruption must pay for
+/// it. (The *visibility* of a real actuator attack varies with
+/// reference quality, which would bias this weight toward blind
+/// modes; the decision maker compensates by sourcing the actuator
+/// test from the most precise innovation-consistent mode rather
+/// than the selected one.)
+fn implied_anomaly_count(
+    out: &NuiseOutput,
+    actuator_threshold: f64,
+    testing_slices: &[SensorSlice],
+    testing_thresholds: &[f64],
+) -> Result<usize> {
+    let mut count = 0;
+    // Own-actuator significance.
+    let a_stat = out
+        .actuator_anomaly
+        .quadratic_form(&out.actuator_covariance.pseudo_inverse()?)
         .map_err(|e| CoreError::Numeric(e.to_string()))?;
-    cache.0.lock().expect("cache lock").insert(dof, v);
-    Ok(v)
+    if a_stat > actuator_threshold {
+        count += 1;
+    }
+    // Per-testing-sensor significance.
+    for (slice, &threshold) in testing_slices.iter().zip(testing_thresholds) {
+        let d = out.sensor_anomaly.segment(slice.offset, slice.len);
+        let cov = out
+            .sensor_covariance
+            .block(slice.offset, slice.offset, slice.len, slice.len);
+        let stat = d
+            .quadratic_form(&cov.pseudo_inverse()?)
+            .map_err(|e| CoreError::Numeric(e.to_string()))?;
+        if stat > threshold {
+            count += 1;
+        }
+    }
+    Ok(count)
 }
 
 impl MultiModeEngine {
@@ -177,6 +224,10 @@ impl MultiModeEngine {
     /// operating point at which all built-in robots have full input
     /// rank — so degenerate hypotheses fail fast at construction rather
     /// than mid-mission.
+    ///
+    /// Construction also resolves the NUISE fan-out width from
+    /// [`RoboAdsConfig::threads`] (never more workers than modes) and,
+    /// when it exceeds one, spawns the persistent worker pool.
     ///
     /// # Errors
     ///
@@ -215,7 +266,32 @@ impl MultiModeEngine {
         let n = system.state_dim();
         let p0 = Matrix::identity(n) * initial_covariance;
         let mode_states = vec![(initial_state.clone(), p0.clone()); modes.len()];
-        let reanchored = vec![false; modes.len()];
+        let workspaces: Vec<NuiseWorkspace> = modes
+            .modes()
+            .iter()
+            .map(|mode| NuiseWorkspace::new(&system, mode))
+            .collect();
+        let actuator_threshold = parsimony_threshold(system.input_dim().max(1))?;
+        let mut testing_thresholds = Vec::with_capacity(workspaces.len());
+        for ws in &workspaces {
+            let per_slice: Result<Vec<f64>> = ws
+                .testing_slices()
+                .iter()
+                .map(|slice| parsimony_threshold(slice.len))
+                .collect();
+            testing_thresholds.push(per_slice?);
+        }
+        let configured = config.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        });
+        let threads = configured.min(modes.len()).max(1);
+        let pool = (threads > 1).then(|| {
+            Arc::new(Pool::with_thread_setup(threads, |i| {
+                roboads_obs::set_worker(i as u32 + 1)
+            }))
+        });
         let telemetry = Telemetry::disabled();
         let instruments = EngineInstruments::new(&telemetry, modes.len());
         Ok(MultiModeEngine {
@@ -228,7 +304,10 @@ impl MultiModeEngine {
             state_estimate: initial_state,
             state_covariance: p0,
             mode_states,
-            reanchored,
+            workspaces,
+            actuator_threshold,
+            testing_thresholds,
+            pool,
             telemetry,
             instruments,
         })
@@ -258,6 +337,12 @@ impl MultiModeEngine {
         &self.modes
     }
 
+    /// Effective NUISE fan-out width: the number of pool workers, or `1`
+    /// on the sequential path.
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
+    }
+
     /// Current shared state estimate `x̂_{k|k}`.
     pub fn state_estimate(&self) -> &Vector {
         &self.state_estimate
@@ -284,47 +369,6 @@ impl MultiModeEngine {
         (x, p)
     }
 
-    /// Number of active misbehaviors a mode's explanation of this
-    /// iteration implies: one per testing sensor whose anomaly estimate
-    /// is significant at the [`PARSIMONY_ALPHA`] level, plus one when
-    /// the mode's own actuator anomaly estimate is — a hypothesis that
-    /// needs a phantom input to absorb a sensor corruption must pay for
-    /// it. (The *visibility* of a real actuator attack varies with
-    /// reference quality, which would bias this weight toward blind
-    /// modes; the decision maker compensates by sourcing the actuator
-    /// test from the most precise innovation-consistent mode rather
-    /// than the selected one.)
-    fn implied_anomaly_count(
-        &self,
-        mode: &crate::mode::Mode,
-        out: &crate::nuise::NuiseOutput,
-    ) -> Result<usize> {
-        let mut count = 0;
-        // Own-actuator significance.
-        let q = self.system.input_dim().max(1);
-        let a_stat = out
-            .actuator_anomaly
-            .quadratic_form(&out.actuator_covariance.pseudo_inverse()?)
-            .map_err(|e| CoreError::Numeric(e.to_string()))?;
-        if a_stat > parsimony_threshold(q)? {
-            count += 1;
-        }
-        // Per-testing-sensor significance.
-        for slice in self.system.subset_slices(mode.testing()) {
-            let d = out.sensor_anomaly.segment(slice.offset, slice.len);
-            let cov = out
-                .sensor_covariance
-                .block(slice.offset, slice.offset, slice.len, slice.len);
-            let stat = d
-                .quadratic_form(&cov.pseudo_inverse()?)
-                .map_err(|e| CoreError::Numeric(e.to_string()))?;
-            if stat > parsimony_threshold(slice.len)? {
-                count += 1;
-            }
-        }
-        Ok(count)
-    }
-
     /// Runs one control iteration: NUISE under every mode from its own
     /// filter state, parsimony-weighted mode selection, reporting-state
     /// refresh from the winner, and floor-triggered re-anchoring of
@@ -338,10 +382,9 @@ impl MultiModeEngine {
     /// unchanged, so a transiently bad iteration (e.g. NaN readings) can
     /// simply be skipped by the caller.
     pub fn step(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<EngineOutput> {
-        let telemetry = self.telemetry.clone();
-        let _step_span = telemetry.span("engine.step");
+        let _step_span = self.telemetry.owned_span("engine.step");
         let health_before = roboads_linalg::health::snapshot();
-        let result = self.step_inner(&telemetry, u_prev, readings);
+        let result = self.step_inner(u_prev, readings);
         let breakdowns = roboads_linalg::health::snapshot()
             .since(&health_before)
             .cholesky_failures;
@@ -353,7 +396,7 @@ impl MultiModeEngine {
             Err(CoreError::Numeric(msg)) => {
                 self.instruments.numeric_failures.incr();
                 let msg = msg.clone();
-                telemetry.event("engine.numeric_failure", || {
+                self.telemetry.event("engine.numeric_failure", || {
                     vec![("error", Value::Text(msg))]
                 });
             }
@@ -362,26 +405,108 @@ impl MultiModeEngine {
         result
     }
 
-    fn step_inner(
-        &mut self,
-        telemetry: &Telemetry,
-        u_prev: &Vector,
-        readings: &[Vector],
-    ) -> Result<EngineOutput> {
-        let mut outputs = Vec::with_capacity(self.modes.len());
-        for (mode, (x_m, p_m)) in self.modes.modes().iter().zip(&self.mode_states) {
-            let _mode_span = telemetry.span("engine.nuise_mode");
-            outputs.push(nuise_step(NuiseInput {
-                system: &self.system,
-                mode,
-                x_prev: x_m,
-                p_prev: p_m,
-                u_prev,
-                readings,
-                linearization: &self.linearization,
-                compensate: self.compensate,
-            })?);
-        }
+    fn step_inner(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<EngineOutput> {
+        let mode_count = self.modes.len();
+        let mut outputs: Vec<NuiseOutput> = self
+            .workspaces
+            .iter()
+            .map(NuiseWorkspace::new_output)
+            .collect();
+
+        // NUISE fan-out. Each mode writes into its own pre-assigned
+        // workspace and output slot, so the parallel path touches no
+        // shared mutable state and the results — consumed strictly in
+        // mode order below — are bitwise identical to the sequential
+        // path's.
+        let counts: Vec<usize> = {
+            let system = &self.system;
+            let modes = self.modes.modes();
+            let mode_states = &self.mode_states;
+            let linearization = &self.linearization;
+            let compensate = self.compensate;
+            let telemetry = &self.telemetry;
+            let actuator_threshold = self.actuator_threshold;
+            let testing_thresholds = &self.testing_thresholds;
+            let workspaces = &mut self.workspaces;
+
+            let run_mode = |m: usize, ws: &mut NuiseWorkspace, out: &mut NuiseOutput| {
+                {
+                    let _mode_span = telemetry.span("engine.nuise_mode");
+                    let (x_m, p_m) = &mode_states[m];
+                    nuise_step_into(
+                        NuiseInput {
+                            system,
+                            mode: &modes[m],
+                            x_prev: x_m,
+                            p_prev: p_m,
+                            u_prev,
+                            readings,
+                            linearization,
+                            compensate,
+                        },
+                        ws,
+                        out,
+                    )?;
+                }
+                implied_anomaly_count(
+                    out,
+                    actuator_threshold,
+                    ws.testing_slices(),
+                    &testing_thresholds[m],
+                )
+            };
+
+            match &self.pool {
+                None => {
+                    // Sequential path: iterate in mode order with the
+                    // seed's short-circuit on the first failure.
+                    let mut counts = Vec::with_capacity(mode_count);
+                    for (m, (ws, out)) in workspaces.iter_mut().zip(&mut outputs).enumerate() {
+                        counts.push(run_mode(m, ws, out)?);
+                    }
+                    counts
+                }
+                Some(pool) => {
+                    let mut results: Vec<Result<usize>> = (0..mode_count).map(|_| Ok(0)).collect();
+                    // One contiguous chunk of modes per worker: a NUISE
+                    // step is microseconds of work, so per-mode jobs
+                    // would drown in queue wakeups. Chunking keeps the
+                    // dispatch overhead at one job per worker while each
+                    // mode still writes only its own pre-assigned slots.
+                    let chunk = mode_count.div_ceil(pool.threads());
+                    pool.scoped(|scope| {
+                        for (chunk_idx, ((ws_chunk, out_chunk), res_chunk)) in workspaces
+                            .chunks_mut(chunk)
+                            .zip(outputs.chunks_mut(chunk))
+                            .zip(results.chunks_mut(chunk))
+                            .enumerate()
+                        {
+                            let run_mode = &run_mode;
+                            let base = chunk_idx * chunk;
+                            scope.execute(move || {
+                                for (j, ((ws, out), slot)) in ws_chunk
+                                    .iter_mut()
+                                    .zip(out_chunk.iter_mut())
+                                    .zip(res_chunk.iter_mut())
+                                    .enumerate()
+                                {
+                                    *slot = run_mode(base + j, ws, out);
+                                }
+                            });
+                        }
+                    });
+                    // Every job ran, but the reported failure is the
+                    // first in mode order — the same error the
+                    // sequential path would have returned.
+                    let mut counts = Vec::with_capacity(mode_count);
+                    for r in results {
+                        counts.push(r?);
+                    }
+                    counts
+                }
+            }
+        };
+
         // Mode probabilities are updated with the dimension-free
         // consistency p-values, not the raw densities: densities of
         // innovations with different dimensionality are not comparable
@@ -402,14 +527,13 @@ impl MultiModeEngine {
         // leaving their ranking untouched.
         let mut weights = Vec::with_capacity(outputs.len());
         {
-            let _parsimony_span = telemetry.span("engine.parsimony");
-            for (mode, out) in self.modes.modes().iter().zip(&outputs) {
-                let count = self.implied_anomaly_count(mode, out)?;
-                weights.push(out.consistency * self.parsimony_rho.powi(count as i32));
+            let _parsimony_span = self.telemetry.span("engine.parsimony");
+            for (out, count) in outputs.iter().zip(&counts) {
+                weights.push(out.consistency * self.parsimony_rho.powi(*count as i32));
             }
         }
         let selected = {
-            let _select_span = telemetry.span("engine.select");
+            let _select_span = self.telemetry.span("engine.select");
             self.selector.update(&weights)?
         };
 
@@ -419,8 +543,7 @@ impl MultiModeEngine {
         // to the winner so they can re-converge once clean.
         let reanchor_below = REANCHOR_FRACTION / self.modes.len() as f64;
         let probabilities = self.selector.probabilities().to_vec();
-        let fresh_anchor = self.reanchored.clone();
-        let _reanchor_span = telemetry.span("engine.reanchor");
+        let _reanchor_span = self.telemetry.span("engine.reanchor");
         for (m, state) in self.mode_states.iter_mut().enumerate() {
             // Re-anchor hypotheses that are both improbable *and*
             // innovation-inconsistent: their own filter no longer
@@ -433,9 +556,8 @@ impl MultiModeEngine {
                 && outputs[m].consistency < REANCHOR_CONSISTENCY
             {
                 *state = (self.state_estimate.clone(), self.state_covariance.clone());
-                self.reanchored[m] = true;
                 self.instruments.reanchors.incr();
-                telemetry.event("engine.mode_reanchored", || {
+                self.telemetry.event("engine.mode_reanchored", || {
                     vec![
                         ("mode", Value::U64(m as u64)),
                         ("probability", Value::F64(probabilities[m])),
@@ -447,7 +569,6 @@ impl MultiModeEngine {
                     outputs[m].state_estimate.clone(),
                     outputs[m].state_covariance.clone(),
                 );
-                self.reanchored[m] = false;
             }
         }
         drop(_reanchor_span);
@@ -462,7 +583,6 @@ impl MultiModeEngine {
             modes: outputs,
             probabilities,
             selected,
-            fresh_anchor,
         })
     }
 }
@@ -656,11 +776,63 @@ mod tests {
             &RoboAdsConfig::paper_defaults(),
         )
         .unwrap();
+        // A single-mode engine never spawns workers, whatever the
+        // machine's parallelism.
+        assert_eq!(e.threads(), 1);
         let u = Vector::from_slice(&[0.05, 0.05]);
         let x1 = system.dynamics().step(&x0, &u);
         let out = e.step(&u, &clean_readings(&system, &x1)).unwrap();
         assert_eq!(out.selected, 0);
         assert!(out.selected_output().sensor_anomaly.is_empty());
         let _ = Mode::new(vec![0], vec![1]); // silence unused-import lint in some cfgs
+    }
+
+    #[test]
+    fn thread_width_never_exceeds_mode_count() {
+        let system = presets::khepera_system();
+        let modes = ModeSet::one_reference_per_sensor(&system);
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let config = RoboAdsConfig::paper_defaults().with_threads(16);
+        let e = MultiModeEngine::new(system, modes, x0, &config).unwrap();
+        assert_eq!(e.threads(), 3);
+    }
+
+    #[test]
+    fn parallel_steps_match_sequential_bitwise() {
+        // The engine-level contract behind `tests/determinism.rs`: same
+        // inputs, same outputs, bit for bit, regardless of fan-out.
+        let system = presets::khepera_system();
+        let modes = ModeSet::one_reference_per_sensor(&system);
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut seq = MultiModeEngine::new(
+            system.clone(),
+            modes.clone(),
+            x0.clone(),
+            &RoboAdsConfig::paper_defaults().with_threads(1),
+        )
+        .unwrap();
+        let mut par = MultiModeEngine::new(
+            system.clone(),
+            modes,
+            x0.clone(),
+            &RoboAdsConfig::paper_defaults().with_threads(3),
+        )
+        .unwrap();
+        assert_eq!(seq.threads(), 1);
+        assert_eq!(par.threads(), 3);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        for k in 0..20 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            if k > 8 {
+                readings[0][0] += 0.08; // mid-run IPS corruption
+            }
+            let a = seq.step(&u, &readings).unwrap();
+            let b = par.step(&u, &readings).unwrap();
+            assert_eq!(a, b, "divergence at step {k}");
+        }
+        assert_eq!(seq.state_estimate(), par.state_estimate());
+        assert_eq!(seq.probabilities(), par.probabilities());
     }
 }

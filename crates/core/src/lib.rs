@@ -80,7 +80,7 @@ pub use decision::DecisionMaker;
 pub use detector::RoboAds;
 pub use engine::{EngineOutput, MultiModeEngine};
 pub use mode::{Mode, ModeSet};
-pub use nuise::{nuise_step, NuiseInput, NuiseOutput};
+pub use nuise::{nuise_step, nuise_step_into, NuiseInput, NuiseOutput, NuiseWorkspace};
 pub use report::{AnomalyEstimate, DetectionReport, SensorAnomaly};
 pub use selector::{ModeSelector, MODE_MIXING, SELECTION_HYSTERESIS};
 

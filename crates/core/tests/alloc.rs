@@ -1,0 +1,112 @@
+//! Proves the NUISE hot path is allocation-free in steady state.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator with a
+//! thread-local allocation counter; after one warm-up call populates
+//! the [`NuiseWorkspace`] scratch memory, a further `nuise_step_into`
+//! must perform **zero** heap allocations — the property the per-mode
+//! workspaces exist to guarantee (and the reason the fan-out can run
+//! at control-loop rates without allocator contention across workers).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use roboads_core::{nuise_step, nuise_step_into, NuiseInput, NuiseWorkspace, RoboAdsConfig};
+use roboads_core::{Linearization, ModeSet};
+use roboads_linalg::{Matrix, Vector};
+use roboads_models::presets;
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: defers all memory management to the system allocator; the
+// added bookkeeping is a plain thread-local counter (`Cell<u64>` has a
+// const initializer and no destructor, so bumping it cannot recurse
+// into the allocator).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Allocations performed on this thread while running `f`.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+#[test]
+fn warmed_up_nuise_step_into_is_allocation_free() {
+    let system = presets::khepera_system();
+    let modes = ModeSet::complete(&system);
+    let config = RoboAdsConfig::paper_defaults();
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let p0 = Matrix::identity(3) * config.initial_covariance;
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let x1 = system.dynamics().step(&x0, &u);
+    let readings: Vec<Vector> = (0..system.sensor_count())
+        .map(|i| system.sensor(i).unwrap().measure(&x1))
+        .collect();
+    let linearization = Linearization::PerIteration;
+
+    for (m, mode) in modes.modes().iter().enumerate() {
+        let mut ws = NuiseWorkspace::new(&system, mode);
+        let mut out = ws.new_output();
+        let input = NuiseInput {
+            system: &system,
+            mode,
+            x_prev: &x0,
+            p_prev: &p0,
+            u_prev: &u,
+            readings: &readings,
+            linearization: &linearization,
+            compensate: config.compensate_actuator_anomalies,
+        };
+
+        // Sanity: the counter actually sees the allocating reference
+        // implementation at work.
+        let reference_allocs = allocations_during(|| {
+            nuise_step(input).unwrap();
+        });
+        assert!(
+            reference_allocs > 0,
+            "counting allocator failed to observe the allocating path"
+        );
+
+        // Warm-up: first call may still fault in lazily-sized output
+        // storage.
+        nuise_step_into(input, &mut ws, &mut out).unwrap();
+
+        // Steady state: zero heap traffic.
+        let steady_allocs = allocations_during(|| {
+            for _ in 0..3 {
+                nuise_step_into(input, &mut ws, &mut out).unwrap();
+            }
+        });
+        assert_eq!(
+            steady_allocs, 0,
+            "mode {m}: warmed-up nuise_step_into allocated {steady_allocs} times"
+        );
+    }
+}

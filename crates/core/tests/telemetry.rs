@@ -7,7 +7,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use roboads_core::obs::{RingBufferSink, Telemetry, WriterSink};
-use roboads_core::{RoboAds, RoboAdsConfig};
+use roboads_core::{ModeSet, RoboAds, RoboAdsConfig};
 use roboads_linalg::Vector;
 use roboads_models::{presets, RobotSystem};
 
@@ -22,9 +22,17 @@ const ITERATIONS: usize = 30;
 fn run_clean(telemetry: Telemetry) -> RoboAds {
     let system = presets::khepera_system();
     let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
-    let mut ads = RoboAds::with_defaults(system.clone(), x0.clone())
-        .unwrap()
-        .with_telemetry(telemetry);
+    // Sequential fan-out: the span-accounting assertion below (stage
+    // spans sum within their parent's wall clock) only holds when the
+    // per-mode NUISE spans do not run concurrently.
+    let mut ads = RoboAds::new(
+        system.clone(),
+        RoboAdsConfig::paper_defaults().with_threads(1),
+        x0.clone(),
+        ModeSet::one_reference_per_sensor(&system),
+    )
+    .unwrap()
+    .with_telemetry(telemetry);
     let u = Vector::from_slice(&[0.06, 0.05]);
     let mut x_true = x0;
     for _ in 0..ITERATIONS {
@@ -135,6 +143,44 @@ fn spoofed_run_logs_confirmed_alarm_events() {
             .counter_value("decision.sensor_alarms"),
         Some(1)
     );
+}
+
+#[test]
+fn parallel_nuise_spans_carry_worker_attribution() {
+    let ring = Arc::new(RingBufferSink::new(100_000));
+    let system = presets::khepera_system();
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let mut ads = RoboAds::new(
+        system.clone(),
+        RoboAdsConfig::paper_defaults().with_threads(3),
+        x0.clone(),
+        ModeSet::one_reference_per_sensor(&system),
+    )
+    .unwrap()
+    .with_telemetry(Telemetry::new(ring.clone()));
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let mut x_true = x0;
+    for _ in 0..5 {
+        x_true = system.dynamics().step(&x_true, &u);
+        ads.step(&u, &clean_readings(&system, &x_true)).unwrap();
+    }
+    let spans = ring.spans();
+    let nuise: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "engine.nuise_mode")
+        .collect();
+    assert_eq!(nuise.len(), 5 * 3);
+    for s in &nuise {
+        assert!(
+            (1..=3).contains(&s.worker),
+            "parallel NUISE span attributed to worker {}",
+            s.worker
+        );
+    }
+    // Main-thread stages keep the default worker 0.
+    for s in spans.iter().filter(|s| s.name == "engine.step") {
+        assert_eq!(s.worker, 0);
+    }
 }
 
 #[test]

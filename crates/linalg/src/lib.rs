@@ -40,6 +40,7 @@ mod cholesky;
 mod eigen;
 mod error;
 pub mod health;
+mod inplace;
 mod lu;
 mod matrix;
 mod ops;
@@ -50,6 +51,7 @@ mod vector;
 pub use cholesky::Cholesky;
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
+pub use inplace::{EigenWorkspace, LuWorkspace};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;

@@ -176,6 +176,15 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutably borrows the underlying row-major data.
+    ///
+    /// Rows are contiguous, so `&mut m.as_mut_slice()[r * cols..]` is a
+    /// valid in-place view of row `r` — the allocation-free hot path
+    /// writes Jacobian blocks through this.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Extracts the underlying row-major data vector.
     pub fn into_vec(self) -> Vec<f64> {
         self.data

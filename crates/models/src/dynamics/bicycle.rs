@@ -157,12 +157,55 @@ impl DynamicsModel for Bicycle {
         ])
         .expect("static shape")
     }
+
+    fn step_into(&self, x: &Vector, u: &Vector, out: &mut Vector) {
+        assert_eq!(x.len(), 3, "bicycle expects a 3-state");
+        assert_eq!(u.len(), 2, "bicycle expects (speed, steering)");
+        let v = u[0];
+        let delta = self.clamp_steer(u[1]);
+        let theta = x[2];
+        out[0] = x[0] + v * theta.cos() * self.dt;
+        out[1] = x[1] + v * theta.sin() * self.dt;
+        out[2] = wrap_angle(theta + v / self.wheelbase * delta.tan() * self.dt);
+    }
+
+    fn state_jacobian_into(&self, x: &Vector, u: &Vector, out: &mut Matrix) {
+        let v = u[0];
+        let theta = x[2];
+        out.as_mut_slice().copy_from_slice(&[
+            1.0,
+            0.0,
+            -v * theta.sin() * self.dt,
+            0.0,
+            1.0,
+            v * theta.cos() * self.dt,
+            0.0,
+            0.0,
+            1.0,
+        ]);
+    }
+
+    fn input_jacobian_into(&self, x: &Vector, u: &Vector, out: &mut Matrix) {
+        let v = u[0];
+        let delta = self.clamp_steer(u[1]);
+        let theta = x[2];
+        let l = self.wheelbase;
+        let sec2 = 1.0 / (delta.cos() * delta.cos());
+        out.as_mut_slice().copy_from_slice(&[
+            theta.cos() * self.dt,
+            0.0,
+            theta.sin() * self.dt,
+            0.0,
+            delta.tan() * self.dt / l,
+            v * self.dt * sec2 / l,
+        ]);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dynamics::test_support::assert_jacobians_match;
+    use crate::dynamics::test_support::{assert_into_variants_match, assert_jacobians_match};
 
     fn car() -> Bicycle {
         Bicycle::new(0.257, 0.45, 0.1).unwrap()
@@ -212,6 +255,7 @@ mod tests {
             let x = Vector::from_slice(&[0.5, 0.5, theta]);
             let u = Vector::from_slice(&[v, delta]);
             assert_jacobians_match(&b, &x, &u, 1e-5);
+            assert_into_variants_match(&b, &x, &u);
         }
     }
 

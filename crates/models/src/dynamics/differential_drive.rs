@@ -147,12 +147,54 @@ impl DynamicsModel for DifferentialDrive {
         ])
         .expect("static shape")
     }
+
+    fn step_into(&self, x: &Vector, u: &Vector, out: &mut Vector) {
+        assert_eq!(x.len(), 3, "differential drive expects a 3-state");
+        assert_eq!(u.len(), 2, "differential drive expects 2 wheel speeds");
+        let (vl, vr) = (u[0], u[1]);
+        let v = 0.5 * (vl + vr);
+        let omega = (vr - vl) / self.wheel_base;
+        let theta = x[2];
+        out[0] = x[0] + v * theta.cos() * self.dt;
+        out[1] = x[1] + v * theta.sin() * self.dt;
+        out[2] = wrap_angle(theta + omega * self.dt);
+    }
+
+    fn state_jacobian_into(&self, x: &Vector, u: &Vector, out: &mut Matrix) {
+        let v = 0.5 * (u[0] + u[1]);
+        let theta = x[2];
+        out.as_mut_slice().copy_from_slice(&[
+            1.0,
+            0.0,
+            -v * theta.sin() * self.dt,
+            0.0,
+            1.0,
+            v * theta.cos() * self.dt,
+            0.0,
+            0.0,
+            1.0,
+        ]);
+    }
+
+    fn input_jacobian_into(&self, x: &Vector, _u: &Vector, out: &mut Matrix) {
+        let theta = x[2];
+        let half_dt = 0.5 * self.dt;
+        let b = self.wheel_base;
+        out.as_mut_slice().copy_from_slice(&[
+            half_dt * theta.cos(),
+            half_dt * theta.cos(),
+            half_dt * theta.sin(),
+            half_dt * theta.sin(),
+            -self.dt / b,
+            self.dt / b,
+        ]);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dynamics::test_support::assert_jacobians_match;
+    use crate::dynamics::test_support::{assert_into_variants_match, assert_jacobians_match};
     use std::f64::consts::{FRAC_PI_2, PI};
 
     fn model() -> DifferentialDrive {
@@ -201,6 +243,7 @@ mod tests {
             let x = Vector::from_slice(&[0.3, -0.2, theta]);
             let u = Vector::from_slice(&[0.12, 0.08]);
             assert_jacobians_match(&dd, &x, &u, 1e-6);
+            assert_into_variants_match(&dd, &x, &u);
         }
     }
 

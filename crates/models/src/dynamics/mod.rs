@@ -67,6 +67,30 @@ pub trait DynamicsModel: Send + Sync {
         let f = |xx: &Vector, uu: &Vector| self.step(xx, uu);
         numeric_jacobian_wrt(&f, x, u, self.state_dim())
     }
+
+    /// Allocation-free [`DynamicsModel::step`]: writes `f(x, u)` into
+    /// `out` (length `state_dim`).
+    ///
+    /// The default delegates to the allocating `step`, so user models
+    /// keep working unchanged; the built-in models override it to write
+    /// directly, which is what keeps the NUISE hot path heap-free.
+    fn step_into(&self, x: &Vector, u: &Vector, out: &mut Vector) {
+        out.copy_from(&self.step(x, u));
+    }
+
+    /// Allocation-free [`DynamicsModel::state_jacobian`]: writes `A`
+    /// into `out` (shape `state_dim × state_dim`). Default delegates to
+    /// the allocating version.
+    fn state_jacobian_into(&self, x: &Vector, u: &Vector, out: &mut Matrix) {
+        out.copy_from(&self.state_jacobian(x, u));
+    }
+
+    /// Allocation-free [`DynamicsModel::input_jacobian`]: writes `G`
+    /// into `out` (shape `state_dim × input_dim`). Default delegates to
+    /// the allocating version.
+    fn input_jacobian_into(&self, x: &Vector, u: &Vector, out: &mut Matrix) {
+        out.copy_from(&self.input_jacobian(x, u));
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +115,32 @@ pub(crate) mod test_support {
         assert!(
             (&g_analytic - &g_numeric).max_abs() < tol,
             "input jacobian mismatch for {}:\nanalytic {g_analytic:?}\nnumeric {g_numeric:?}",
+            model.name()
+        );
+    }
+
+    /// Asserts that the in-place `_into` variants are bitwise identical
+    /// to the allocating methods (the NUISE determinism contract).
+    pub fn assert_into_variants_match(model: &dyn DynamicsModel, x: &Vector, u: &Vector) {
+        let n = model.state_dim();
+        let q = model.input_dim();
+        let mut step = Vector::zeros(n);
+        model.step_into(x, u, &mut step);
+        assert_eq!(step, model.step(x, u), "{} step_into", model.name());
+        let mut a = Matrix::zeros(n, n);
+        model.state_jacobian_into(x, u, &mut a);
+        assert_eq!(
+            a,
+            model.state_jacobian(x, u),
+            "{} state_jacobian_into",
+            model.name()
+        );
+        let mut g = Matrix::zeros(n, q);
+        model.input_jacobian_into(x, u, &mut g);
+        assert_eq!(
+            g,
+            model.input_jacobian(x, u),
+            "{} input_jacobian_into",
             model.name()
         );
     }

@@ -114,12 +114,51 @@ impl DynamicsModel for Omnidirectional {
         ])
         .expect("static shape")
     }
+
+    fn step_into(&self, x: &Vector, u: &Vector, out: &mut Vector) {
+        assert_eq!(x.len(), 3, "omnidirectional expects a 3-state");
+        assert_eq!(u.len(), 3, "omnidirectional expects (vx, vy, omega)");
+        let (c, s) = (x[2].cos(), x[2].sin());
+        out[0] = x[0] + (u[0] * c - u[1] * s) * self.dt;
+        out[1] = x[1] + (u[0] * s + u[1] * c) * self.dt;
+        out[2] = wrap_angle(x[2] + u[2] * self.dt);
+    }
+
+    fn state_jacobian_into(&self, x: &Vector, u: &Vector, out: &mut Matrix) {
+        let (c, s) = (x[2].cos(), x[2].sin());
+        out.as_mut_slice().copy_from_slice(&[
+            1.0,
+            0.0,
+            (-u[0] * s - u[1] * c) * self.dt,
+            0.0,
+            1.0,
+            (u[0] * c - u[1] * s) * self.dt,
+            0.0,
+            0.0,
+            1.0,
+        ]);
+    }
+
+    fn input_jacobian_into(&self, x: &Vector, _u: &Vector, out: &mut Matrix) {
+        let (c, s) = (x[2].cos(), x[2].sin());
+        out.as_mut_slice().copy_from_slice(&[
+            c * self.dt,
+            -s * self.dt,
+            0.0,
+            s * self.dt,
+            c * self.dt,
+            0.0,
+            0.0,
+            0.0,
+            self.dt,
+        ]);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dynamics::test_support::assert_jacobians_match;
+    use crate::dynamics::test_support::{assert_into_variants_match, assert_jacobians_match};
 
     #[test]
     fn body_frame_motion_rotates_with_heading() {
@@ -154,6 +193,11 @@ mod tests {
                 &Vector::from_slice(&[0.4, -0.2, theta]),
                 &Vector::from_slice(&[0.2, -0.1, 0.6]),
                 1e-6,
+            );
+            assert_into_variants_match(
+                &omni,
+                &Vector::from_slice(&[0.4, -0.2, theta]),
+                &Vector::from_slice(&[0.2, -0.1, 0.6]),
             );
         }
     }

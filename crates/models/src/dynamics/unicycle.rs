@@ -103,12 +103,48 @@ impl DynamicsModel for Unicycle {
         ])
         .expect("static shape")
     }
+
+    fn step_into(&self, x: &Vector, u: &Vector, out: &mut Vector) {
+        assert_eq!(x.len(), 3, "unicycle expects a 3-state");
+        assert_eq!(u.len(), 2, "unicycle expects (v, omega)");
+        let theta = x[2];
+        out[0] = x[0] + u[0] * theta.cos() * self.dt;
+        out[1] = x[1] + u[0] * theta.sin() * self.dt;
+        out[2] = wrap_angle(theta + u[1] * self.dt);
+    }
+
+    fn state_jacobian_into(&self, x: &Vector, u: &Vector, out: &mut Matrix) {
+        let theta = x[2];
+        out.as_mut_slice().copy_from_slice(&[
+            1.0,
+            0.0,
+            -u[0] * theta.sin() * self.dt,
+            0.0,
+            1.0,
+            u[0] * theta.cos() * self.dt,
+            0.0,
+            0.0,
+            1.0,
+        ]);
+    }
+
+    fn input_jacobian_into(&self, x: &Vector, _u: &Vector, out: &mut Matrix) {
+        let theta = x[2];
+        out.as_mut_slice().copy_from_slice(&[
+            theta.cos() * self.dt,
+            0.0,
+            theta.sin() * self.dt,
+            0.0,
+            0.0,
+            self.dt,
+        ]);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dynamics::test_support::assert_jacobians_match;
+    use crate::dynamics::test_support::{assert_into_variants_match, assert_jacobians_match};
 
     #[test]
     fn circular_trajectory_closes() {
@@ -132,6 +168,7 @@ mod tests {
         let x = Vector::from_slice(&[0.2, -0.8, 1.1]);
         let u = Vector::from_slice(&[0.4, -0.6]);
         assert_jacobians_match(&uni, &x, &u, 1e-6);
+        assert_into_variants_match(&uni, &x, &u);
     }
 
     #[test]

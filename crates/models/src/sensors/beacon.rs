@@ -116,14 +116,40 @@ impl SensorModel for BeaconRange {
         let v = self.range_std * self.range_std;
         Matrix::from_diagonal(&vec![v; self.beacons.len()])
     }
+
+    fn measure_into(&self, x: &Vector, out: &mut [f64]) {
+        assert!(x.len() >= 2, "beacon range expects a planar state");
+        for (i, &(bx, by)) in self.beacons.iter().enumerate() {
+            out[i] = ((x[0] - bx).powi(2) + (x[1] - by).powi(2)).sqrt();
+        }
+    }
+
+    fn jacobian_into(&self, x: &Vector, out: &mut Matrix, row_offset: usize) {
+        for (i, &(bx, by)) in self.beacons.iter().enumerate() {
+            let d = (((x[0] - bx).powi(2) + (x[1] - by).powi(2)).sqrt()).max(MIN_RANGE);
+            for j in 0..x.len() {
+                out[(row_offset + i, j)] = match j {
+                    0 => (x[0] - bx) / d,
+                    1 => (x[1] - by) / d,
+                    _ => 0.0,
+                };
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sensors::test_support::{
-        assert_noise_covariance_valid, assert_sensor_jacobian_matches,
+        assert_noise_covariance_valid, assert_sensor_into_variants_match,
+        assert_sensor_jacobian_matches,
     };
+
+    #[test]
+    fn into_variants_match() {
+        assert_sensor_into_variants_match(&triangle(), &Vector::from_slice(&[0.4, 0.3, 0.1]));
+    }
 
     fn triangle() -> BeaconRange {
         BeaconRange::new(vec![(0.0, 0.0), (4.0, 0.0), (2.0, 4.0)], 0.02).unwrap()

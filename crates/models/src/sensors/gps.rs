@@ -74,14 +74,35 @@ impl SensorModel for Gps {
         let v = self.position_std * self.position_std;
         Matrix::from_diagonal(&[v, v])
     }
+
+    fn measure_into(&self, x: &Vector, out: &mut [f64]) {
+        assert!(x.len() >= 2, "gps expects a planar state");
+        out[0] = x[0];
+        out[1] = x[1];
+    }
+
+    fn jacobian_into(&self, _x: &Vector, out: &mut Matrix, row_offset: usize) {
+        for i in 0..2 {
+            for j in 0..3 {
+                out[(row_offset + i, j)] = if i == j { 1.0 } else { 0.0 };
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sensors::test_support::{
-        assert_noise_covariance_valid, assert_sensor_jacobian_matches,
+        assert_noise_covariance_valid, assert_sensor_into_variants_match,
+        assert_sensor_jacobian_matches,
     };
+
+    #[test]
+    fn into_variants_match() {
+        let gps = Gps::new(0.5).unwrap();
+        assert_sensor_into_variants_match(&gps, &Vector::from_slice(&[0.0, 0.0, 0.5]));
+    }
 
     #[test]
     fn measures_position_only() {

@@ -107,14 +107,36 @@ impl SensorModel for Ips {
     fn angular_components(&self) -> &[usize] {
         &[2]
     }
+
+    fn measure_into(&self, x: &Vector, out: &mut [f64]) {
+        assert!(x.len() >= 3, "ips expects a pose state");
+        out[0] = x[0];
+        out[1] = x[1];
+        out[2] = x[2];
+    }
+
+    fn jacobian_into(&self, _x: &Vector, out: &mut Matrix, row_offset: usize) {
+        for i in 0..3 {
+            for j in 0..3 {
+                out[(row_offset + i, j)] = if i == j { 1.0 } else { 0.0 };
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sensors::test_support::{
-        assert_noise_covariance_valid, assert_sensor_jacobian_matches,
+        assert_noise_covariance_valid, assert_sensor_into_variants_match,
+        assert_sensor_jacobian_matches,
     };
+
+    #[test]
+    fn into_variants_match() {
+        let ips = Ips::new(0.004, 0.006).unwrap();
+        assert_sensor_into_variants_match(&ips, &Vector::from_slice(&[0.3, 0.1, -0.9]));
+    }
 
     #[test]
     fn measures_identity_on_pose() {

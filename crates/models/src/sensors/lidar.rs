@@ -144,6 +144,28 @@ impl SensorModel for WallLidar {
     fn angular_components(&self) -> &[usize] {
         &[3]
     }
+
+    fn measure_into(&self, x: &Vector, out: &mut [f64]) {
+        assert!(x.len() >= 3, "lidar expects a pose state");
+        out[0] = x[0];
+        out[1] = x[1];
+        out[2] = self.arena.width() - x[0];
+        out[3] = x[2];
+    }
+
+    fn jacobian_into(&self, _x: &Vector, out: &mut Matrix, row_offset: usize) {
+        const ROWS: [[f64; 3]; 4] = [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [-1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ];
+        for (i, row) in ROWS.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                out[(row_offset + i, j)] = *v;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -151,8 +173,15 @@ mod tests {
     use super::*;
     use crate::environment::Aabb;
     use crate::sensors::test_support::{
-        assert_noise_covariance_valid, assert_sensor_jacobian_matches,
+        assert_noise_covariance_valid, assert_sensor_into_variants_match,
+        assert_sensor_jacobian_matches,
     };
+
+    #[test]
+    fn into_variants_match() {
+        let lidar = WallLidar::new(Arena::new(4.0, 4.0).unwrap(), 0.015, 0.02).unwrap();
+        assert_sensor_into_variants_match(&lidar, &Vector::from_slice(&[0.5, 0.6, 0.7]));
+    }
 
     fn lidar() -> WallLidar {
         WallLidar::new(Arena::new(4.0, 4.0).unwrap(), 0.015, 0.02).unwrap()

@@ -80,14 +80,32 @@ impl SensorModel for Magnetometer {
     fn angular_components(&self) -> &[usize] {
         &[0]
     }
+
+    fn measure_into(&self, x: &Vector, out: &mut [f64]) {
+        assert!(x.len() >= 3, "magnetometer expects a pose state");
+        out[0] = x[2];
+    }
+
+    fn jacobian_into(&self, _x: &Vector, out: &mut Matrix, row_offset: usize) {
+        out[(row_offset, 0)] = 0.0;
+        out[(row_offset, 1)] = 0.0;
+        out[(row_offset, 2)] = 1.0;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sensors::test_support::{
-        assert_noise_covariance_valid, assert_sensor_jacobian_matches,
+        assert_noise_covariance_valid, assert_sensor_into_variants_match,
+        assert_sensor_jacobian_matches,
     };
+
+    #[test]
+    fn into_variants_match() {
+        let mag = Magnetometer::new(0.01).unwrap();
+        assert_sensor_into_variants_match(&mag, &Vector::from_slice(&[0.1, 0.2, 0.3]));
+    }
 
     #[test]
     fn measures_heading_only() {

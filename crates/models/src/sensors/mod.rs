@@ -63,6 +63,24 @@ pub trait SensorModel: Send + Sync {
     fn angular_components(&self) -> &[usize] {
         &[]
     }
+
+    /// Allocation-free [`SensorModel::measure`]: writes `h(x)` into
+    /// `out`, a slice of length [`SensorModel::dim`] (typically a
+    /// segment of a stacked measurement vector).
+    ///
+    /// The default delegates to the allocating `measure`, so user
+    /// sensors keep working unchanged; the built-in sensors override it
+    /// to write directly, keeping the NUISE hot path heap-free.
+    fn measure_into(&self, x: &Vector, out: &mut [f64]) {
+        out.copy_from_slice(self.measure(x).as_slice());
+    }
+
+    /// Allocation-free [`SensorModel::jacobian`]: writes `C` into rows
+    /// `row_offset .. row_offset + dim()` of `out` (a stacked subset
+    /// Jacobian). Default delegates to the allocating version.
+    fn jacobian_into(&self, x: &Vector, out: &mut Matrix, row_offset: usize) {
+        out.set_block(row_offset, 0, &self.jacobian(x));
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +97,30 @@ pub(crate) mod test_support {
             "jacobian mismatch for {}:\nanalytic {analytic:?}\nnumeric {numeric:?}",
             sensor.name()
         );
+    }
+
+    /// Asserts the in-place `_into` variants are bitwise identical to
+    /// the allocating methods (the NUISE determinism contract), using a
+    /// nonzero row offset to exercise the stacked-Jacobian path.
+    pub fn assert_sensor_into_variants_match(sensor: &dyn SensorModel, x: &Vector) {
+        let d = sensor.dim();
+        let mut z = vec![0.0; d];
+        sensor.measure_into(x, &mut z);
+        assert_eq!(
+            z,
+            sensor.measure(x).as_slice(),
+            "{} measure_into",
+            sensor.name()
+        );
+        let mut stacked = Matrix::zeros(d + 1, x.len());
+        sensor.jacobian_into(x, &mut stacked, 1);
+        assert_eq!(
+            stacked.block(1, 0, d, x.len()),
+            sensor.jacobian(x),
+            "{} jacobian_into",
+            sensor.name()
+        );
+        assert_eq!(stacked.row(0), roboads_linalg::Vector::zeros(x.len()));
     }
 
     /// Asserts the declared noise covariance is SPD with the declared dim.

@@ -234,6 +234,40 @@ impl RobotSystem {
         Matrix::vstack_all(blocks.iter()).expect("sensor jacobians share the state dimension")
     }
 
+    /// Allocation-free variant of [`RobotSystem::measure_subset`]: writes
+    /// the stacked measurement into `out` using a precomputed slice
+    /// layout from [`RobotSystem::subset_slices`].
+    ///
+    /// Produces bitwise-identical values to `measure_subset` for the
+    /// same subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the stacked subset dimension.
+    pub fn measure_subset_into(&self, slices: &[SensorSlice], x: &Vector, out: &mut Vector) {
+        let out = out.as_mut_slice();
+        for slice in slices {
+            self.sensors[slice.sensor]
+                .measure_into(x, &mut out[slice.offset..slice.offset + slice.len]);
+        }
+    }
+
+    /// Allocation-free variant of [`RobotSystem::jacobian_subset`]: writes
+    /// the stacked Jacobian rows into `out`, which must already have the
+    /// stacked subset row count and `state_dim` columns.
+    ///
+    /// Produces bitwise-identical values to `jacobian_subset` for the
+    /// same subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is too small for the stacked Jacobian.
+    pub fn jacobian_subset_into(&self, slices: &[SensorSlice], x: &Vector, out: &mut Matrix) {
+        for slice in slices {
+            self.sensors[slice.sensor].jacobian_into(x, out, slice.offset);
+        }
+    }
+
     /// Block-diagonal noise covariance `R_S` over the subset.
     ///
     /// # Panics
@@ -318,6 +352,24 @@ mod tests {
         let r = sys.noise_subset(&[0, 2]);
         assert_eq!(r.shape(), (7, 7));
         assert!(r.cholesky().is_ok());
+    }
+
+    #[test]
+    fn subset_into_variants_are_bitwise_identical() {
+        let sys = presets::khepera_system();
+        let x = Vector::from_slice(&[1.2, 0.8, 0.4]);
+        for subset in [&[0usize][..], &[0, 2], &[1, 2], &[0, 1, 2]] {
+            let slices = sys.subset_slices(subset);
+            let dim = sys.subset_dim(subset);
+
+            let mut z = Vector::zeros(dim);
+            sys.measure_subset_into(&slices, &x, &mut z);
+            assert_eq!(z, sys.measure_subset(subset, &x));
+
+            let mut c = Matrix::zeros(dim, sys.state_dim());
+            sys.jacobian_subset_into(&slices, &x, &mut c);
+            assert_eq!(c, sys.jacobian_subset(subset, &x));
+        }
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub use sink::{
     EventRecord, Field, NoopSink, RingBufferSink, Sink, SpanRecord, TelemetryRecord, Value,
     WriterSink,
 };
-pub use telemetry::{Span, Telemetry};
+pub use telemetry::{current_worker, set_worker, OwnedSpan, Span, Telemetry};

@@ -49,6 +49,9 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Wall-clock duration, nanoseconds.
     pub duration_ns: u64,
+    /// Worker that closed the span: `0` is the main thread, pool
+    /// workers are `1..` (see [`crate::set_worker`]).
+    pub worker: u32,
 }
 
 /// A structured point-in-time event (alarm raised, mode re-anchored…).
@@ -81,6 +84,7 @@ impl SpanRecord {
         o.field_str("name", self.name);
         o.field_u64("start_ns", self.start_ns);
         o.field_u64("duration_ns", self.duration_ns);
+        o.field_u64("worker", u64::from(self.worker));
         o.finish()
     }
 }
@@ -295,6 +299,7 @@ mod tests {
             name,
             start_ns: 10,
             duration_ns: d,
+            worker: 0,
         }
     }
 
@@ -352,7 +357,7 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            r#"{"type":"span","name":"engine.step","start_ns":10,"duration_ns":1234}"#
+            r#"{"type":"span","name":"engine.step","start_ns":10,"duration_ns":1234,"worker":0}"#
         );
         assert_eq!(
             lines[1],

@@ -2,11 +2,33 @@
 //! event [`Sink`] with a [`MetricsRegistry`], plus the RAII [`Span`]
 //! timer the pipeline instruments itself with.
 
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::metrics::MetricsRegistry;
 use crate::sink::{EventRecord, Field, NoopSink, Sink, SpanRecord};
+
+thread_local! {
+    /// Worker id stamped onto spans closed on this thread. `0` means
+    /// "main thread" and is the default everywhere.
+    static WORKER_ID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Registers the calling thread as telemetry worker `id`.
+///
+/// The multi-mode engine's thread pool calls this once per worker (with
+/// ids `1..`) so that spans closed off the main thread — e.g.
+/// `engine.nuise_mode` — carry the worker that actually ran them.
+pub fn set_worker(id: u32) {
+    WORKER_ID.with(|w| w.set(id));
+}
+
+/// The telemetry worker id of the calling thread (`0` on the main
+/// thread and any thread that never called [`set_worker`]).
+pub fn current_worker() -> u32 {
+    WORKER_ID.with(Cell::get)
+}
 
 /// Shared telemetry context threaded through the detection pipeline.
 ///
@@ -94,6 +116,28 @@ impl Telemetry {
         }
     }
 
+    /// Opens a timed span that owns its sink handle instead of
+    /// borrowing the `Telemetry`, so the caller can keep mutating the
+    /// object that holds the telemetry while the span is live.
+    ///
+    /// With a disabled sink this performs no clock read and no
+    /// allocation (not even an `Arc` clone); when enabled it costs one
+    /// `Arc` clone — still allocation-free.
+    pub fn owned_span(&self, name: &'static str) -> OwnedSpan {
+        OwnedSpan {
+            name,
+            inner: if self.enabled() {
+                Some(OwnedSpanInner {
+                    sink: Arc::clone(&self.sink),
+                    epoch: self.epoch,
+                    start: Instant::now(),
+                })
+            } else {
+                None
+            },
+        }
+    }
+
     /// Emits an event. `fields` is a closure so that argument assembly
     /// (including any string formatting) is skipped entirely when the
     /// sink is disabled.
@@ -138,16 +182,56 @@ impl Span<'_> {
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            // One clock read serves both the duration and the epoch
-            // offset — this runs once per pipeline stage per step.
-            let now = Instant::now();
-            let duration_ns = now.duration_since(start).as_nanos() as u64;
-            let end_ns = now.duration_since(self.telemetry.epoch).as_nanos() as u64;
-            self.telemetry.sink.record_span(&SpanRecord {
-                name: self.name,
-                start_ns: end_ns.saturating_sub(duration_ns),
-                duration_ns,
-            });
+            record_closed_span(
+                &*self.telemetry.sink,
+                self.telemetry.epoch,
+                start,
+                self.name,
+            );
+        }
+    }
+}
+
+fn record_closed_span(sink: &dyn Sink, epoch: Instant, start: Instant, name: &'static str) {
+    // One clock read serves both the duration and the epoch offset —
+    // this runs once per pipeline stage per step.
+    let now = Instant::now();
+    let duration_ns = now.duration_since(start).as_nanos() as u64;
+    let end_ns = now.duration_since(epoch).as_nanos() as u64;
+    sink.record_span(&SpanRecord {
+        name,
+        start_ns: end_ns.saturating_sub(duration_ns),
+        duration_ns,
+        worker: current_worker(),
+    });
+}
+
+#[derive(Debug)]
+struct OwnedSpanInner {
+    sink: Arc<dyn Sink>,
+    epoch: Instant,
+    start: Instant,
+}
+
+/// RAII span timer returned by [`Telemetry::owned_span`]: identical to
+/// [`Span`] but holds its own sink handle instead of borrowing the
+/// `Telemetry`, freeing the caller to mutate whatever owns the
+/// telemetry while the span is live.
+#[derive(Debug)]
+pub struct OwnedSpan {
+    name: &'static str,
+    inner: Option<OwnedSpanInner>,
+}
+
+impl OwnedSpan {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for OwnedSpan {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            record_closed_span(&*inner.sink, inner.epoch, inner.start, self.name);
         }
     }
 }
@@ -192,6 +276,40 @@ mod tests {
             matches!(&records[1], crate::sink::TelemetryRecord::Event(e) if e.name == "marker")
         );
         assert!(matches!(&records[2], crate::sink::TelemetryRecord::Span(s) if s.name == "outer"));
+    }
+
+    #[test]
+    fn owned_span_records_like_a_borrowed_span() {
+        let ring = Arc::new(RingBufferSink::new(4));
+        let t = Telemetry::new(ring.clone());
+        {
+            let _s = t.owned_span("owned");
+        }
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "owned");
+        assert_eq!(spans[0].worker, 0);
+
+        // Disabled telemetry never reads the clock or clones the sink.
+        let off = Telemetry::disabled();
+        let _s = off.owned_span("skipped");
+    }
+
+    #[test]
+    fn worker_id_is_thread_local_and_stamped_on_spans() {
+        let ring = Arc::new(RingBufferSink::new(4));
+        let t = Telemetry::new(ring.clone());
+        assert_eq!(current_worker(), 0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                set_worker(3);
+                assert_eq!(current_worker(), 3);
+                let _span = t.span("off-main");
+            });
+        });
+        // The spawned thread's id never leaks back to this thread.
+        assert_eq!(current_worker(), 0);
+        assert_eq!(ring.spans()[0].worker, 3);
     }
 
     #[test]
