@@ -89,11 +89,16 @@ pub struct RoboAdsConfig {
     /// (ablation).
     pub mode_mixing: f64,
     /// Worker threads for the per-mode NUISE fan-out. `None` (the
-    /// default) resolves to the machine's available parallelism;
-    /// `Some(1)` forces the exact sequential path. The engine never
-    /// spawns more workers than it has modes, and parallel output is
-    /// bitwise identical to sequential (see `DESIGN.md`, threading
-    /// model).
+    /// default) lets the engine judge: banks whose estimated per-step
+    /// work falls below the pool's measured dispatch cost — every
+    /// built-in evaluation bank — run sequentially, and only genuinely
+    /// heavy banks widen to the machine's available parallelism.
+    /// `Some(n)` forces a width; `Some(1)` is the exact sequential
+    /// path. The engine never spawns more workers than it has modes,
+    /// and parallel output is bitwise identical to sequential (see
+    /// `DESIGN.md`, threading model). For many-robot deployments
+    /// prefer per-robot sequential engines batched by a
+    /// `FleetEngine`, which parallelizes at robot grain instead.
     pub threads: Option<usize>,
 }
 

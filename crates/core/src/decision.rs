@@ -1,13 +1,14 @@
 use std::collections::HashMap;
 
-use roboads_models::RobotSystem;
+use roboads_linalg::{Matrix, Vector};
+use roboads_models::{RobotSystem, SensorSlice};
 use roboads_obs::{Counter, Gauge, Telemetry, Value};
-use roboads_stats::{normalized_statistic, ChiSquareTest, SlidingWindow};
+use roboads_stats::{ChiSquareTest, SlidingWindow, StatWorkspace};
 
 use crate::config::RoboAdsConfig;
 use crate::engine::EngineOutput;
 use crate::mode::ModeSet;
-use crate::report::{AnomalyEstimate, SensorAnomaly};
+use crate::report::{AnomalyEstimate, DetectionReport, SensorAnomaly};
 use crate::Result;
 
 /// The decision maker (Algorithm 1 lines 10–25): χ² tests on the
@@ -36,6 +37,20 @@ pub struct DecisionMaker {
     /// confirmed/cleared events.
     prev_sensor_alarm: bool,
     prev_actuator_alarm: bool,
+    /// Reusable statistic workspaces keyed by dimension (the same
+    /// lazily-built-and-cached discipline as `sensor_tests`) so warm
+    /// assessments run without heap allocation.
+    stat_workspaces: HashMap<usize, StatWorkspace>,
+    /// Per-dimension covariance-block scratch for the per-sensor views.
+    block_scratch: HashMap<usize, Matrix>,
+    /// Innovation-consistent mode indices, rebuilt each iteration.
+    qualifying: Vec<usize>,
+    /// Actuator-estimate difference scratch (input dimension).
+    diff: Vector,
+    /// Joint-covariance scratch (input dimension).
+    joint: Matrix,
+    /// Testing-slice scratch for the per-sensor views.
+    slices: Vec<SensorSlice>,
 }
 
 /// Pre-registered metric handles for the decision maker (same
@@ -122,6 +137,12 @@ impl DecisionMaker {
             instruments,
             prev_sensor_alarm: false,
             prev_actuator_alarm: false,
+            stat_workspaces: HashMap::new(),
+            block_scratch: HashMap::new(),
+            qualifying: Vec::new(),
+            diff: Vector::zeros(input_dim),
+            joint: Matrix::zeros(input_dim, input_dim),
+            slices: Vec::new(),
         })
     }
 
@@ -141,6 +162,17 @@ impl DecisionMaker {
         Ok(t)
     }
 
+    /// Returns the statistic workspace for dimension `dim`, building and
+    /// caching it on first use (warm calls are lookup-only).
+    fn stat_workspace(
+        workspaces: &mut HashMap<usize, StatWorkspace>,
+        dim: usize,
+    ) -> &mut StatWorkspace {
+        workspaces
+            .entry(dim)
+            .or_insert_with(|| StatWorkspace::new(dim))
+    }
+
     /// Assesses one engine iteration.
     ///
     /// # Errors
@@ -152,29 +184,71 @@ impl DecisionMaker {
         modes: &ModeSet,
         engine_out: &EngineOutput,
     ) -> Result<Decision> {
+        let mut report = DetectionReport::blank();
+        self.assess_report(system, modes, engine_out, &mut report)?;
+        Ok(Decision {
+            sensor_anomaly: report.sensor_anomaly,
+            actuator_anomaly: report.actuator_anomaly,
+            sensor_alarm: report.sensor_alarm,
+            misbehaving_sensors: report.misbehaving_sensors,
+            actuator_alarm: report.actuator_alarm,
+            per_sensor: report.per_sensor,
+        })
+    }
+
+    /// Assesses one engine iteration directly into `report`'s decision
+    /// fields (`sensor_anomaly`, `actuator_anomaly`, the alarms,
+    /// `misbehaving_sensors`, `per_sensor`), reusing the report's
+    /// existing buffers: a warmed-up decision maker fed same-shaped
+    /// engine output performs zero heap allocations. The engine-context
+    /// fields (`iteration`, `selected_mode`, `mode_probabilities`,
+    /// `state_estimate`) are left untouched — the caller owns them.
+    ///
+    /// Values are bitwise identical to [`DecisionMaker::assess`]'s (the
+    /// in-place statistic paths replicate the allocating formulations
+    /// exactly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric failures from the statistic computations; the
+    /// report may then hold a partially updated verdict and should be
+    /// discarded. The sliding windows advance only if every statistic
+    /// they consume was computed, exactly as in `assess`.
+    pub fn assess_report(
+        &mut self,
+        system: &RobotSystem,
+        modes: &ModeSet,
+        engine_out: &EngineOutput,
+        report: &mut DetectionReport,
+    ) -> Result<()> {
         let telemetry = self.telemetry.clone();
         let _assess_span = telemetry.span("decision.assess");
         let selected = engine_out.selected;
-        let selected_mode = &modes.modes()[selected];
         let selected_out = engine_out.selected_output();
 
         // --- Aggregate sensor anomaly test (line 10). ---
-        let sensor_anomaly = if selected_out.sensor_anomaly.is_empty() {
-            AnomalyEstimate::empty()
+        if selected_out.sensor_anomaly.is_empty() {
+            report.sensor_anomaly = AnomalyEstimate::empty();
         } else {
-            let stat = normalized_statistic(
-                &selected_out.sensor_anomaly,
-                &selected_out.sensor_covariance,
-            )?;
-            let test = self.sensor_test(selected_out.sensor_anomaly.len())?;
-            AnomalyEstimate {
-                estimate: selected_out.sensor_anomaly.clone(),
-                covariance: selected_out.sensor_covariance.clone(),
-                statistic: stat,
-                threshold: test.threshold(),
-                exceeds: test.exceeds(stat),
-            }
-        };
+            let dof = selected_out.sensor_anomaly.len();
+            let stat = Self::stat_workspace(&mut self.stat_workspaces, dof)
+                .normalized_statistic_into(
+                    &selected_out.sensor_anomaly,
+                    &selected_out.sensor_covariance,
+                )?;
+            let test = self.sensor_test(dof)?;
+            report
+                .sensor_anomaly
+                .estimate
+                .assign(&selected_out.sensor_anomaly);
+            report
+                .sensor_anomaly
+                .covariance
+                .assign(&selected_out.sensor_covariance);
+            report.sensor_anomaly.statistic = stat;
+            report.sensor_anomaly.threshold = test.threshold();
+            report.sensor_anomaly.exceeds = test.exceeds(stat);
+        }
 
         // --- Actuator anomaly test (line 11). ---
         // Quantified from the *most precise innovation-consistent* mode
@@ -188,10 +262,14 @@ impl DecisionMaker {
         // parsimony-weighted probability, which deliberately biases
         // *against* modes that can see a real input anomaly.
         const CONSISTENT_FLOOR: f64 = 1e-4;
-        let qualifying: Vec<usize> = (0..modes.len())
-            .filter(|&m| engine_out.modes[m].consistency >= CONSISTENT_FLOOR)
-            .collect();
-        let actuator_source = qualifying
+        self.qualifying.clear();
+        for m in 0..modes.len() {
+            if engine_out.modes[m].consistency >= CONSISTENT_FLOOR {
+                self.qualifying.push(m);
+            }
+        }
+        let actuator_source = self
+            .qualifying
             .iter()
             .copied()
             .min_by(|&a, &b| {
@@ -210,80 +288,89 @@ impl DecisionMaker {
         // alarm window. A merely *blind* (high-variance) mode cannot
         // contradict anything — its joint covariance is loose.
         let mut contradicted = false;
-        for &j in &qualifying {
+        for &j in &self.qualifying {
             if j == actuator_source {
                 continue;
             }
-            let diff = &actuator_out.actuator_anomaly - &engine_out.modes[j].actuator_anomaly;
-            let joint =
-                &actuator_out.actuator_covariance + &engine_out.modes[j].actuator_covariance;
-            if self
-                .actuator_conflict_test
-                .exceeds(normalized_statistic(&diff, &joint)?)
-            {
+            self.diff.copy_from(&actuator_out.actuator_anomaly);
+            self.diff -= &engine_out.modes[j].actuator_anomaly;
+            self.joint.copy_from(&actuator_out.actuator_covariance);
+            self.joint += &engine_out.modes[j].actuator_covariance;
+            let dim = self.diff.len();
+            let stat = Self::stat_workspace(&mut self.stat_workspaces, dim)
+                .normalized_statistic_into(&self.diff, &self.joint)?;
+            if self.actuator_conflict_test.exceeds(stat) {
                 contradicted = true;
                 break;
             }
         }
-        let actuator_anomaly = {
-            let stat = normalized_statistic(
-                &actuator_out.actuator_anomaly,
-                &actuator_out.actuator_covariance,
-            )?;
-            AnomalyEstimate {
-                estimate: actuator_out.actuator_anomaly.clone(),
-                covariance: actuator_out.actuator_covariance.clone(),
-                statistic: stat,
-                threshold: self.actuator_test.threshold(),
-                exceeds: self.actuator_test.exceeds(stat) && !contradicted,
-            }
-        };
+        {
+            let dim = actuator_out.actuator_anomaly.len();
+            let stat = Self::stat_workspace(&mut self.stat_workspaces, dim)
+                .normalized_statistic_into(
+                    &actuator_out.actuator_anomaly,
+                    &actuator_out.actuator_covariance,
+                )?;
+            report
+                .actuator_anomaly
+                .estimate
+                .assign(&actuator_out.actuator_anomaly);
+            report
+                .actuator_anomaly
+                .covariance
+                .assign(&actuator_out.actuator_covariance);
+            report.actuator_anomaly.statistic = stat;
+            report.actuator_anomaly.threshold = self.actuator_test.threshold();
+            report.actuator_anomaly.exceeds = self.actuator_test.exceeds(stat) && !contradicted;
+        }
 
         // --- Sliding windows (lines 12, 20). ---
-        let sensor_alarm = self.sensor_window.push(sensor_anomaly.exceeds);
-        let actuator_alarm = self.actuator_window.push(actuator_anomaly.exceeds);
+        report.sensor_alarm = self.sensor_window.push(report.sensor_anomaly.exceeds);
+        report.actuator_alarm = self.actuator_window.push(report.actuator_anomaly.exceeds);
 
         // --- Per-sensor views for the whole suite (Fig. 6), and
         //     identification (lines 13–18). ---
-        let mut per_sensor = Vec::with_capacity(system.sensor_count());
+        // Slots are overwritten in place; the slot layout is stable
+        // across iterations (sensor dimensions are fixed), so the warm
+        // path never reallocates.
+        let mut write = 0;
         for sensor in 0..system.sensor_count() {
-            if let Some(view) = self.per_sensor_view(system, modes, engine_out, sensor)? {
-                per_sensor.push(view);
+            if self.per_sensor_view_into(
+                system,
+                modes,
+                engine_out,
+                sensor,
+                &mut report.per_sensor,
+                write,
+            )? {
+                write += 1;
             }
         }
+        report.per_sensor.truncate(write);
 
         // Identification: confirmed misbehaving sensors are the testing
         // sensors of the *selected* mode whose individual statistic
         // exceeds its threshold, gated on the window-confirmed alarm.
-        let misbehaving_sensors = if sensor_alarm {
-            per_sensor
-                .iter()
-                .filter(|v| {
-                    v.from_mode == selected && selected_mode.is_testing(v.sensor) && v.exceeds
-                })
-                .map(|v| v.sensor)
-                .collect()
-        } else {
-            Vec::new()
-        };
+        report.misbehaving_sensors.clear();
+        if report.sensor_alarm {
+            let selected_mode = &modes.modes()[selected];
+            for v in &report.per_sensor {
+                if v.from_mode == selected && selected_mode.is_testing(v.sensor) && v.exceeds {
+                    report.misbehaving_sensors.push(v.sensor);
+                }
+            }
+        }
 
         self.record_verdict(
             &telemetry,
-            &sensor_anomaly,
-            &actuator_anomaly,
-            sensor_alarm,
-            actuator_alarm,
-            &misbehaving_sensors,
+            &report.sensor_anomaly,
+            &report.actuator_anomaly,
+            report.sensor_alarm,
+            report.actuator_alarm,
+            &report.misbehaving_sensors,
         );
 
-        Ok(Decision {
-            sensor_anomaly,
-            actuator_anomaly,
-            sensor_alarm,
-            misbehaving_sensors,
-            actuator_alarm,
-            per_sensor,
-        })
+        Ok(())
     }
 
     /// Publishes the iteration's verdict: statistic gauges, pre-window
@@ -347,18 +434,21 @@ impl DecisionMaker {
         self.prev_actuator_alarm = actuator_alarm;
     }
 
-    /// Builds the per-sensor anomaly view for one sensor: taken from the
-    /// selected mode when the sensor is in its testing set, otherwise
-    /// from the most probable mode that tests it. Returns `None` for a
-    /// sensor no mode ever tests (it can never be identified — the mode
-    /// set designer opted it out).
-    fn per_sensor_view(
+    /// Writes the per-sensor anomaly view for one sensor into
+    /// `per_sensor[write]` (pushing a slot when the vector is still
+    /// growing): taken from the selected mode when the sensor is in its
+    /// testing set, otherwise from the most probable mode that tests it.
+    /// Returns `false` without writing for a sensor no mode ever tests
+    /// (it can never be identified — the mode set designer opted it out).
+    fn per_sensor_view_into(
         &mut self,
         system: &RobotSystem,
         modes: &ModeSet,
         engine_out: &EngineOutput,
         sensor: usize,
-    ) -> Result<Option<SensorAnomaly>> {
+        per_sensor: &mut Vec<SensorAnomaly>,
+        write: usize,
+    ) -> Result<bool> {
         let selected = engine_out.selected;
         let source_mode = if modes.modes()[selected].is_testing(sensor) {
             Some(selected)
@@ -372,31 +462,50 @@ impl DecisionMaker {
                 })
         };
         let Some(m) = source_mode else {
-            return Ok(None);
+            return Ok(false);
         };
         let mode = &modes.modes()[m];
         let out = &engine_out.modes[m];
         // Locate this sensor's block inside the mode's stacked testing
         // vector.
-        let slices = system.subset_slices(mode.testing());
-        let slice = slices
+        system.subset_slices_into(mode.testing(), &mut self.slices);
+        let slice = *self
+            .slices
             .iter()
             .find(|s| s.sensor == sensor)
             .expect("sensor is in this mode's testing set");
-        let estimate = out.sensor_anomaly.segment(slice.offset, slice.len);
-        let block = out
-            .sensor_covariance
-            .block(slice.offset, slice.offset, slice.len, slice.len);
-        let stat = normalized_statistic(&estimate, &block)?;
+        if write == per_sensor.len() {
+            per_sensor.push(SensorAnomaly {
+                sensor,
+                name: String::new(),
+                estimate: Vector::zeros(slice.len),
+                statistic: 0.0,
+                exceeds: false,
+                from_mode: m,
+            });
+        }
+        let slot = &mut per_sensor[write];
+        slot.sensor = sensor;
+        slot.from_mode = m;
+        slot.name.clear();
+        slot.name.push_str(system.sensor_name(sensor));
+        if slot.estimate.len() != slice.len {
+            slot.estimate = Vector::zeros(slice.len);
+        }
+        out.sensor_anomaly
+            .segment_into(slice.offset, &mut slot.estimate);
+        let block = self
+            .block_scratch
+            .entry(slice.len)
+            .or_insert_with(|| Matrix::zeros(slice.len, slice.len));
+        out.sensor_covariance
+            .block_into(slice.offset, slice.offset, block);
+        let stat = Self::stat_workspace(&mut self.stat_workspaces, slice.len)
+            .normalized_statistic_into(&slot.estimate, block)?;
         let test = self.sensor_test(slice.len)?;
-        Ok(Some(SensorAnomaly {
-            sensor,
-            name: system.sensor_name(sensor).to_string(),
-            estimate,
-            statistic: stat,
-            exceeds: test.exceeds(stat),
-            from_mode: m,
-        }))
+        slot.statistic = stat;
+        slot.exceeds = test.exceeds(stat);
+        Ok(true)
     }
 
     /// The configured sensor significance level.

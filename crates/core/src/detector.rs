@@ -121,23 +121,47 @@ impl RoboAds {
     /// state is unchanged and the iteration may simply be retried or
     /// skipped.
     pub fn step(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<DetectionReport> {
-        let engine_out = self.engine.step(u_prev, readings)?;
-        let decision =
-            self.decision
-                .assess(self.engine.system(), self.engine.modes(), &engine_out)?;
+        let mut report = DetectionReport::blank();
+        self.step_into(u_prev, readings, &mut report)?;
+        Ok(report)
+    }
+
+    /// Like [`RoboAds::step`] but fills a caller-owned report in place,
+    /// reusing its buffers. Feeding the same report every iteration
+    /// makes the whole warm detector step — engine, decision maker and
+    /// report refill — free of heap allocation (on the sequential
+    /// engine path), with values bitwise identical to `step`'s. This is
+    /// the per-robot hot path of the fleet engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`RoboAds::step`]; the internal filter state is unchanged, but
+    /// `report` may hold a partial verdict and should be discarded.
+    pub fn step_into(
+        &mut self,
+        u_prev: &Vector,
+        readings: &[Vector],
+        report: &mut DetectionReport,
+    ) -> Result<()> {
+        self.engine.step_in_place(u_prev, readings)?;
+        self.decision.assess_report(
+            self.engine.system(),
+            self.engine.modes(),
+            self.engine.last_output(),
+            report,
+        )?;
         self.iteration += 1;
-        Ok(DetectionReport {
-            iteration: self.iteration,
-            selected_mode: engine_out.selected,
-            mode_probabilities: engine_out.probabilities.clone(),
-            state_estimate: engine_out.selected_output().state_estimate.clone(),
-            sensor_anomaly: decision.sensor_anomaly,
-            actuator_anomaly: decision.actuator_anomaly,
-            sensor_alarm: decision.sensor_alarm,
-            misbehaving_sensors: decision.misbehaving_sensors,
-            actuator_alarm: decision.actuator_alarm,
-            per_sensor: decision.per_sensor,
-        })
+        let out = self.engine.last_output();
+        report.iteration = self.iteration;
+        report.selected_mode = out.selected;
+        report.mode_probabilities.clear();
+        report
+            .mode_probabilities
+            .extend_from_slice(&out.probabilities);
+        report
+            .state_estimate
+            .assign(&out.selected_output().state_estimate);
+        Ok(())
     }
 
     /// Number of completed iterations.
@@ -163,6 +187,12 @@ impl RoboAds {
     /// The mode set in use.
     pub fn modes(&self) -> &ModeSet {
         self.engine.modes()
+    }
+
+    /// Effective intra-step NUISE fan-out width of the engine (`1` on
+    /// the sequential path — a fleet-eligible detector).
+    pub fn engine_threads(&self) -> usize {
+        self.engine.threads()
     }
 }
 

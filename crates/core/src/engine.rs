@@ -1,6 +1,6 @@
 use std::sync::Arc;
 
-use roboads_linalg::{Matrix, Vector};
+use roboads_linalg::{EigenWorkspace, Matrix, Vector};
 use roboads_models::{RobotSystem, SensorSlice};
 use roboads_obs::{Counter, Gauge, Histogram, Telemetry, Value};
 use roboads_pool::Pool;
@@ -91,6 +91,9 @@ pub struct MultiModeEngine {
     /// warmed-up hot path performs no heap allocation (see
     /// [`NuiseWorkspace`]).
     workspaces: Vec<NuiseWorkspace>,
+    /// Per-mode scratch for the parsimony significance checks,
+    /// index-aligned with `workspaces`.
+    parsimony_scratch: Vec<ParsimonyScratch>,
     /// χ² critical value for the actuator parsimony check, at the
     /// system's input dimension (computed once at construction).
     actuator_threshold: f64,
@@ -103,6 +106,18 @@ pub struct MultiModeEngine {
     pool: Option<Arc<Pool>>,
     telemetry: Telemetry,
     instruments: EngineInstruments,
+    /// The last step's output, written in place every iteration:
+    /// per-mode NUISE slots, probabilities and selection all reuse this
+    /// storage, so a warmed-up sequential engine steps with zero heap
+    /// allocations. [`MultiModeEngine::step`] clones it;
+    /// [`MultiModeEngine::step_in_place`] hands out a reference.
+    output: EngineOutput,
+    /// Persistent per-step intermediates (implied-anomaly counts,
+    /// parsimony weights, pool result slots), cleared and refilled in
+    /// place each iteration.
+    counts: Vec<usize>,
+    weights: Vec<f64>,
+    pool_results: Vec<Result<usize>>,
 }
 
 /// Pre-registered metric handles for the engine hot path.
@@ -176,6 +191,45 @@ fn parsimony_threshold(dof: usize) -> Result<f64> {
         .map_err(|e| CoreError::Numeric(e.to_string()))
 }
 
+/// Per-mode scratch buffers for the parsimony significance checks, so
+/// [`implied_anomaly_count`] runs without heap allocation. Sized once at
+/// construction from the mode's `testing_slices()`.
+#[derive(Debug, Clone)]
+struct ParsimonyScratch {
+    /// Pseudo-inverse buffers for the actuator anomaly covariance
+    /// (input dimension).
+    actuator_eig: EigenWorkspace,
+    actuator_pinv: Matrix,
+    /// Per-testing-slice buffers, index-aligned with `testing_slices()`.
+    slices: Vec<SliceScratch>,
+}
+
+#[derive(Debug, Clone)]
+struct SliceScratch {
+    eig: EigenWorkspace,
+    pinv: Matrix,
+    d: Vector,
+    cov: Matrix,
+}
+
+impl ParsimonyScratch {
+    fn new(input_dim: usize, testing_slices: &[SensorSlice]) -> Self {
+        ParsimonyScratch {
+            actuator_eig: EigenWorkspace::new(input_dim),
+            actuator_pinv: Matrix::zeros(input_dim, input_dim),
+            slices: testing_slices
+                .iter()
+                .map(|s| SliceScratch {
+                    eig: EigenWorkspace::new(s.len),
+                    pinv: Matrix::zeros(s.len, s.len),
+                    d: Vector::zeros(s.len),
+                    cov: Matrix::zeros(s.len, s.len),
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Number of active misbehaviors a mode's explanation of this
 /// iteration implies: one per testing sensor whose anomaly estimate
 /// is significant at the [`PARSIMONY_ALPHA`] level, plus one when
@@ -186,35 +240,67 @@ fn parsimony_threshold(dof: usize) -> Result<f64> {
 /// modes; the decision maker compensates by sourcing the actuator
 /// test from the most precise innovation-consistent mode rather
 /// than the selected one.)
+///
+/// Runs entirely in `scratch` (workspace pseudo-inverses and in-place
+/// segment/block extraction), producing statistics bitwise identical to
+/// the allocating `segment`/`block`/`pseudo_inverse` formulation.
 fn implied_anomaly_count(
     out: &NuiseOutput,
     actuator_threshold: f64,
     testing_slices: &[SensorSlice],
     testing_thresholds: &[f64],
+    scratch: &mut ParsimonyScratch,
 ) -> Result<usize> {
     let mut count = 0;
     // Own-actuator significance.
+    out.actuator_covariance
+        .pseudo_inverse_into(&mut scratch.actuator_eig, &mut scratch.actuator_pinv)?;
     let a_stat = out
         .actuator_anomaly
-        .quadratic_form(&out.actuator_covariance.pseudo_inverse()?)
+        .quadratic_form(&scratch.actuator_pinv)
         .map_err(|e| CoreError::Numeric(e.to_string()))?;
     if a_stat > actuator_threshold {
         count += 1;
     }
     // Per-testing-sensor significance.
-    for (slice, &threshold) in testing_slices.iter().zip(testing_thresholds) {
-        let d = out.sensor_anomaly.segment(slice.offset, slice.len);
-        let cov = out
-            .sensor_covariance
-            .block(slice.offset, slice.offset, slice.len, slice.len);
-        let stat = d
-            .quadratic_form(&cov.pseudo_inverse()?)
-            .map_err(|e| CoreError::Numeric(e.to_string()))?;
+    for ((slice, &threshold), s) in testing_slices
+        .iter()
+        .zip(testing_thresholds)
+        .zip(&mut scratch.slices)
+    {
+        out.sensor_anomaly.segment_into(slice.offset, &mut s.d);
+        out.sensor_covariance
+            .block_into(slice.offset, slice.offset, &mut s.cov);
+        s.cov.pseudo_inverse_into(&mut s.eig, &mut s.pinv)?;
+        let stat =
+            s.d.quadratic_form(&s.pinv)
+                .map_err(|e| CoreError::Numeric(e.to_string()))?;
         if stat > threshold {
             count += 1;
         }
     }
     Ok(count)
+}
+
+/// Per-step work proxy below which `threads: None` resolves to the
+/// sequential intra-step path: pool dispatch costs tens of microseconds
+/// per step, so a small bank (every built-in mode set on the evaluation
+/// robots) loses by fanning modes out. The proxy sums `(n + m₂)³` over
+/// the bank — the cube of each mode's dominant matrix side.
+const INTRA_STEP_WORK_THRESHOLD: f64 = 50_000.0;
+
+/// Estimated per-step floating-point work of a mode bank, in
+/// cubed-matrix-side units (see [`INTRA_STEP_WORK_THRESHOLD`]).
+fn intra_step_work(system: &RobotSystem, modes: &ModeSet) -> f64 {
+    let n = system.state_dim();
+    modes
+        .modes()
+        .iter()
+        .map(|m| {
+            let m2 = system.subset_dim(m.testing());
+            ((n + m2) as f64).powi(3)
+        })
+        .sum()
 }
 
 impl MultiModeEngine {
@@ -281,10 +367,19 @@ impl MultiModeEngine {
                 .collect();
             testing_thresholds.push(per_slice?);
         }
+        // `threads: None` is a request for the engine's judgment, not
+        // for maximum width: below the dispatch-cost threshold the
+        // sequential path wins outright (PR-measured pool dispatch is
+        // ~20 µs/step against ~2 µs per warm mode), so small banks run
+        // sequential and only genuinely heavy banks fan out.
         let configured = config.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
+            if intra_step_work(&system, &modes) < INTRA_STEP_WORK_THRESHOLD {
+                1
+            } else {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            }
         });
         let threads = configured.min(modes.len()).max(1);
         let pool = (threads > 1).then(|| {
@@ -294,6 +389,16 @@ impl MultiModeEngine {
         });
         let telemetry = Telemetry::disabled();
         let instruments = EngineInstruments::new(&telemetry, modes.len());
+        let parsimony_scratch: Vec<ParsimonyScratch> = workspaces
+            .iter()
+            .map(|ws| ParsimonyScratch::new(system.input_dim(), ws.testing_slices()))
+            .collect();
+        let output = EngineOutput {
+            modes: workspaces.iter().map(NuiseWorkspace::new_output).collect(),
+            probabilities: vec![0.0; modes.len()],
+            selected: 0,
+        };
+        let mode_count = modes.len();
         Ok(MultiModeEngine {
             system,
             modes,
@@ -305,11 +410,16 @@ impl MultiModeEngine {
             state_covariance: p0,
             mode_states,
             workspaces,
+            parsimony_scratch,
             actuator_threshold,
             testing_thresholds,
             pool,
             telemetry,
             instruments,
+            output,
+            counts: Vec::with_capacity(mode_count),
+            weights: Vec::with_capacity(mode_count),
+            pool_results: (0..mode_count).map(|_| Ok(0)).collect(),
         })
     }
 
@@ -382,6 +492,23 @@ impl MultiModeEngine {
     /// unchanged, so a transiently bad iteration (e.g. NaN readings) can
     /// simply be skipped by the caller.
     pub fn step(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<EngineOutput> {
+        self.step_in_place(u_prev, readings)?;
+        Ok(self.output.clone())
+    }
+
+    /// Like [`MultiModeEngine::step`] but hands back a reference to the
+    /// engine-owned output instead of cloning it. A warmed-up engine on
+    /// the sequential path performs zero heap allocations per call (the
+    /// pool path still allocates its per-scope job boxes — a
+    /// mode-count-independent constant). The reference is valid until
+    /// the next step.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiModeEngine::step`]: the shared filter state is left
+    /// unchanged, but the engine-owned output buffer may hold partial
+    /// results from the failed iteration.
+    pub fn step_in_place(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<&EngineOutput> {
         let _step_span = self.telemetry.owned_span("engine.step");
         let health_before = roboads_linalg::health::snapshot();
         let result = self.step_inner(u_prev, readings);
@@ -392,7 +519,7 @@ impl MultiModeEngine {
             self.instruments.cholesky_failures.add(breakdowns);
         }
         match &result {
-            Ok(_) => self.instruments.steps.incr(),
+            Ok(()) => self.instruments.steps.incr(),
             Err(CoreError::Numeric(msg)) => {
                 self.instruments.numeric_failures.incr();
                 let msg = msg.clone();
@@ -402,23 +529,26 @@ impl MultiModeEngine {
             }
             Err(_) => {}
         }
-        result
+        result?;
+        Ok(&self.output)
     }
 
-    fn step_inner(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<EngineOutput> {
+    /// The output of the last successful step — the same storage
+    /// [`MultiModeEngine::step_in_place`] returns. Unspecified before
+    /// the first successful step or after a failed one.
+    pub fn last_output(&self) -> &EngineOutput {
+        &self.output
+    }
+
+    fn step_inner(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<()> {
         let mode_count = self.modes.len();
-        let mut outputs: Vec<NuiseOutput> = self
-            .workspaces
-            .iter()
-            .map(NuiseWorkspace::new_output)
-            .collect();
 
         // NUISE fan-out. Each mode writes into its own pre-assigned
-        // workspace and output slot, so the parallel path touches no
-        // shared mutable state and the results — consumed strictly in
-        // mode order below — are bitwise identical to the sequential
-        // path's.
-        let counts: Vec<usize> = {
+        // workspace and output slot (persistent across steps), so the
+        // parallel path touches no shared mutable state and the results
+        // — consumed strictly in mode order below — are bitwise
+        // identical to the sequential path's.
+        {
             let system = &self.system;
             let modes = self.modes.modes();
             let mode_states = &self.mode_states;
@@ -428,8 +558,14 @@ impl MultiModeEngine {
             let actuator_threshold = self.actuator_threshold;
             let testing_thresholds = &self.testing_thresholds;
             let workspaces = &mut self.workspaces;
+            let scratches = &mut self.parsimony_scratch;
+            let outputs = &mut self.output.modes;
+            let counts = &mut self.counts;
 
-            let run_mode = |m: usize, ws: &mut NuiseWorkspace, out: &mut NuiseOutput| {
+            let run_mode = |m: usize,
+                            ws: &mut NuiseWorkspace,
+                            scratch: &mut ParsimonyScratch,
+                            out: &mut NuiseOutput| {
                 {
                     let _mode_span = telemetry.span("engine.nuise_mode");
                     let (x_m, p_m) = &mode_states[m];
@@ -453,21 +589,29 @@ impl MultiModeEngine {
                     actuator_threshold,
                     ws.testing_slices(),
                     &testing_thresholds[m],
+                    scratch,
                 )
             };
 
+            counts.clear();
             match &self.pool {
                 None => {
                     // Sequential path: iterate in mode order with the
                     // seed's short-circuit on the first failure.
-                    let mut counts = Vec::with_capacity(mode_count);
-                    for (m, (ws, out)) in workspaces.iter_mut().zip(&mut outputs).enumerate() {
-                        counts.push(run_mode(m, ws, out)?);
+                    for (m, ((ws, scratch), out)) in workspaces
+                        .iter_mut()
+                        .zip(scratches.iter_mut())
+                        .zip(outputs.iter_mut())
+                        .enumerate()
+                    {
+                        counts.push(run_mode(m, ws, scratch, out)?);
                     }
-                    counts
                 }
                 Some(pool) => {
-                    let mut results: Vec<Result<usize>> = (0..mode_count).map(|_| Ok(0)).collect();
+                    let results = &mut self.pool_results;
+                    for r in results.iter_mut() {
+                        *r = Ok(0);
+                    }
                     // One contiguous chunk of modes per worker: a NUISE
                     // step is microseconds of work, so per-mode jobs
                     // would drown in queue wakeups. Chunking keeps the
@@ -475,22 +619,25 @@ impl MultiModeEngine {
                     // mode still writes only its own pre-assigned slots.
                     let chunk = mode_count.div_ceil(pool.threads());
                     pool.scoped(|scope| {
-                        for (chunk_idx, ((ws_chunk, out_chunk), res_chunk)) in workspaces
-                            .chunks_mut(chunk)
-                            .zip(outputs.chunks_mut(chunk))
-                            .zip(results.chunks_mut(chunk))
-                            .enumerate()
+                        for (chunk_idx, (((ws_chunk, sc_chunk), out_chunk), res_chunk)) in
+                            workspaces
+                                .chunks_mut(chunk)
+                                .zip(scratches.chunks_mut(chunk))
+                                .zip(outputs.chunks_mut(chunk))
+                                .zip(results.chunks_mut(chunk))
+                                .enumerate()
                         {
                             let run_mode = &run_mode;
                             let base = chunk_idx * chunk;
                             scope.execute(move || {
-                                for (j, ((ws, out), slot)) in ws_chunk
+                                for (j, (((ws, scratch), out), slot)) in ws_chunk
                                     .iter_mut()
+                                    .zip(sc_chunk.iter_mut())
                                     .zip(out_chunk.iter_mut())
                                     .zip(res_chunk.iter_mut())
                                     .enumerate()
                                 {
-                                    *slot = run_mode(base + j, ws, out);
+                                    *slot = run_mode(base + j, ws, scratch, out);
                                 }
                             });
                         }
@@ -498,11 +645,9 @@ impl MultiModeEngine {
                     // Every job ran, but the reported failure is the
                     // first in mode order — the same error the
                     // sequential path would have returned.
-                    let mut counts = Vec::with_capacity(mode_count);
-                    for r in results {
-                        counts.push(r?);
+                    for r in results.iter_mut() {
+                        counts.push(std::mem::replace(r, Ok(0))?);
                     }
-                    counts
                 }
             }
         };
@@ -525,24 +670,31 @@ impl MultiModeEngine {
         // Weighting each hypothesis by ρ per implied anomaly encodes that
         // prior; a genuine actuator attack costs every mode the same ρ¹,
         // leaving their ranking untouched.
-        let mut weights = Vec::with_capacity(outputs.len());
+        self.weights.clear();
         {
             let _parsimony_span = self.telemetry.span("engine.parsimony");
-            for (out, count) in outputs.iter().zip(&counts) {
-                weights.push(out.consistency * self.parsimony_rho.powi(*count as i32));
+            for (out, count) in self.output.modes.iter().zip(&self.counts) {
+                self.weights
+                    .push(out.consistency * self.parsimony_rho.powi(*count as i32));
             }
         }
         let selected = {
             let _select_span = self.telemetry.span("engine.select");
-            self.selector.update(&weights)?
+            self.selector.update(&self.weights)?
         };
 
-        self.state_estimate = outputs[selected].state_estimate.clone();
-        self.state_covariance = outputs[selected].state_covariance.clone();
+        self.state_estimate
+            .copy_from(&self.output.modes[selected].state_estimate);
+        self.state_covariance
+            .copy_from(&self.output.modes[selected].state_covariance);
         // Advance each mode's own filter; re-anchor collapsed hypotheses
         // to the winner so they can re-converge once clean.
         let reanchor_below = REANCHOR_FRACTION / self.modes.len() as f64;
-        let probabilities = self.selector.probabilities().to_vec();
+        self.output.probabilities.clear();
+        self.output
+            .probabilities
+            .extend_from_slice(self.selector.probabilities());
+        self.output.selected = selected;
         let _reanchor_span = self.telemetry.span("engine.reanchor");
         for (m, state) in self.mode_states.iter_mut().enumerate() {
             // Re-anchor hypotheses that are both improbable *and*
@@ -551,39 +703,33 @@ impl MultiModeEngine {
             // being spoofed), so they restart from the winner. A
             // consistent-but-disfavored mode keeps its own (typically
             // tighter) filter state.
-            if m != selected
-                && probabilities[m] < reanchor_below
-                && outputs[m].consistency < REANCHOR_CONSISTENCY
-            {
-                *state = (self.state_estimate.clone(), self.state_covariance.clone());
+            let probability = self.output.probabilities[m];
+            let consistency = self.output.modes[m].consistency;
+            if m != selected && probability < reanchor_below && consistency < REANCHOR_CONSISTENCY {
+                state.0.copy_from(&self.state_estimate);
+                state.1.copy_from(&self.state_covariance);
                 self.instruments.reanchors.incr();
                 self.telemetry.event("engine.mode_reanchored", || {
                     vec![
                         ("mode", Value::U64(m as u64)),
-                        ("probability", Value::F64(probabilities[m])),
-                        ("consistency", Value::F64(outputs[m].consistency)),
+                        ("probability", Value::F64(probability)),
+                        ("consistency", Value::F64(consistency)),
                     ]
                 });
             } else {
-                *state = (
-                    outputs[m].state_estimate.clone(),
-                    outputs[m].state_covariance.clone(),
-                );
+                state.0.copy_from(&self.output.modes[m].state_estimate);
+                state.1.copy_from(&self.output.modes[m].state_covariance);
             }
         }
         drop(_reanchor_span);
 
         self.instruments.selected_mode.set(selected as f64);
-        for (m, out) in outputs.iter().enumerate() {
-            self.instruments.mode_probability[m].record(probabilities[m]);
+        for (m, out) in self.output.modes.iter().enumerate() {
+            self.instruments.mode_probability[m].record(self.output.probabilities[m]);
             self.instruments.mode_consistency[m].record(out.consistency);
         }
 
-        Ok(EngineOutput {
-            modes: outputs,
-            probabilities,
-            selected,
-        })
+        Ok(())
     }
 }
 
@@ -785,6 +931,32 @@ mod tests {
         assert_eq!(out.selected, 0);
         assert!(out.selected_output().sensor_anomaly.is_empty());
         let _ = Mode::new(vec![0], vec![1]); // silence unused-import lint in some cfgs
+    }
+
+    #[test]
+    fn auto_threads_stay_sequential_for_small_banks() {
+        // `threads: None` must not pay the ~20 µs/step pool dispatch for
+        // banks whose whole NUISE sweep is a few microseconds: every
+        // built-in evaluation bank sits far below the work threshold.
+        let system = presets::khepera_system();
+        let modes = ModeSet::one_reference_per_sensor(&system);
+        assert!(intra_step_work(&system, &modes) < INTRA_STEP_WORK_THRESHOLD);
+        let complete = ModeSet::complete(&system);
+        assert!(intra_step_work(&system, &complete) < INTRA_STEP_WORK_THRESHOLD);
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let config = RoboAdsConfig::paper_defaults();
+        assert!(config.threads.is_none());
+        let e = MultiModeEngine::new(system.clone(), modes, x0.clone(), &config).unwrap();
+        assert_eq!(e.threads(), 1, "small bank must default to sequential");
+        // An explicit width is always honored (capped by the mode count).
+        let e = MultiModeEngine::new(
+            system,
+            ModeSet::complete(&presets::khepera_system()),
+            x0,
+            &config.with_threads(2),
+        )
+        .unwrap();
+        assert_eq!(e.threads(), 2);
     }
 
     #[test]

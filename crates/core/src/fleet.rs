@@ -1,0 +1,372 @@
+//! Fleet-scale batched detection: N independent [`RoboAds`] detectors
+//! stepped per control tick with dispatch amortized at *robot* grain.
+//!
+//! PR 2 measured why intra-step (per-mode) parallelism loses on the
+//! evaluation banks: a pool dispatch costs tens of microseconds while a
+//! warm NUISE mode step costs ~2 µs, so fanning 3–7 modes out buys
+//! nothing. A fleet monitor has a much better unit of work — one whole
+//! robot's detector step (engine fan-out, decision maker, report
+//! refill, ~30 µs warm) — and hundreds of them per tick. The
+//! [`FleetEngine`] therefore:
+//!
+//! * keeps a slab of per-robot cells (detector, caller-readable report
+//!   and result slot), pre-warmed so the steady state allocates nothing
+//!   on the sequential path;
+//! * forces every per-robot engine onto its sequential intra-step path
+//!   (`threads = Some(1)`) — parallelism lives at one grain only;
+//! * submits one pool job per worker covering a *contiguous robot
+//!   range* ([`roboads_pool::Pool::chunked_for_each`] with a minimum
+//!   chunk floor), so per-tick dispatch overhead is O(workers), not
+//!   O(robots);
+//! * keeps each robot's arithmetic bitwise identical to a standalone
+//!   [`RoboAds`] fed the same inputs — robots never share mutable
+//!   state, so thread count and batch size cannot perturb results
+//!   (pinned by `tests/fleet_determinism.rs`).
+
+use std::sync::Arc;
+
+use roboads_linalg::Vector;
+use roboads_obs::Telemetry;
+use roboads_pool::Pool;
+
+use crate::detector::RoboAds;
+use crate::report::DetectionReport;
+use crate::{CoreError, Result};
+
+/// Minimum robots per pool job. A warm robot step is ~30 µs and a
+/// dispatch ~20 µs, so a job must carry at least a handful of robots
+/// before the wake-up pays for itself.
+const MIN_ROBOTS_PER_JOB: usize = 4;
+
+/// One robot's inputs for a fleet tick: the planned command of the
+/// previous iteration and the fresh readings of every sensing workflow,
+/// in suite order (exactly [`RoboAds::step`]'s arguments).
+#[derive(Debug, Clone, Copy)]
+pub struct RobotInput<'a> {
+    /// Planned actuator command `u_{k-1}`.
+    pub u_prev: &'a Vector,
+    /// Sensor readings in suite order.
+    pub readings: &'a [Vector],
+}
+
+/// Per-robot cell of the fleet slab: everything one robot's step
+/// touches lives here, so a pool job owns its robots' cells exclusively
+/// and the scheduler never synchronizes on shared detector state.
+#[derive(Debug)]
+struct RobotCell {
+    detector: RoboAds,
+    report: DetectionReport,
+    /// Outcome of the robot's last step (`Ok` until its first failure).
+    result: Result<()>,
+}
+
+/// Steps a fleet of independent detectors, batched per control tick.
+///
+/// Robots are homogeneous in construction convenience only — each cell
+/// owns a full [`RoboAds`], so heterogeneous fleets work by pushing
+/// differently-configured detectors. Parallelism is at robot grain: a
+/// `threads > 1` fleet splits the slab into contiguous chunks, one pool
+/// job per worker per tick.
+///
+/// # Example
+///
+/// ```
+/// use roboads_core::{FleetEngine, ModeSet, RoboAds, RoboAdsConfig, RobotInput};
+/// use roboads_linalg::Vector;
+/// use roboads_models::presets;
+///
+/// # fn main() -> Result<(), roboads_core::CoreError> {
+/// let system = presets::khepera_system();
+/// let x0 = Vector::from_slice(&[0.5, 0.5, 0.0]);
+/// let make = || RoboAds::with_defaults(system.clone(), x0.clone());
+/// let mut fleet = FleetEngine::new((0..8).map(|_| make()).collect::<Result<_, _>>()?, 1);
+///
+/// let u = Vector::from_slice(&[0.05, 0.05]);
+/// let x1 = system.dynamics().step(&x0, &u);
+/// let readings: Vec<_> = (0..3)
+///     .map(|i| system.sensor(i).unwrap().measure(&x1))
+///     .collect();
+/// let inputs = vec![RobotInput { u_prev: &u, readings: &readings }; 8];
+/// fleet.step_batch(&inputs)?;
+/// assert!(!fleet.report(0).sensor_misbehavior_detected());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FleetEngine {
+    cells: Vec<RobotCell>,
+    /// Robot-grain worker pool; `None` runs the slab sequentially.
+    pool: Option<Arc<Pool>>,
+    threads: usize,
+}
+
+impl FleetEngine {
+    /// Builds a fleet from per-robot detectors and a worker count
+    /// (clamped to at least 1; `1` means fully sequential ticks).
+    ///
+    /// Every detector is forced onto its sequential intra-step path:
+    /// the fleet parallelizes across robots, and nested per-mode
+    /// fan-out would multiply pool dispatches for work PR 2 measured as
+    /// dispatch-bound. Detectors built with `RoboAdsConfig::threads:
+    /// None` already resolve to sequential for the evaluation banks, so
+    /// this is a no-op there; an explicitly parallel detector cannot be
+    /// pushed into a fleet (see [`FleetEngine::push`]).
+    pub fn new(detectors: Vec<RoboAds>, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let pool = (threads > 1).then(|| {
+            Arc::new(Pool::with_thread_setup(threads, |i| {
+                roboads_obs::set_worker(i as u32 + 1)
+            }))
+        });
+        let mut fleet = FleetEngine {
+            cells: Vec::with_capacity(detectors.len()),
+            pool,
+            threads,
+        };
+        for d in detectors {
+            fleet.push_cell(d);
+        }
+        fleet
+    }
+
+    fn push_cell(&mut self, detector: RoboAds) {
+        assert_eq!(
+            detector.engine_threads(),
+            1,
+            "fleet robots must use the sequential intra-step path \
+             (build them with threads: None or Some(1))"
+        );
+        self.cells.push(RobotCell {
+            detector,
+            report: DetectionReport::blank(),
+            result: Ok(()),
+        });
+    }
+
+    /// Appends another robot to the slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detector was configured with an explicit intra-step
+    /// width greater than 1 — fleet parallelism is robot-grain only.
+    pub fn push(&mut self, detector: RoboAds) {
+        self.push_cell(detector);
+    }
+
+    /// Number of robots in the fleet.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the fleet has no robots.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Robot-grain worker count (`1` = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Threads one telemetry context through every robot's pipeline.
+    /// Spans recorded during [`FleetEngine::step_batch`] carry the
+    /// robot's id (`robot_index + 1`) so one shared sink can attribute
+    /// them; see [`roboads_obs::set_robot`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for cell in &mut self.cells {
+            cell.detector.set_telemetry(telemetry.clone());
+        }
+    }
+
+    /// Steps every robot once with its own inputs.
+    ///
+    /// All robots run every tick — a failing robot never stalls its
+    /// neighbours — and the error reported is the *first failing
+    /// robot's*, in slab order, regardless of thread interleaving.
+    /// After an error the failing robots' reports hold partial verdicts
+    /// (query [`FleetEngine::result`] per robot to tell them apart);
+    /// their filter state is unchanged, exactly as a standalone
+    /// [`RoboAds::step_into`] failure.
+    ///
+    /// A warmed-up sequential fleet (`threads == 1`) performs zero heap
+    /// allocations per batch; a parallel fleet allocates only the pool's
+    /// per-job boxes — O(workers), independent of fleet size.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadReadings`] when `inputs.len() != self.len()`,
+    /// else the first robot failure in slab order.
+    pub fn step_batch(&mut self, inputs: &[RobotInput<'_>]) -> Result<()> {
+        if inputs.len() != self.cells.len() {
+            return Err(CoreError::BadReadings {
+                reason: format!(
+                    "fleet of {} robots stepped with {} inputs",
+                    self.cells.len(),
+                    inputs.len()
+                ),
+            });
+        }
+        let step_robot = |i: usize, cell: &mut RobotCell| {
+            roboads_obs::set_robot(i as u32 + 1);
+            let input = &inputs[i];
+            cell.result = cell
+                .detector
+                .step_into(input.u_prev, input.readings, &mut cell.report);
+            roboads_obs::set_robot(0);
+        };
+        match &self.pool {
+            None => {
+                for (i, cell) in self.cells.iter_mut().enumerate() {
+                    step_robot(i, cell);
+                }
+            }
+            Some(pool) => {
+                let pool = Arc::clone(pool);
+                pool.chunked_for_each(&mut self.cells, MIN_ROBOTS_PER_JOB, step_robot);
+            }
+        }
+        for cell in &self.cells {
+            if let Err(e) = &cell.result {
+                return Err(e.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Robot `i`'s detector (its filter state, iteration counter, …).
+    pub fn detector(&self, i: usize) -> &RoboAds {
+        &self.cells[i].detector
+    }
+
+    /// Robot `i`'s report from the last [`FleetEngine::step_batch`].
+    /// Meaningful only when [`FleetEngine::result`] is `Ok`.
+    pub fn report(&self, i: usize) -> &DetectionReport {
+        &self.cells[i].report
+    }
+
+    /// Robot `i`'s outcome from the last batch.
+    pub fn result(&self, i: usize) -> &Result<()> {
+        &self.cells[i].result
+    }
+
+    /// Iterates over the fleet's `(detector, report)` pairs in slab
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RoboAds, &DetectionReport)> {
+        self.cells.iter().map(|c| (&c.detector, &c.report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RoboAdsConfig;
+    use crate::mode::ModeSet;
+    use roboads_models::{presets, RobotSystem};
+
+    fn detector() -> RoboAds {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        RoboAds::with_defaults(system, x0).unwrap()
+    }
+
+    fn clean_readings(system: &RobotSystem, x: &Vector) -> Vec<Vector> {
+        (0..system.sensor_count())
+            .map(|i| system.sensor(i).unwrap().measure(x))
+            .collect()
+    }
+
+    #[test]
+    fn batch_of_identical_robots_agrees_with_standalone() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut standalone = detector();
+        let mut fleet = FleetEngine::new((0..4).map(|_| detector()).collect(), 1);
+        assert_eq!(fleet.len(), 4);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        for k in 0..10 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            if k >= 4 {
+                readings[0][0] += 0.07;
+            }
+            let expected = standalone.step(&u, &readings).unwrap();
+            let inputs = vec![
+                RobotInput {
+                    u_prev: &u,
+                    readings: &readings,
+                };
+                4
+            ];
+            fleet.step_batch(&inputs).unwrap();
+            for (_, report) in fleet.iter() {
+                assert_eq!(report, &expected, "robot diverged at step {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn input_count_mismatch_is_rejected() {
+        let mut fleet = FleetEngine::new(vec![detector()], 1);
+        let u = Vector::from_slice(&[0.0, 0.0]);
+        let readings: Vec<Vector> = Vec::new();
+        let err = fleet
+            .step_batch(
+                &[RobotInput {
+                    u_prev: &u,
+                    readings: &readings,
+                }; 2],
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BadReadings { .. }));
+    }
+
+    #[test]
+    fn failing_robot_reports_error_but_others_advance() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut fleet = FleetEngine::new((0..3).map(|_| detector()).collect(), 1);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let x1 = system.dynamics().step(&x0, &u);
+        let good = clean_readings(&system, &x1);
+        let bad: Vec<Vector> = Vec::new(); // malformed: robot 1 fails
+        let inputs = [
+            RobotInput {
+                u_prev: &u,
+                readings: &good,
+            },
+            RobotInput {
+                u_prev: &u,
+                readings: &bad,
+            },
+            RobotInput {
+                u_prev: &u,
+                readings: &good,
+            },
+        ];
+        assert!(fleet.step_batch(&inputs).is_err());
+        assert!(fleet.result(0).is_ok());
+        assert!(fleet.result(1).is_err());
+        assert!(fleet.result(2).is_ok());
+        // The healthy robots completed their iteration.
+        assert_eq!(fleet.detector(0).iteration(), 1);
+        assert_eq!(fleet.detector(1).iteration(), 0);
+        assert_eq!(fleet.detector(2).iteration(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential intra-step path")]
+    fn explicitly_parallel_detectors_are_rejected() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let modes = ModeSet::one_reference_per_sensor(&system);
+        let d = RoboAds::new(
+            system,
+            RoboAdsConfig::paper_defaults().with_threads(3),
+            x0,
+            modes,
+        )
+        .unwrap();
+        FleetEngine::new(vec![d], 1);
+    }
+}

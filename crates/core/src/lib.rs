@@ -70,6 +70,7 @@ mod config;
 mod decision;
 mod detector;
 mod engine;
+mod fleet;
 mod mode;
 mod nuise;
 mod report;
@@ -79,6 +80,7 @@ pub use config::{Linearization, RoboAdsConfig, WindowConfig};
 pub use decision::DecisionMaker;
 pub use detector::RoboAds;
 pub use engine::{EngineOutput, MultiModeEngine};
+pub use fleet::{FleetEngine, RobotInput};
 pub use mode::{Mode, ModeSet};
 pub use nuise::{nuise_step, nuise_step_into, NuiseInput, NuiseOutput, NuiseWorkspace};
 pub use report::{AnomalyEstimate, DetectionReport, SensorAnomaly};

@@ -1,7 +1,7 @@
 use roboads_linalg::{Matrix, Vector};
 
 /// A normalized anomaly estimate with its χ² test context.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AnomalyEstimate {
     /// The anomaly-vector estimate (`d̂^s` or `d̂^a`).
@@ -36,7 +36,7 @@ impl AnomalyEstimate {
 /// For Figure-6-style traces the report carries an estimate for *every*
 /// sensor: from the selected mode when the sensor is in its testing set,
 /// otherwise from the most probable mode that does test it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SensorAnomaly {
     /// Sensor suite index.
@@ -56,7 +56,7 @@ pub struct SensorAnomaly {
 /// The complete output of one RoboADS iteration (Algorithm 1's outputs:
 /// abnormal workflow(s) and anomaly-vector estimates, plus every
 /// intermediate quantity the paper's Figure 6 plots).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DetectionReport {
     /// Control iteration counter `k` (1-based, counted by the detector).
@@ -84,6 +84,26 @@ pub struct DetectionReport {
 }
 
 impl DetectionReport {
+    /// A blank report for [`crate::RoboAds::step_into`] to fill: every
+    /// field at its clean-iteration default with zero-length buffers.
+    /// Reusing one blank report across steps lets the buffers warm up
+    /// to their steady-state sizes, after which refills are
+    /// allocation-free.
+    pub fn blank() -> Self {
+        DetectionReport {
+            iteration: 0,
+            selected_mode: 0,
+            mode_probabilities: Vec::new(),
+            state_estimate: Vector::zeros(0),
+            sensor_anomaly: AnomalyEstimate::empty(),
+            actuator_anomaly: AnomalyEstimate::empty(),
+            sensor_alarm: false,
+            misbehaving_sensors: Vec::new(),
+            actuator_alarm: false,
+            per_sensor: Vec::new(),
+        }
+    }
+
     /// Whether a sensor misbehavior is currently confirmed (alarm raised
     /// and at least one sensor identified).
     pub fn sensor_misbehavior_detected(&self) -> bool {

@@ -11,7 +11,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use roboads_core::{nuise_step, nuise_step_into, NuiseInput, NuiseWorkspace, RoboAdsConfig};
-use roboads_core::{Linearization, ModeSet};
+use roboads_core::{FleetEngine, Linearization, ModeSet, RoboAds, RobotInput};
 use roboads_linalg::{Matrix, Vector};
 use roboads_models::presets;
 
@@ -109,4 +109,70 @@ fn warmed_up_nuise_step_into_is_allocation_free() {
             "mode {m}: warmed-up nuise_step_into allocated {steady_allocs} times"
         );
     }
+}
+
+#[test]
+fn warmed_up_sequential_fleet_batch_is_allocation_free() {
+    // The fleet hot path — engine step, decision maker, report refill,
+    // for every robot — must be zero-alloc once warm: this is what lets
+    // a batch scale to hundreds of robots per tick without allocator
+    // traffic. The property is asserted on the sequential fleet
+    // (threads = 1, the per-robot code path all configurations share);
+    // a parallel fleet adds only the pool's per-job boxes, O(workers).
+    let system = presets::khepera_system();
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    const ROBOTS: usize = 8;
+    let mut fleet = FleetEngine::new(
+        (0..ROBOTS)
+            .map(|_| RoboAds::with_defaults(system.clone(), x0.clone()).unwrap())
+            .collect(),
+        1,
+    );
+    let mut x_true = x0;
+
+    // Warm-up: several steps so every lazily-sized buffer — decision
+    // scratch maps, report vectors, per-sensor slots — reaches its
+    // steady-state shape, including post-spoof shapes (mode selection
+    // shifts which per-sensor views come from which mode).
+    for k in 0..6 {
+        x_true = system.dynamics().step(&x_true, &u);
+        let mut readings: Vec<Vector> = (0..system.sensor_count())
+            .map(|i| system.sensor(i).unwrap().measure(&x_true))
+            .collect();
+        if k >= 3 {
+            readings[0][0] += 0.07;
+        }
+        let inputs = vec![
+            RobotInput {
+                u_prev: &u,
+                readings: &readings,
+            };
+            ROBOTS
+        ];
+        fleet.step_batch(&inputs).unwrap();
+    }
+
+    // Steady state: zero heap traffic across whole batches.
+    x_true = system.dynamics().step(&x_true, &u);
+    let mut readings: Vec<Vector> = (0..system.sensor_count())
+        .map(|i| system.sensor(i).unwrap().measure(&x_true))
+        .collect();
+    readings[0][0] += 0.07;
+    let inputs = vec![
+        RobotInput {
+            u_prev: &u,
+            readings: &readings,
+        };
+        ROBOTS
+    ];
+    let steady_allocs = allocations_during(|| {
+        for _ in 0..3 {
+            fleet.step_batch(&inputs).unwrap();
+        }
+    });
+    assert_eq!(
+        steady_allocs, 0,
+        "warmed-up fleet step_batch allocated {steady_allocs} times"
+    );
 }

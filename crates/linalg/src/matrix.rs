@@ -238,7 +238,8 @@ impl Matrix {
     /// assert_eq!(Matrix::identity(4).trace(), 4.0);
     /// ```
     pub fn trace(&self) -> f64 {
-        self.diagonal().as_slice().iter().sum()
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)]).sum()
     }
 
     /// Frobenius norm (square root of the sum of squared entries).
@@ -274,6 +275,39 @@ impl Matrix {
             self.cols
         );
         Matrix::from_fn(nrows, ncols, |i, j| self[(row + i, col + j)])
+    }
+
+    /// Writes the sub-matrix starting at `(row, col)` into `out`; the
+    /// block shape is `out.shape()`. Bitwise identical to
+    /// [`Matrix::block`] without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested block extends past the matrix bounds.
+    pub fn block_into(&self, row: usize, col: usize, out: &mut Matrix) {
+        let (nrows, ncols) = (out.rows, out.cols);
+        assert!(
+            row + nrows <= self.rows && col + ncols <= self.cols,
+            "block ({row},{col})+{nrows}x{ncols} out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        for i in 0..nrows {
+            for j in 0..ncols {
+                out[(i, j)] = self[(row + i, col + j)];
+            }
+        }
+    }
+
+    /// Overwrites `self` with `src`, resizing as needed. Unlike
+    /// [`Matrix::copy_from`] the shapes may differ; existing capacity
+    /// is reused, so repeated assignment between same-or-smaller
+    /// matrices performs no heap allocation after warm-up.
+    pub fn assign(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Writes `other` into this matrix with its top-left corner at
@@ -571,6 +605,27 @@ mod tests {
         m.set_block(1, 1, &b);
         assert_eq!(m[(2, 2)], 4.0);
         assert_eq!(m.block(1, 1, 2, 2), b);
+    }
+
+    #[test]
+    fn block_into_and_assign_match_allocating() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let mut out = Matrix::zeros(2, 3);
+        m.block_into(1, 1, &mut out);
+        assert_eq!(out, m.block(1, 1, 2, 3));
+
+        let mut dst = Matrix::zeros(1, 1);
+        dst.assign(&m);
+        assert_eq!(dst, m);
+        dst.assign(&out);
+        assert_eq!(dst, out);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn block_into_out_of_bounds_panics() {
+        let mut out = Matrix::zeros(2, 2);
+        Matrix::zeros(2, 2).block_into(1, 1, &mut out);
     }
 
     #[test]

@@ -120,6 +120,32 @@ impl Vector {
         Vector::from_slice(&self.data[start..start + len])
     }
 
+    /// Writes the sub-vector starting at `start` into `out`; the
+    /// segment length is `out.len()`. Bitwise identical to
+    /// [`Vector::segment`] without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested segment extends past the end.
+    pub fn segment_into(&self, start: usize, out: &mut Vector) {
+        let len = out.len();
+        assert!(
+            start + len <= self.len(),
+            "segment {start}+{len} out of bounds for length {}",
+            self.len()
+        );
+        out.data.copy_from_slice(&self.data[start..start + len]);
+    }
+
+    /// Overwrites `self` with `src`, resizing as needed. Unlike
+    /// [`Vector::copy_from`] the lengths may differ; existing capacity
+    /// is reused, so repeated assignment between same-or-smaller
+    /// vectors performs no heap allocation after warm-up.
+    pub fn assign(&mut self, src: &Vector) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Concatenates `self` with `other`.
     pub fn concat(&self, other: &Vector) -> Vector {
         let mut data = self.data.clone();
@@ -249,6 +275,27 @@ mod tests {
     #[should_panic(expected = "dot of vectors")]
     fn dot_length_mismatch_panics() {
         Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+
+    #[test]
+    fn segment_into_and_assign_match_allocating() {
+        let v = Vector::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let mut seg = Vector::zeros(2);
+        v.segment_into(1, &mut seg);
+        assert_eq!(seg, v.segment(1, 2));
+
+        let mut dst = Vector::zeros(4);
+        dst.assign(&seg);
+        assert_eq!(dst, seg);
+        dst.assign(&v);
+        assert_eq!(dst, v);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn segment_into_out_of_bounds_panics() {
+        let mut seg = Vector::zeros(2);
+        Vector::zeros(2).segment_into(1, &mut seg);
     }
 
     #[test]

@@ -201,6 +201,30 @@ impl RobotSystem {
         out
     }
 
+    /// Writes the slice layout of a stacked vector over the given
+    /// subset into `out` (cleared first). Identical to
+    /// [`RobotSystem::subset_slices`] but reuses `out`'s capacity, so a
+    /// warm caller performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid subset (out-of-range or unsorted indices are
+    /// a programming error in mode construction).
+    pub fn subset_slices_into(&self, indices: &[usize], out: &mut Vec<SensorSlice>) {
+        self.validate_subset(indices).expect("valid sensor subset");
+        out.clear();
+        let mut offset = 0;
+        for &i in indices {
+            let len = self.sensors[i].dim();
+            out.push(SensorSlice {
+                sensor: i,
+                offset,
+                len,
+            });
+            offset += len;
+        }
+    }
+
     /// Stacked measurement dimension of a subset.
     pub fn subset_dim(&self, indices: &[usize]) -> usize {
         indices.iter().map(|&i| self.sensors[i].dim()).sum()
@@ -396,6 +420,14 @@ mod tests {
         let stacked = Vector::from_fn(7, |i| i as f64);
         let lidar_part = sys.extract_sensor(&[1, 2], &stacked, 2);
         assert_eq!(lidar_part.as_slice(), &[3.0, 4.0, 5.0, 6.0]);
+
+        // The in-place variant produces the same layout and reuses the
+        // destination across subsets.
+        let mut reused = Vec::new();
+        sys.subset_slices_into(&[1, 2], &mut reused);
+        assert_eq!(reused, slices);
+        sys.subset_slices_into(&[0], &mut reused);
+        assert_eq!(reused, sys.subset_slices(&[0]));
     }
 
     #[test]

@@ -45,4 +45,6 @@ pub use sink::{
     EventRecord, Field, NoopSink, RingBufferSink, Sink, SpanRecord, TelemetryRecord, Value,
     WriterSink,
 };
-pub use telemetry::{current_worker, set_worker, OwnedSpan, Span, Telemetry};
+pub use telemetry::{
+    current_robot, current_worker, set_robot, set_worker, OwnedSpan, Span, Telemetry,
+};

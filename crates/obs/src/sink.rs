@@ -52,6 +52,9 @@ pub struct SpanRecord {
     /// Worker that closed the span: `0` is the main thread, pool
     /// workers are `1..` (see [`crate::set_worker`]).
     pub worker: u32,
+    /// Robot the span was recorded for: `0` means "no robot context",
+    /// fleet robots are `1..` (see [`crate::set_robot`]).
+    pub robot: u32,
 }
 
 /// A structured point-in-time event (alarm raised, mode re-anchored…).
@@ -85,6 +88,7 @@ impl SpanRecord {
         o.field_u64("start_ns", self.start_ns);
         o.field_u64("duration_ns", self.duration_ns);
         o.field_u64("worker", u64::from(self.worker));
+        o.field_u64("robot", u64::from(self.robot));
         o.finish()
     }
 }
@@ -300,6 +304,7 @@ mod tests {
             start_ns: 10,
             duration_ns: d,
             worker: 0,
+            robot: 0,
         }
     }
 
@@ -357,7 +362,7 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            r#"{"type":"span","name":"engine.step","start_ns":10,"duration_ns":1234,"worker":0}"#
+            r#"{"type":"span","name":"engine.step","start_ns":10,"duration_ns":1234,"worker":0,"robot":0}"#
         );
         assert_eq!(
             lines[1],

@@ -13,6 +13,9 @@ thread_local! {
     /// Worker id stamped onto spans closed on this thread. `0` means
     /// "main thread" and is the default everywhere.
     static WORKER_ID: Cell<u32> = const { Cell::new(0) };
+    /// Robot id stamped onto spans closed on this thread. `0` means
+    /// "no robot context" and is the default everywhere.
+    static ROBOT_ID: Cell<u32> = const { Cell::new(0) };
 }
 
 /// Registers the calling thread as telemetry worker `id`.
@@ -28,6 +31,23 @@ pub fn set_worker(id: u32) {
 /// thread and any thread that never called [`set_worker`]).
 pub fn current_worker() -> u32 {
     WORKER_ID.with(Cell::get)
+}
+
+/// Sets the robot context of the calling thread: spans closed until the
+/// next call carry robot id `id`.
+///
+/// The fleet engine brackets each robot's detector step with
+/// `set_robot(robot_index + 1)` / `set_robot(0)` so one shared sink can
+/// attribute every span to the robot it served. `0` clears the context
+/// (the default on every thread).
+pub fn set_robot(id: u32) {
+    ROBOT_ID.with(|r| r.set(id));
+}
+
+/// The robot id of the calling thread (`0` when no robot context is
+/// set; fleet robots are `1..`).
+pub fn current_robot() -> u32 {
+    ROBOT_ID.with(Cell::get)
 }
 
 /// Shared telemetry context threaded through the detection pipeline.
@@ -203,6 +223,7 @@ fn record_closed_span(sink: &dyn Sink, epoch: Instant, start: Instant, name: &'s
         start_ns: end_ns.saturating_sub(duration_ns),
         duration_ns,
         worker: current_worker(),
+        robot: current_robot(),
     });
 }
 
@@ -310,6 +331,28 @@ mod tests {
         // The spawned thread's id never leaks back to this thread.
         assert_eq!(current_worker(), 0);
         assert_eq!(ring.spans()[0].worker, 3);
+    }
+
+    #[test]
+    fn robot_id_brackets_spans_and_resets() {
+        let ring = Arc::new(RingBufferSink::new(4));
+        let t = Telemetry::new(ring.clone());
+        assert_eq!(current_robot(), 0);
+        set_robot(7);
+        {
+            let _span = t.span("fleet.robot_step");
+        }
+        set_robot(0);
+        {
+            let _span = t.span("after");
+        }
+        let spans = ring.spans();
+        assert_eq!(spans[0].robot, 7);
+        assert_eq!(spans[1].robot, 0);
+        // Robot context is thread-local, like the worker id.
+        std::thread::scope(|s| {
+            s.spawn(|| assert_eq!(current_robot(), 0));
+        });
     }
 
     #[test]

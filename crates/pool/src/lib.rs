@@ -201,6 +201,95 @@ impl Pool {
             .collect()
     }
 
+    /// The chunk size that covers `items` with at most one job per
+    /// worker while keeping every chunk at least `min_chunk` items long
+    /// (clamped to 1). Batch engines use the floor to stop dispatch
+    /// overhead from dominating when there are more workers than work:
+    /// with 4 workers, 6 items and a floor of 4, the result is one
+    /// 4-item chunk plus one 2-item remainder — not four slivers.
+    pub fn chunk_size(&self, items: usize, min_chunk: usize) -> usize {
+        items.div_ceil(self.threads().max(1)).max(min_chunk).max(1)
+    }
+
+    /// Runs `f(index, item)` for every item, fanned out as one job per
+    /// contiguous chunk of [`Pool::chunk_size`] items. Items are mutated
+    /// in place and `f` sees them in ascending index order within each
+    /// chunk, so a caller that keeps per-item state in `items` gets
+    /// results identical to a sequential `for` loop (chunks only change
+    /// *which thread* runs an index, never its input or output slot).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first job panic after all chunks finish.
+    pub fn chunked_for_each<T, F>(&self, items: &mut [T], min_chunk: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        if items.is_empty() {
+            return;
+        }
+        let chunk = self.chunk_size(items.len(), min_chunk);
+        self.scoped(|scope| {
+            for (chunk_idx, chunk_items) in items.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                let base = chunk_idx * chunk;
+                scope.execute(move || {
+                    for (j, item) in chunk_items.iter_mut().enumerate() {
+                        f(base + j, item);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Maps `items` through `f` with chunked dispatch (one job per
+    /// [`Pool::chunk_size`] run of items), preserving input order in the
+    /// output. Prefer this over [`Pool::map`] when per-item work is
+    /// small enough that a job per item would be dominated by queue
+    /// traffic.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first job panic.
+    pub fn chunked_map<T, R, F>(&self, items: Vec<T>, min_chunk: usize, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        if !slots.is_empty() {
+            let chunk = self.chunk_size(slots.len(), min_chunk);
+            let mut item_chunks: Vec<Vec<T>> = Vec::with_capacity(slots.len().div_ceil(chunk));
+            let mut items = items.into_iter();
+            loop {
+                let c: Vec<T> = items.by_ref().take(chunk).collect();
+                if c.is_empty() {
+                    break;
+                }
+                item_chunks.push(c);
+            }
+            self.scoped(|scope| {
+                for (chunk_idx, (slot_chunk, item_chunk)) in
+                    slots.chunks_mut(chunk).zip(item_chunks).enumerate()
+                {
+                    let f = &f;
+                    let base = chunk_idx * chunk;
+                    scope.execute(move || {
+                        for (j, (slot, item)) in slot_chunk.iter_mut().zip(item_chunk).enumerate() {
+                            *slot = Some(f(base + j, item));
+                        }
+                    });
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("pool job completed without writing its slot"))
+            .collect()
+    }
+
     fn enqueue(&self, job: Job) {
         let mut state = self.shared.state.lock().expect("pool queue poisoned");
         state.jobs.push_back(job);
@@ -390,6 +479,54 @@ mod tests {
         let mut ids = seen.lock().unwrap().clone();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chunk_size_covers_items_with_min_floor() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.chunk_size(64, 1), 16); // one job per worker
+        assert_eq!(pool.chunk_size(6, 4), 4); // floor kicks in
+        assert_eq!(pool.chunk_size(3, 1), 1);
+        assert_eq!(pool.chunk_size(0, 0), 1); // clamped
+        let single = Pool::new(1);
+        assert_eq!(single.chunk_size(64, 1), 64);
+    }
+
+    #[test]
+    fn chunked_for_each_matches_sequential_loop() {
+        let pool = Pool::new(3);
+        for n in [0usize, 1, 2, 7, 8, 64] {
+            for min_chunk in [1usize, 4, 100] {
+                let mut items: Vec<u64> = (0..n as u64).collect();
+                pool.chunked_for_each(&mut items, min_chunk, |i, item| {
+                    *item = *item * 10 + i as u64;
+                });
+                let expected: Vec<u64> = (0..n as u64).map(|i| i * 10 + i).collect();
+                assert_eq!(items, expected, "n={n} min_chunk={min_chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_map_preserves_order_and_indices() {
+        let pool = Pool::new(4);
+        let out = pool.chunked_map((0..100u64).collect(), 8, |i, item| item * 2 + i as u64);
+        assert_eq!(out, (0..100u64).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(pool.chunked_map(Vec::<u64>::new(), 1, |_, i| i).is_empty());
+    }
+
+    #[test]
+    fn chunked_for_each_propagates_panics() {
+        let pool = Pool::new(2);
+        let mut items = vec![0u32; 8];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.chunked_for_each(&mut items, 1, |i, _| {
+                assert!(i != 5, "chunk job failed");
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives.
+        assert_eq!(pool.map(vec![1, 2], |i: i32| i * 2), vec![2, 4]);
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Fleet-scale scenario replay: M independent closed-loop robot worlds
+//! whose detectors advance through **one [`FleetEngine`] batch per
+//! control tick**.
+//!
+//! Every robot owns the same closed loop as [`crate::SimulationBuilder`]
+//! — tracker, actuation and sensing workflows, communication bus,
+//! physics platform, noise stream — but replays a *phase-shifted* copy
+//! of the scenario (robot `i`'s misbehaviors trigger `i × phase`
+//! iterations later) with its own seed, so a fleet mid-run holds robots
+//! in every stage of the attack timeline at once. That is the workload
+//! the fleet engine is for: N detector steps amortized over one
+//! dispatch, while each robot's arithmetic stays bitwise identical to a
+//! standalone run (see `DESIGN.md` §12).
+
+use roboads_control::{BicycleTracker, DifferentialDriveTracker, Mission, TrackingController};
+use roboads_core::{FleetEngine, ModeSet, RoboAds, RoboAdsConfig, RobotInput};
+use roboads_linalg::Vector;
+use roboads_models::sensors::WheelEncoderOdometry;
+use roboads_models::{presets, Pose2};
+use roboads_obs::Telemetry;
+use roboads_stats::{SeedableRng, StdRng};
+
+use crate::bus::{Bus, Frame, COMMAND_ID, SENSOR_ID_BASE};
+use crate::eval::{evaluate, EvalResult};
+use crate::misbehavior::Misbehavior;
+use crate::platform::RobotPlatform;
+use crate::runner::RobotKind;
+use crate::scenario::Scenario;
+use crate::trace::{Trace, TraceRecord};
+use crate::workflow::{ActuationWorkflow, SensingWorkflow};
+use crate::{Result, SimError};
+
+/// The result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Number of robots stepped each tick.
+    pub robots: usize,
+    /// Control iterations executed.
+    pub steps: usize,
+    /// Robot-grain worker threads used by the fleet engine.
+    pub threads: usize,
+    /// Per-robot traces, in robot order.
+    pub traces: Vec<Trace>,
+    /// Per-robot evaluations against each robot's *own* (phase-shifted)
+    /// ground truth.
+    pub evals: Vec<EvalResult>,
+}
+
+/// Builder for a fleet run: M phase-offset copies of one scenario,
+/// batched through a [`FleetEngine`].
+///
+/// # Example
+///
+/// ```
+/// use roboads_sim::{FleetSimulationBuilder, Scenario};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let outcome = FleetSimulationBuilder::khepera()
+///     .scenario(Scenario::ips_spoofing())
+///     .robots(3)
+///     .phase(5)
+///     .duration(80)
+///     .run()?;
+/// assert_eq!(outcome.robots, 3);
+/// // Every robot detects its own (shifted) attack.
+/// assert!(outcome.evals.iter().all(|e| e.sensor_delay().is_some()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetSimulationBuilder {
+    kind: RobotKind,
+    scenario: Scenario,
+    robots: usize,
+    phase: usize,
+    seed: u64,
+    threads: usize,
+    duration: Option<usize>,
+    config: RoboAdsConfig,
+    telemetry: Option<Telemetry>,
+}
+
+/// One robot's closed-loop world: everything a standalone run owns
+/// except the detector, which lives in the fleet engine's slab.
+struct RobotWorld {
+    tracker: Box<dyn TrackingController>,
+    sensing: Vec<SensingWorkflow>,
+    actuation: ActuationWorkflow,
+    platform: RobotPlatform,
+    bus: Bus,
+    rng: StdRng,
+    controller_pose: Pose2,
+    scenario: Scenario,
+    trace: Trace,
+    // Current-tick staging, referenced by the batch's `RobotInput`s.
+    u_planned: Vector,
+    u_executed: Vector,
+    d_a_true: Vector,
+    readings: Vec<Vector>,
+    d_s_true: Vec<Vector>,
+}
+
+/// `scenario` with every misbehavior window shifted `offset` iterations
+/// later (duration unchanged; windows sliding past the end simply never
+/// fire — a large fleet's tail robots stay clean, which is fine: they
+/// exercise the false-positive floor).
+fn phase_shifted(scenario: &Scenario, offset: usize) -> Scenario {
+    let misbehaviors: Vec<Misbehavior> = scenario
+        .misbehaviors()
+        .iter()
+        .map(|m| {
+            if m.is_transient() {
+                Misbehavior::transient_glitch(
+                    m.name().to_string(),
+                    m.target(),
+                    m.corruption().clone(),
+                    m.start() + offset,
+                )
+            } else {
+                Misbehavior::new(
+                    m.name().to_string(),
+                    m.target(),
+                    m.corruption().clone(),
+                    m.start() + offset,
+                    m.end().map(|e| e + offset),
+                )
+            }
+        })
+        .collect();
+    Scenario::new(
+        scenario.number(),
+        format!("{}+{}", scenario.name(), offset),
+        scenario.description().to_string(),
+        misbehaviors,
+        scenario.duration(),
+    )
+}
+
+impl FleetSimulationBuilder {
+    /// Starts a Khepera fleet with paper-default configuration, one
+    /// robot, no phase offset and the sequential (single-thread)
+    /// scheduler.
+    pub fn khepera() -> Self {
+        FleetSimulationBuilder {
+            kind: RobotKind::Khepera,
+            scenario: Scenario::clean(),
+            robots: 1,
+            phase: 0,
+            seed: 0,
+            threads: 1,
+            duration: None,
+            config: RoboAdsConfig::paper_defaults(),
+            telemetry: None,
+        }
+    }
+
+    /// Starts a Tamiya fleet.
+    pub fn tamiya() -> Self {
+        let mut b = FleetSimulationBuilder::khepera();
+        b.kind = RobotKind::Tamiya;
+        b
+    }
+
+    /// Sets the base scenario every robot replays (phase-shifted).
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Sets the fleet size.
+    pub fn robots(mut self, robots: usize) -> Self {
+        self.robots = robots.max(1);
+        self
+    }
+
+    /// Sets the per-robot phase offset: robot `i`'s misbehaviors start
+    /// `i × phase` iterations after the base scenario's.
+    pub fn phase(mut self, phase: usize) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Sets the base random seed; robot `i` draws from seed `base + i`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fleet engine's robot-grain thread count (default 1).
+    /// Results are bitwise independent of this choice.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the run length in iterations (default: the scenario's).
+    pub fn duration(mut self, iterations: usize) -> Self {
+        self.duration = Some(iterations);
+        self
+    }
+
+    /// Overrides the detector configuration. `threads: None` is pinned
+    /// to the sequential intra-step path (fleet robots parallelize at
+    /// robot grain, never inside a step).
+    pub fn config(mut self, config: RoboAdsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Supplies the telemetry context fanned out to every robot's
+    /// detector; fleet spans carry the 1-based robot id (see
+    /// `roboads_obs::current_robot`).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Executes the fleet run: one `step_batch` per control iteration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning, detector-construction and stepping failures
+    /// (a failing robot aborts the run; per-robot fault isolation is the
+    /// engine-level [`FleetEngine::result`] API).
+    pub fn run(self) -> Result<FleetOutcome> {
+        let system = match self.kind {
+            RobotKind::Khepera => presets::khepera_system(),
+            RobotKind::Tamiya => presets::tamiya_system(),
+        };
+        let arena = presets::evaluation_arena();
+        let mission = Mission::evaluation_default();
+        let path = mission.plan(&arena, 0.08)?;
+        let (sx, sy) = path.waypoints()[0];
+        let (lx, ly) = path.lookahead_point(sx, sy, 0.25);
+        let theta0 = (ly - sy).atan2(lx - sx);
+        let x0 = Vector::from_slice(&[sx, sy, theta0]);
+
+        // Pin the intra-step path to sequential up front so fleet
+        // construction cannot depend on the machine's core count.
+        let mut config = self.config.clone();
+        if config.threads.is_none() {
+            config.threads = Some(1);
+        }
+
+        let duration = self.duration.unwrap_or_else(|| self.scenario.duration());
+        let dt = presets::CONTROL_PERIOD;
+        let mut worlds = Vec::with_capacity(self.robots);
+        let mut detectors = Vec::with_capacity(self.robots);
+        for robot in 0..self.robots {
+            let scenario = phase_shifted(&self.scenario, robot * self.phase);
+            let misbehaviors = scenario.misbehaviors().to_vec();
+            let sensing: Vec<SensingWorkflow> = (0..system.sensor_count())
+                .map(|i| {
+                    let geometry = (system.sensor_name(i) == "wheel-encoder")
+                        .then(WheelEncoderOdometry::khepera)
+                        .transpose()
+                        .map_err(SimError::from)?;
+                    SensingWorkflow::new(&system, i, &misbehaviors, geometry)
+                })
+                .collect::<Result<_>>()?;
+            let tracker: Box<dyn TrackingController> = match self.kind {
+                RobotKind::Khepera => Box::new(DifferentialDriveTracker::new(
+                    path.clone(),
+                    presets::khepera_dynamics().wheel_base(),
+                    presets::CONTROL_PERIOD,
+                )?),
+                RobotKind::Tamiya => Box::new(BicycleTracker::new(
+                    path.clone(),
+                    presets::tamiya_dynamics().max_steer(),
+                    presets::CONTROL_PERIOD,
+                )?),
+            };
+            detectors.push(RoboAds::new(
+                system.clone(),
+                config.clone(),
+                x0.clone(),
+                ModeSet::one_reference_per_sensor(&system),
+            )?);
+            worlds.push(RobotWorld {
+                tracker,
+                sensing,
+                actuation: ActuationWorkflow::new(&misbehaviors),
+                platform: RobotPlatform::new(&system, x0.clone())?,
+                bus: Bus::new(),
+                rng: StdRng::seed_from_u64(self.seed + robot as u64),
+                controller_pose: Pose2::from_vector(&x0).expect("pose state"),
+                trace: Trace::new(dt, scenario.name()),
+                scenario,
+                u_planned: Vector::zeros(system.input_dim()),
+                u_executed: Vector::zeros(system.input_dim()),
+                d_a_true: Vector::zeros(system.input_dim()),
+                readings: Vec::new(),
+                d_s_true: Vec::new(),
+            });
+        }
+
+        let mut fleet = FleetEngine::new(detectors, self.threads);
+        if let Some(t) = &self.telemetry {
+            fleet.set_telemetry(t.clone());
+        }
+
+        for k in 0..duration {
+            // Advance every world: plan, actuate, move, sense — data
+            // round-trips through each robot's own communication bus,
+            // exactly as in the standalone runner.
+            for w in &mut worlds {
+                w.u_planned = w.tracker.command(&w.controller_pose);
+                let (u_executed, d_a_true) = w.actuation.execute(k, &w.u_planned)?;
+                w.u_executed = u_executed;
+                w.d_a_true = d_a_true;
+                w.platform.step(&system, &w.u_executed, &mut w.rng);
+                w.bus.clear();
+                w.bus
+                    .publish(Frame::encode(COMMAND_ID, "planner", &w.u_planned));
+                w.d_s_true.clear();
+                for wf in &mut w.sensing {
+                    let (reading, anomaly) =
+                        wf.sense(&system, k, w.platform.state(), &mut w.rng)?;
+                    w.bus.publish(Frame::encode(
+                        SENSOR_ID_BASE + wf.sensor_index() as u16,
+                        system.sensor_name(wf.sensor_index()),
+                        &reading,
+                    ));
+                    w.d_s_true.push(anomaly);
+                }
+                w.readings.clear();
+                for i in 0..system.sensor_count() {
+                    w.readings.push(
+                        w.bus
+                            .latest(SENSOR_ID_BASE + i as u16)
+                            .expect("every workflow published")
+                            .decode(),
+                    );
+                }
+                w.u_planned = w
+                    .bus
+                    .latest(COMMAND_ID)
+                    .expect("planner published")
+                    .decode();
+            }
+
+            // One batched detector dispatch for the whole fleet.
+            let inputs: Vec<RobotInput> = worlds
+                .iter()
+                .map(|w| RobotInput {
+                    u_prev: &w.u_planned,
+                    readings: &w.readings,
+                })
+                .collect();
+            fleet.step_batch(&inputs)?;
+
+            for (robot, w) in worlds.iter_mut().enumerate() {
+                w.controller_pose =
+                    Pose2::from_vector(&w.readings[0]).expect("IPS readings carry a pose");
+                w.trace.push(TraceRecord {
+                    k,
+                    time: (k + 1) as f64 * dt,
+                    true_state: w.platform.state().clone(),
+                    planned_command: w.u_planned.clone(),
+                    executed_command: w.u_executed.clone(),
+                    true_actuator_anomaly: w.d_a_true.clone(),
+                    readings: w.readings.clone(),
+                    true_sensor_anomalies: w.d_s_true.clone(),
+                    report: fleet.report(robot).clone(),
+                });
+            }
+        }
+
+        let mut traces = Vec::with_capacity(self.robots);
+        let mut evals = Vec::with_capacity(self.robots);
+        for w in worlds {
+            evals.push(evaluate(&w.trace, &w.scenario.ground_truth()));
+            traces.push(w.trace);
+        }
+        Ok(FleetOutcome {
+            robots: self.robots,
+            steps: duration,
+            threads: self.threads,
+            traces,
+            evals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::SimulationBuilder;
+
+    #[test]
+    fn robot_zero_matches_a_standalone_run_bitwise() {
+        // Phase offsets only shift robots 1.. — robot 0 replays the base
+        // scenario from the base seed, so its trace must be *identical*
+        // to the single-robot runner's (same bus round-trip, same rng
+        // stream, and the fleet engine's per-robot path is bitwise the
+        // standalone detector's).
+        let fleet = FleetSimulationBuilder::khepera()
+            .scenario(Scenario::ips_spoofing())
+            .robots(3)
+            .phase(7)
+            .seed(11)
+            .duration(70)
+            .run()
+            .unwrap();
+        let solo = SimulationBuilder::khepera()
+            .scenario(Scenario::ips_spoofing())
+            .seed(11)
+            .duration(70)
+            .run()
+            .unwrap();
+        let a = &fleet.traces[0].records()[69];
+        let b = &solo.trace.records()[69];
+        assert_eq!(a.true_state, b.true_state);
+        assert_eq!(a.readings, b.readings);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn phase_offsets_shift_each_robots_detection() {
+        let outcome = FleetSimulationBuilder::khepera()
+            .scenario(Scenario::ips_spoofing())
+            .robots(3)
+            .phase(10)
+            .seed(5)
+            .duration(100)
+            .run()
+            .unwrap();
+        // Every robot detects its own shifted attack with a small,
+        // comparable delay relative to its own onset.
+        for (robot, eval) in outcome.evals.iter().enumerate() {
+            let delay = eval
+                .sensor_delay()
+                .unwrap_or_else(|| panic!("robot {robot} should detect"));
+            assert!(delay < 1.0, "robot {robot} delay {delay}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_fleet_results() {
+        let run = |threads| {
+            FleetSimulationBuilder::khepera()
+                .scenario(Scenario::wheel_logic_bomb())
+                .robots(4)
+                .phase(3)
+                .seed(2)
+                .threads(threads)
+                .duration(60)
+                .run()
+                .unwrap()
+        };
+        let seq = run(1);
+        let par = run(3);
+        for robot in 0..4 {
+            for (a, b) in seq.traces[robot]
+                .records()
+                .iter()
+                .zip(par.traces[robot].records())
+            {
+                assert_eq!(a.report, b.report, "robot {robot} step {}", a.k);
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_spans_carry_robot_attribution() {
+        use roboads_obs::RingBufferSink;
+        use std::sync::Arc;
+        let ring = Arc::new(RingBufferSink::new(100_000));
+        FleetSimulationBuilder::khepera()
+            .scenario(Scenario::clean())
+            .robots(3)
+            .duration(5)
+            .telemetry(Telemetry::new(ring.clone()))
+            .run()
+            .unwrap();
+        let spans = ring.spans();
+        let mut seen: Vec<u32> = spans
+            .iter()
+            .filter(|s| s.name == "engine.step")
+            .map(|s| s.robot)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![1, 2, 3], "each robot's steps are attributed");
+    }
+}

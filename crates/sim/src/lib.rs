@@ -42,6 +42,7 @@
 pub mod bus;
 
 mod eval;
+mod fleet;
 mod misbehavior;
 mod platform;
 mod runner;
@@ -51,6 +52,7 @@ mod trace;
 mod workflow;
 
 pub use eval::{evaluate, EvalResult, TransitionDelay};
+pub use fleet::{FleetOutcome, FleetSimulationBuilder};
 pub use misbehavior::{Corruption, Misbehavior, Target};
 pub use platform::RobotPlatform;
 pub use runner::{RobotKind, SimOutcome, SimulationBuilder};
