@@ -100,6 +100,15 @@ pub struct RoboAdsConfig {
     /// prefer per-robot sequential engines batched by a
     /// `FleetEngine`, which parallelizes at robot grain instead.
     pub threads: Option<usize>,
+    /// Lane width `K` of the fleet's SIMD-batched slab path: a
+    /// `FleetEngine` whose robots share one system model and mode bank
+    /// steps them `K` at a time through structure-of-arrays NUISE
+    /// kernels (bitwise identical to per-robot stepping; see
+    /// `DESIGN.md` §13). `None` (the default) uses the tuned width 8;
+    /// `Some(1)` disables the slab path; otherwise must be 4 or 8 (the
+    /// widths the kernels are compiled for). Ignored outside fleet
+    /// batching.
+    pub slab_lanes: Option<usize>,
 }
 
 impl RoboAdsConfig {
@@ -117,6 +126,7 @@ impl RoboAdsConfig {
             parsimony_rho: 0.05,
             mode_mixing: 0.02,
             threads: None,
+            slab_lanes: None,
         }
     }
 
@@ -182,6 +192,14 @@ impl RoboAdsConfig {
                 value: "0".into(),
             });
         }
+        if let Some(lanes) = self.slab_lanes {
+            if !matches!(lanes, 1 | 4 | 8) {
+                return Err(CoreError::InvalidConfig {
+                    name: "slab_lanes",
+                    value: format!("{lanes} (must be 1, 4 or 8)"),
+                });
+            }
+        }
         Ok(())
     }
 
@@ -233,6 +251,13 @@ impl RoboAdsConfig {
     /// (`1` = sequential; must be nonzero).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Returns a copy pinning the fleet slab lane width (`1` disables
+    /// the slab path; otherwise 4 or 8).
+    pub fn with_slab_lanes(mut self, lanes: usize) -> Self {
+        self.slab_lanes = Some(lanes);
         self
     }
 }
@@ -324,5 +349,22 @@ mod tests {
             .with_threads(0)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn slab_lane_knob_validates() {
+        assert!(RoboAdsConfig::paper_defaults().slab_lanes.is_none());
+        for lanes in [1, 4, 8] {
+            RoboAdsConfig::paper_defaults()
+                .with_slab_lanes(lanes)
+                .validate()
+                .unwrap();
+        }
+        for lanes in [0, 2, 3, 16] {
+            assert!(RoboAdsConfig::paper_defaults()
+                .with_slab_lanes(lanes)
+                .validate()
+                .is_err());
+        }
     }
 }

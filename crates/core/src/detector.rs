@@ -164,6 +164,53 @@ impl RoboAds {
         Ok(())
     }
 
+    /// Completes an iteration whose per-mode NUISE outputs were
+    /// scattered into the engine by the fleet's lane-batched slab path
+    /// (see [`MultiModeEngine::commit_slab_step`]): runs the engine's
+    /// selection/commit tail with the supplied implied-anomaly `counts`,
+    /// then the same decision-and-report tail as [`RoboAds::step_into`].
+    /// Given bitwise-identical mode outputs and counts, the resulting
+    /// detector state and report are bitwise identical to `step_into`'s.
+    ///
+    /// # Errors
+    ///
+    /// As [`RoboAds::step_into`].
+    pub(crate) fn commit_slab_step<I: IntoIterator<Item = usize>>(
+        &mut self,
+        counts: I,
+        report: &mut DetectionReport,
+    ) -> Result<()> {
+        self.engine.commit_slab_step(counts)?;
+        self.decision.assess_report(
+            self.engine.system(),
+            self.engine.modes(),
+            self.engine.last_output(),
+            report,
+        )?;
+        self.iteration += 1;
+        let out = self.engine.last_output();
+        report.iteration = self.iteration;
+        report.selected_mode = out.selected;
+        report.mode_probabilities.clear();
+        report
+            .mode_probabilities
+            .extend_from_slice(&out.probabilities);
+        report
+            .state_estimate
+            .assign(&out.selected_output().state_estimate);
+        Ok(())
+    }
+
+    /// The underlying engine (fleet slab path).
+    pub(crate) fn engine(&self) -> &MultiModeEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine (fleet slab path).
+    pub(crate) fn engine_mut(&mut self) -> &mut MultiModeEngine {
+        &mut self.engine
+    }
+
     /// Number of completed iterations.
     pub fn iteration(&self) -> u64 {
         self.iteration

@@ -118,6 +118,11 @@ pub struct MultiModeEngine {
     counts: Vec<usize>,
     weights: Vec<f64>,
     pool_results: Vec<Result<usize>>,
+    /// Resolved fleet slab lane width from
+    /// [`RoboAdsConfig::slab_lanes`]: the K of the lane-batched NUISE
+    /// path a [`crate::FleetEngine`] may run this engine's bank through
+    /// (`1` disables it). Unused by single-robot stepping.
+    slab_lanes: usize,
 }
 
 /// Pre-registered metric handles for the engine hot path.
@@ -195,7 +200,7 @@ fn parsimony_threshold(dof: usize) -> Result<f64> {
 /// [`implied_anomaly_count`] runs without heap allocation. Sized once at
 /// construction from the mode's `testing_slices()`.
 #[derive(Debug, Clone)]
-struct ParsimonyScratch {
+pub(crate) struct ParsimonyScratch {
     /// Pseudo-inverse buffers for the actuator anomaly covariance
     /// (input dimension).
     actuator_eig: EigenWorkspace,
@@ -213,7 +218,7 @@ struct SliceScratch {
 }
 
 impl ParsimonyScratch {
-    fn new(input_dim: usize, testing_slices: &[SensorSlice]) -> Self {
+    pub(crate) fn new(input_dim: usize, testing_slices: &[SensorSlice]) -> Self {
         ParsimonyScratch {
             actuator_eig: EigenWorkspace::new(input_dim),
             actuator_pinv: Matrix::zeros(input_dim, input_dim),
@@ -244,7 +249,7 @@ impl ParsimonyScratch {
 /// Runs entirely in `scratch` (workspace pseudo-inverses and in-place
 /// segment/block extraction), producing statistics bitwise identical to
 /// the allocating `segment`/`block`/`pseudo_inverse` formulation.
-fn implied_anomaly_count(
+pub(crate) fn implied_anomaly_count(
     out: &NuiseOutput,
     actuator_threshold: f64,
     testing_slices: &[SensorSlice],
@@ -288,6 +293,12 @@ fn implied_anomaly_count(
 /// robots) loses by fanning modes out. The proxy sums `(n + m₂)³` over
 /// the bank — the cube of each mode's dominant matrix side.
 const INTRA_STEP_WORK_THRESHOLD: f64 = 50_000.0;
+
+/// Default fleet slab lane width when [`RoboAdsConfig::slab_lanes`] is
+/// `None`: wide enough for full AVX-512 `f64` lanes and two AVX2
+/// vectors per slab element, and the width the fleet benchmarks are
+/// tuned at.
+pub(crate) const DEFAULT_SLAB_LANES: usize = 8;
 
 /// Estimated per-step floating-point work of a mode bank, in
 /// cubed-matrix-side units (see [`INTRA_STEP_WORK_THRESHOLD`]).
@@ -420,6 +431,7 @@ impl MultiModeEngine {
             counts: Vec::with_capacity(mode_count),
             weights: Vec::with_capacity(mode_count),
             pool_results: (0..mode_count).map(|_| Ok(0)).collect(),
+            slab_lanes: config.slab_lanes.unwrap_or(DEFAULT_SLAB_LANES),
         })
     }
 
@@ -652,6 +664,19 @@ impl MultiModeEngine {
             }
         };
 
+        self.select_and_commit()
+    }
+
+    /// The tail of a control iteration, shared by the per-robot path
+    /// ([`MultiModeEngine::step_inner`]) and the fleet's lane-batched
+    /// slab path ([`MultiModeEngine::commit_slab_step`]): parsimony
+    /// weighting of the per-mode outputs already sitting in
+    /// `self.output.modes` (with implied-anomaly counts in
+    /// `self.counts`), mode selection, reporting-state refresh, and
+    /// re-anchoring. Both producers deliver bitwise-identical outputs
+    /// and counts, so everything downstream of here is
+    /// producer-independent.
+    fn select_and_commit(&mut self) -> Result<()> {
         // Mode probabilities are updated with the dimension-free
         // consistency p-values, not the raw densities: densities of
         // innovations with different dimensionality are not comparable
@@ -730,6 +755,80 @@ impl MultiModeEngine {
         }
 
         Ok(())
+    }
+
+    /// Completes a control iteration whose per-mode NUISE outputs were
+    /// produced *externally* — by the fleet's lane-batched slab path
+    /// scattering into [`MultiModeEngine::mode_output_mut`] — with the
+    /// matching implied-anomaly `counts` (one per mode, in mode order).
+    /// Runs the same selection/commit tail and instrument accounting as
+    /// [`MultiModeEngine::step_in_place`], so the resulting engine state
+    /// is indistinguishable from a scalar step that produced the same
+    /// outputs. The per-mode NUISE spans are absent on this path (the
+    /// batched kernels cross robot boundaries); the `engine.step` span
+    /// and all counters are preserved.
+    pub(crate) fn commit_slab_step<I: IntoIterator<Item = usize>>(
+        &mut self,
+        counts: I,
+    ) -> Result<()> {
+        let _step_span = self.telemetry.owned_span("engine.step");
+        let health_before = roboads_linalg::health::snapshot();
+        self.counts.clear();
+        self.counts.extend(counts);
+        debug_assert_eq!(self.counts.len(), self.modes.len());
+        let result = self.select_and_commit();
+        let breakdowns = roboads_linalg::health::snapshot()
+            .since(&health_before)
+            .cholesky_failures;
+        if breakdowns > 0 {
+            self.instruments.cholesky_failures.add(breakdowns);
+        }
+        match &result {
+            Ok(()) => self.instruments.steps.incr(),
+            Err(CoreError::Numeric(msg)) => {
+                self.instruments.numeric_failures.incr();
+                let msg = msg.clone();
+                self.telemetry.event("engine.numeric_failure", || {
+                    vec![("error", Value::Text(msg))]
+                });
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// Whether NUISE step 2 compensates the predicted state with the
+    /// estimated actuator anomaly (fleet slab path input).
+    pub(crate) fn compensate(&self) -> bool {
+        self.compensate
+    }
+
+    /// The configured linearization strategy (the fleet slab path only
+    /// engages for [`Linearization::PerIteration`]).
+    pub(crate) fn linearization(&self) -> &Linearization {
+        &self.linearization
+    }
+
+    /// χ² critical value for the actuator parsimony check.
+    pub(crate) fn actuator_threshold(&self) -> f64 {
+        self.actuator_threshold
+    }
+
+    /// Mode `m`'s per-testing-slice χ² critical values.
+    pub(crate) fn testing_thresholds(&self, m: usize) -> &[f64] {
+        &self.testing_thresholds[m]
+    }
+
+    /// Mode `m`'s filter state and output slot, for the fleet slab path
+    /// to read lane inputs from and scatter results into before
+    /// [`MultiModeEngine::commit_slab_step`].
+    pub(crate) fn mode_output_mut(&mut self, m: usize) -> &mut NuiseOutput {
+        &mut self.output.modes[m]
+    }
+
+    /// Resolved fleet slab lane width (see the field docs).
+    pub(crate) fn slab_lanes(&self) -> usize {
+        self.slab_lanes
     }
 }
 

@@ -29,7 +29,9 @@ use roboads_linalg::Vector;
 use roboads_obs::Telemetry;
 use roboads_pool::Pool;
 
+use crate::config::Linearization;
 use crate::detector::RoboAds;
+use crate::nuise_slab::NuiseSlabWorkspace;
 use crate::report::DetectionReport;
 use crate::{CoreError, Result};
 
@@ -60,6 +62,34 @@ struct RobotCell {
     result: Result<()>,
 }
 
+/// One pool job's slab scratch for the lane-batched fleet path: one
+/// [`NuiseSlabWorkspace`] per mode, reused tick after tick so the warm
+/// path allocates nothing. Jobs never share scratch, so the pool path
+/// stays synchronization-free.
+#[derive(Debug)]
+struct SlabJob<const K: usize> {
+    bank: Vec<NuiseSlabWorkspace<K>>,
+}
+
+/// Resolved state of the fleet's SIMD-batched slab path. Resolution is
+/// lazy (first [`FleetEngine::step_batch`] after construction or
+/// [`FleetEngine::push`]) because eligibility is a whole-fleet
+/// property: every robot must share the first robot's system models,
+/// mode bank, compensation setting, per-iteration linearization and
+/// configured lane width, and the fleet must fill at least one tile.
+#[derive(Debug)]
+enum SlabState {
+    /// Not yet resolved against the current fleet composition.
+    Unknown,
+    /// The fleet is heterogeneous (or the knob is `1`): every tick runs
+    /// the per-robot scalar path.
+    Ineligible,
+    /// 4-lane slab scratch, one bank per pool job.
+    K4(Vec<SlabJob<4>>),
+    /// 8-lane slab scratch, one bank per pool job.
+    K8(Vec<SlabJob<8>>),
+}
+
 /// Steps a fleet of independent detectors, batched per control tick.
 ///
 /// Robots are homogeneous in construction convenience only — each cell
@@ -67,6 +97,22 @@ struct RobotCell {
 /// differently-configured detectors. Parallelism is at robot grain: a
 /// `threads > 1` fleet splits the slab into contiguous chunks, one pool
 /// job per worker per tick.
+///
+/// # SIMD-batched slab path
+///
+/// When every robot shares the first robot's system models (same `Arc`s
+/// and process noise), mode bank, compensation setting and
+/// per-iteration linearization — the common case of a homogeneous
+/// fleet built from one preset — `step_batch` tiles the fleet into
+/// `K`-robot lanes ([`crate::RoboAdsConfig::slab_lanes`], default 8)
+/// and steps each tile through structure-of-arrays NUISE kernels that
+/// vectorize *across robots*. Results are bitwise identical to the
+/// per-robot path: the slab kernels replicate the scalar arithmetic
+/// per lane, and any lane that hits a numeric failure falls back to
+/// the scalar estimator from its untouched filter state, reproducing
+/// the exact scalar outcome (see `DESIGN.md` §13). Heterogeneous
+/// fleets, fleets smaller than one tile, and `slab_lanes: Some(1)` run
+/// the per-robot path unchanged.
 ///
 /// # Example
 ///
@@ -98,6 +144,8 @@ pub struct FleetEngine {
     /// Robot-grain worker pool; `None` runs the slab sequentially.
     pool: Option<Arc<Pool>>,
     threads: usize,
+    /// Lazily-resolved SIMD slab path state (see [`SlabState`]).
+    slab: SlabState,
 }
 
 impl FleetEngine {
@@ -122,6 +170,7 @@ impl FleetEngine {
             cells: Vec::with_capacity(detectors.len()),
             pool,
             threads,
+            slab: SlabState::Unknown,
         };
         for d in detectors {
             fleet.push_cell(d);
@@ -141,6 +190,72 @@ impl FleetEngine {
             report: DetectionReport::blank(),
             result: Ok(()),
         });
+        // Fleet composition changed; re-judge slab eligibility (and
+        // job sizing) on the next batch.
+        self.slab = SlabState::Unknown;
+    }
+
+    /// Slab lane width if the current fleet is eligible for the
+    /// lane-batched path, else `None` (see [`SlabState`] for the
+    /// whole-fleet homogeneity conditions).
+    fn slab_eligibility(&self) -> Option<usize> {
+        let first = self.cells.first()?.detector.engine();
+        let lanes = first.slab_lanes();
+        if lanes == 1 || !matches!(first.linearization(), Linearization::PerIteration) {
+            return None;
+        }
+        // A fleet smaller than one tile would run every batch on a
+        // single mostly-masked tile — full K-lane arithmetic for
+        // cells.len() robots' worth of results. Keep the scalar path
+        // until at least one tile fills (partial *tail* tiles on larger
+        // fleets amortize the same waste across many full tiles).
+        if self.cells.len() < lanes {
+            return None;
+        }
+        let homogeneous = self.cells[1..].iter().all(|cell| {
+            let e = cell.detector.engine();
+            e.system().shares_models(first.system())
+                && e.modes() == first.modes()
+                && e.compensate() == first.compensate()
+                && e.slab_lanes() == lanes
+                && matches!(e.linearization(), Linearization::PerIteration)
+        });
+        homogeneous.then_some(lanes)
+    }
+
+    /// Builds the per-job slab banks for lane width `K`: one job on the
+    /// sequential path, one per lane-aligned pool chunk otherwise.
+    fn build_slab_jobs<const K: usize>(&self) -> Vec<SlabJob<K>> {
+        let first = self.cells[0].detector.engine();
+        let job_count = match &self.pool {
+            None => 1,
+            Some(pool) => {
+                let chunk = pool.chunk_size_aligned(self.cells.len(), MIN_ROBOTS_PER_JOB, K);
+                self.cells.len().div_ceil(chunk).max(1)
+            }
+        };
+        (0..job_count)
+            .map(|_| SlabJob {
+                bank: first
+                    .modes()
+                    .modes()
+                    .iter()
+                    .map(|mode| NuiseSlabWorkspace::new(first.system(), mode))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Resolves [`SlabState::Unknown`] against the current fleet.
+    fn resolve_slab(&mut self) {
+        if !matches!(self.slab, SlabState::Unknown) {
+            return;
+        }
+        self.slab = match self.slab_eligibility() {
+            None => SlabState::Ineligible,
+            Some(4) => SlabState::K4(self.build_slab_jobs()),
+            Some(_) => SlabState::K8(self.build_slab_jobs()),
+        };
     }
 
     /// Appends another robot to the slab.
@@ -206,23 +321,31 @@ impl FleetEngine {
                 ),
             });
         }
-        let step_robot = |i: usize, cell: &mut RobotCell| {
-            roboads_obs::set_robot(i as u32 + 1);
-            let input = &inputs[i];
-            cell.result = cell
-                .detector
-                .step_into(input.u_prev, input.readings, &mut cell.report);
-            roboads_obs::set_robot(0);
-        };
-        match &self.pool {
-            None => {
-                for (i, cell) in self.cells.iter_mut().enumerate() {
-                    step_robot(i, cell);
+        self.resolve_slab();
+        let cells = &mut self.cells;
+        let pool = &self.pool;
+        match &mut self.slab {
+            SlabState::K4(jobs) => step_batch_slab::<4>(cells, pool.as_ref(), jobs, inputs),
+            SlabState::K8(jobs) => step_batch_slab::<8>(cells, pool.as_ref(), jobs, inputs),
+            SlabState::Ineligible | SlabState::Unknown => {
+                let step_robot = |i: usize, cell: &mut RobotCell| {
+                    roboads_obs::set_robot(i as u32 + 1);
+                    let input = &inputs[i];
+                    cell.result =
+                        cell.detector
+                            .step_into(input.u_prev, input.readings, &mut cell.report);
+                    roboads_obs::set_robot(0);
+                };
+                match pool {
+                    None => {
+                        for (i, cell) in cells.iter_mut().enumerate() {
+                            step_robot(i, cell);
+                        }
+                    }
+                    Some(pool) => {
+                        pool.chunked_for_each(cells, MIN_ROBOTS_PER_JOB, step_robot);
+                    }
                 }
-            }
-            Some(pool) => {
-                let pool = Arc::clone(pool);
-                pool.chunked_for_each(&mut self.cells, MIN_ROBOTS_PER_JOB, step_robot);
             }
         }
         for cell in &self.cells {
@@ -253,6 +376,112 @@ impl FleetEngine {
     /// order.
     pub fn iter(&self) -> impl Iterator<Item = (&RoboAds, &DetectionReport)> {
         self.cells.iter().map(|c| (&c.detector, &c.report))
+    }
+}
+
+/// Steps the whole fleet through the lane-batched slab path: one job on
+/// the sequential path, else one pool job per lane-aligned contiguous
+/// robot chunk ([`roboads_pool::Pool::chunk_size_aligned`], so no
+/// K-lane tile ever straddles two jobs and each job reuses its own
+/// [`SlabJob`] scratch).
+fn step_batch_slab<const K: usize>(
+    cells: &mut [RobotCell],
+    pool: Option<&Arc<Pool>>,
+    jobs: &mut [SlabJob<K>],
+    inputs: &[RobotInput<'_>],
+) {
+    match pool {
+        None => step_range_slab(&mut jobs[0], cells, 0, inputs),
+        Some(pool) => {
+            let chunk = pool.chunk_size_aligned(cells.len(), MIN_ROBOTS_PER_JOB, K);
+            pool.scoped(|scope| {
+                for (chunk_idx, (cell_chunk, job)) in
+                    cells.chunks_mut(chunk).zip(jobs.iter_mut()).enumerate()
+                {
+                    let base = chunk_idx * chunk;
+                    scope.execute(move || step_range_slab(job, cell_chunk, base, inputs));
+                }
+            });
+        }
+    }
+}
+
+/// Steps one job's contiguous robot range tile by tile. `base` is the
+/// global index of `cells[0]` (for input lookup and robot telemetry
+/// ids). The final tile of the final job may be partial; it runs with
+/// the surplus lanes masked off.
+fn step_range_slab<const K: usize>(
+    job: &mut SlabJob<K>,
+    cells: &mut [RobotCell],
+    base: usize,
+    inputs: &[RobotInput<'_>],
+) {
+    for (t, tile) in cells.chunks_mut(K).enumerate() {
+        step_tile(&mut job.bank, tile, base + t * K, inputs);
+    }
+}
+
+/// Steps one ≤K-robot tile: loads each robot's per-mode inputs into the
+/// slab lanes, runs every mode's lane-batched NUISE pass, scatters the
+/// per-mode outputs back into each robot's engine, and commits each
+/// robot's selection/decision tail. A lane that fails anywhere (bad
+/// readings at load, numeric failure inside a batched kernel) is masked
+/// out of the remaining slab work and its robot re-runs the *scalar*
+/// detector step from its untouched filter state — reproducing the
+/// exact per-robot result and error, since engine state only mutates at
+/// commit time.
+fn step_tile<const K: usize>(
+    bank: &mut [NuiseSlabWorkspace<K>],
+    cells: &mut [RobotCell],
+    base: usize,
+    inputs: &[RobotInput<'_>],
+) {
+    let mut lane_ok = [false; K];
+    for flag in lane_ok.iter_mut().take(cells.len()) {
+        *flag = true;
+    }
+    for (m, ws) in bank.iter_mut().enumerate() {
+        for (l, cell) in cells.iter().enumerate() {
+            if !lane_ok[l] {
+                continue;
+            }
+            let input = &inputs[base + l];
+            let eng = cell.detector.engine();
+            let (x_m, p_m) = eng.mode_state(m);
+            if ws
+                .load_lane(l, eng.system(), x_m, p_m, input.u_prev, input.readings)
+                .is_err()
+            {
+                lane_ok[l] = false;
+            }
+        }
+        lane_ok = {
+            let eng = cells[0].detector.engine();
+            ws.run(
+                eng.system(),
+                eng.compensate(),
+                eng.actuator_threshold(),
+                eng.testing_thresholds(m),
+                &lane_ok,
+            )
+        };
+        for (l, cell) in cells.iter_mut().enumerate() {
+            if lane_ok[l] {
+                ws.scatter_lane(l, cell.detector.engine_mut().mode_output_mut(m));
+            }
+        }
+    }
+    for (l, cell) in cells.iter_mut().enumerate() {
+        roboads_obs::set_robot((base + l) as u32 + 1);
+        let input = &inputs[base + l];
+        cell.result = if lane_ok[l] {
+            cell.detector
+                .commit_slab_step(bank.iter().map(|ws| ws.count(l)), &mut cell.report)
+        } else {
+            cell.detector
+                .step_into(input.u_prev, input.readings, &mut cell.report)
+        };
+        roboads_obs::set_robot(0);
     }
 }
 

@@ -73,6 +73,7 @@ mod engine;
 mod fleet;
 mod mode;
 mod nuise;
+mod nuise_slab;
 mod report;
 mod selector;
 

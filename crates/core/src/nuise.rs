@@ -768,7 +768,7 @@ fn mode_likelihood(nu: &Vector, pinv: &Matrix, rank: usize, pdet: f64) -> Result
     Ok((density, consistency))
 }
 
-fn validate_readings(system: &RobotSystem, readings: &[Vector]) -> Result<()> {
+pub(crate) fn validate_readings(system: &RobotSystem, readings: &[Vector]) -> Result<()> {
     if readings.len() != system.sensor_count() {
         return Err(CoreError::BadReadings {
             reason: format!(

@@ -119,30 +119,59 @@ fn warmed_up_sequential_fleet_batch_is_allocation_free() {
     // traffic. The property is asserted on the sequential fleet
     // (threads = 1, the per-robot code path all configurations share);
     // a parallel fleet adds only the pool's per-job boxes, O(workers).
-    let system = presets::khepera_system();
-    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
-    let u = Vector::from_slice(&[0.06, 0.05]);
-    const ROBOTS: usize = 8;
-    let mut fleet = FleetEngine::new(
-        (0..ROBOTS)
-            .map(|_| RoboAds::with_defaults(system.clone(), x0.clone()).unwrap())
-            .collect(),
-        1,
-    );
-    let mut x_true = x0;
+    //
+    // Asserted for every slab lane width: `1` is the scalar per-robot
+    // path, `4`/`8` the SIMD-batched slab path (load → batched run →
+    // scatter → commit, whose scratch is the per-job `SlabJob` bank
+    // sized at first resolution). The robot count is deliberately not a
+    // multiple of the lane width, so the warm path includes a masked
+    // remainder tile.
+    for lanes in [1, 4, 8] {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        const ROBOTS: usize = 11;
+        let modes = ModeSet::one_reference_per_sensor(&system);
+        let config = RoboAdsConfig::paper_defaults().with_slab_lanes(lanes);
+        let mut fleet = FleetEngine::new(
+            (0..ROBOTS)
+                .map(|_| {
+                    RoboAds::new(system.clone(), config.clone(), x0.clone(), modes.clone()).unwrap()
+                })
+                .collect(),
+            1,
+        );
+        let mut x_true = x0;
 
-    // Warm-up: several steps so every lazily-sized buffer — decision
-    // scratch maps, report vectors, per-sensor slots — reaches its
-    // steady-state shape, including post-spoof shapes (mode selection
-    // shifts which per-sensor views come from which mode).
-    for k in 0..6 {
+        // Warm-up: several steps so every lazily-sized buffer — decision
+        // scratch maps, report vectors, per-sensor slots, slab job banks
+        // — reaches its steady-state shape, including post-spoof shapes
+        // (mode selection shifts which per-sensor views come from which
+        // mode).
+        for k in 0..6 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings: Vec<Vector> = (0..system.sensor_count())
+                .map(|i| system.sensor(i).unwrap().measure(&x_true))
+                .collect();
+            if k >= 3 {
+                readings[0][0] += 0.07;
+            }
+            let inputs = vec![
+                RobotInput {
+                    u_prev: &u,
+                    readings: &readings,
+                };
+                ROBOTS
+            ];
+            fleet.step_batch(&inputs).unwrap();
+        }
+
+        // Steady state: zero heap traffic across whole batches.
         x_true = system.dynamics().step(&x_true, &u);
         let mut readings: Vec<Vector> = (0..system.sensor_count())
             .map(|i| system.sensor(i).unwrap().measure(&x_true))
             .collect();
-        if k >= 3 {
-            readings[0][0] += 0.07;
-        }
+        readings[0][0] += 0.07;
         let inputs = vec![
             RobotInput {
                 u_prev: &u,
@@ -150,29 +179,15 @@ fn warmed_up_sequential_fleet_batch_is_allocation_free() {
             };
             ROBOTS
         ];
-        fleet.step_batch(&inputs).unwrap();
+        let steady_allocs = allocations_during(|| {
+            for _ in 0..3 {
+                fleet.step_batch(&inputs).unwrap();
+            }
+        });
+        assert_eq!(
+            steady_allocs, 0,
+            "warmed-up fleet step_batch (slab_lanes = {lanes}) \
+             allocated {steady_allocs} times"
+        );
     }
-
-    // Steady state: zero heap traffic across whole batches.
-    x_true = system.dynamics().step(&x_true, &u);
-    let mut readings: Vec<Vector> = (0..system.sensor_count())
-        .map(|i| system.sensor(i).unwrap().measure(&x_true))
-        .collect();
-    readings[0][0] += 0.07;
-    let inputs = vec![
-        RobotInput {
-            u_prev: &u,
-            readings: &readings,
-        };
-        ROBOTS
-    ];
-    let steady_allocs = allocations_during(|| {
-        for _ in 0..3 {
-            fleet.step_batch(&inputs).unwrap();
-        }
-    });
-    assert_eq!(
-        steady_allocs, 0,
-        "warmed-up fleet step_batch allocated {steady_allocs} times"
-    );
 }

@@ -13,7 +13,7 @@
 //! robots are genuinely distinct mid-run: a cross-robot state leak or
 //! an off-by-one in the chunked scheduler shows up as a mismatch.
 
-use roboads_core::{DetectionReport, FleetEngine, RoboAds, RobotInput};
+use roboads_core::{DetectionReport, FleetEngine, ModeSet, RoboAds, RoboAdsConfig, RobotInput};
 use roboads_linalg::Vector;
 use roboads_models::{presets, RobotSystem};
 
@@ -122,4 +122,137 @@ fn large_fleet_spanning_many_chunks_stays_exact() {
 #[test]
 fn fleet_runs_are_reproducible_across_invocations() {
     assert_eq!(fleet_run(8, 2), fleet_run(8, 2));
+}
+
+/// A detector with a pinned fleet slab lane width (`1` disables the
+/// SIMD-batched path entirely).
+fn detector_with_lanes(lanes: usize) -> RoboAds {
+    let system = presets::khepera_system();
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let modes = ModeSet::one_reference_per_sensor(&system);
+    RoboAds::new(
+        system,
+        RoboAdsConfig::paper_defaults().with_slab_lanes(lanes),
+        x0,
+        modes,
+    )
+    .unwrap()
+}
+
+/// As [`fleet_run`] but with an explicit slab lane width.
+fn fleet_run_lanes(robots: usize, threads: usize, lanes: usize) -> Vec<Vec<DetectionReport>> {
+    let system = presets::khepera_system();
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let mut fleet = FleetEngine::new(
+        (0..robots).map(|_| detector_with_lanes(lanes)).collect(),
+        threads,
+    );
+    let mut x_true = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let mut sequences: Vec<Vec<DetectionReport>> = vec![Vec::with_capacity(STEPS); robots];
+    for k in 0..STEPS {
+        x_true = system.dynamics().step(&x_true, &u);
+        let all_readings: Vec<Vec<Vector>> = (0..robots)
+            .map(|robot| robot_readings(&system, &x_true, robot, k))
+            .collect();
+        let inputs: Vec<RobotInput> = all_readings
+            .iter()
+            .map(|readings| RobotInput {
+                u_prev: &u,
+                readings,
+            })
+            .collect();
+        fleet.step_batch(&inputs).unwrap();
+        for (robot, seq) in sequences.iter_mut().enumerate() {
+            seq.push(fleet.report(robot).clone());
+        }
+    }
+    sequences
+}
+
+/// The SIMD-batched slab path must be bitwise invisible: for every
+/// robot, the full report sequence with `slab_lanes ∈ {4, 8}` equals
+/// the scalar path's (`slab_lanes = 1`), at every batch size shape —
+/// a lone robot and one-short-of-a-tile (sub-tile fleets stay on the
+/// scalar path by design), a full tile plus masked tail (7 robots at
+/// 4 lanes), exactly one tile, and many tiles plus a remainder tail —
+/// and every robot-grain thread count.
+#[test]
+fn slab_path_reports_match_scalar_path_exactly() {
+    for robots in [1, 7, 8, 67] {
+        let scalar = fleet_run_lanes(robots, 1, 1);
+        for threads in [1, 2, 4] {
+            for lanes in [4, 8] {
+                let slab = fleet_run_lanes(robots, threads, lanes);
+                assert_eq!(
+                    scalar, slab,
+                    "slab divergence: robots={robots} threads={threads} lanes={lanes}"
+                );
+            }
+        }
+    }
+}
+
+/// A robot whose readings fail validation mid-fleet must fall out of
+/// its slab tile and reproduce the exact scalar error and side effects,
+/// while every other lane of the tile advances normally.
+#[test]
+fn slab_lane_failure_falls_back_to_scalar_per_robot() {
+    let run = |lanes: usize| {
+        let system = presets::khepera_system();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let robots = 9;
+        let mut fleet =
+            FleetEngine::new((0..robots).map(|_| detector_with_lanes(lanes)).collect(), 1);
+        let mut x_true = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut outcomes = Vec::new();
+        for k in 0..8 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let all_readings: Vec<Vec<Vector>> = (0..robots)
+                .map(|robot| {
+                    let mut readings = robot_readings(&system, &x_true, robot, k);
+                    if robot == 3 && k == 5 {
+                        readings[0][0] = f64::NAN;
+                    }
+                    readings
+                })
+                .collect();
+            let inputs: Vec<RobotInput> = all_readings
+                .iter()
+                .map(|readings| RobotInput {
+                    u_prev: &u,
+                    readings,
+                })
+                .collect();
+            let batch = fleet.step_batch(&inputs);
+            assert_eq!(batch.is_err(), k == 5, "lanes={lanes} step {k}");
+            outcomes.push(
+                (0..robots)
+                    .map(|r| {
+                        (
+                            fleet.result(r).is_ok(),
+                            fleet.detector(r).iteration(),
+                            fleet.report(r).clone(),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        outcomes
+    };
+    let scalar = run(1);
+    let slab = run(8);
+    // The failed robot's error step leaves a partial report on both
+    // paths (contents unspecified); everything else must be identical.
+    for (k, (sc, sl)) in scalar.iter().zip(&slab).enumerate() {
+        for (r, (a, b)) in sc.iter().zip(sl).enumerate() {
+            assert_eq!(a.0, b.0, "result mismatch robot {r} step {k}");
+            assert_eq!(a.1, b.1, "iteration mismatch robot {r} step {k}");
+            if a.0 {
+                assert_eq!(a.2, b.2, "report mismatch robot {r} step {k}");
+            }
+        }
+    }
+    // Sanity: robot 3 failed exactly once and skipped that iteration.
+    assert!(!scalar[5][3].0);
+    assert_eq!(scalar[7][3].1, 7);
 }

@@ -46,6 +46,7 @@ mod matrix;
 mod ops;
 mod pseudo;
 mod qr;
+pub mod slab;
 mod vector;
 
 pub use cholesky::Cholesky;
@@ -55,6 +56,7 @@ pub use inplace::{EigenWorkspace, LuWorkspace};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use slab::{EigenSlabWorkspace, LuSlabWorkspace, MatrixSlab, VectorSlab};
 pub use vector::Vector;
 
 /// Crate-wide result alias for fallible linear-algebra operations.

@@ -115,6 +115,23 @@ impl RobotSystem {
         self.dynamics.input_dim()
     }
 
+    /// Whether `self` and `other` are built from the *same* model
+    /// objects: pointer-identical dynamics and sensor suite (the shared
+    /// `Arc`s of a fleet built by cloning one system) and an equal
+    /// process-noise matrix. Two systems sharing models evaluate every
+    /// `f`/`h`/Jacobian bitwise identically, which is the precondition
+    /// for batching their detectors lane-wise.
+    pub fn shares_models(&self, other: &RobotSystem) -> bool {
+        Arc::ptr_eq(&self.dynamics, &other.dynamics)
+            && self.process_noise == other.process_noise
+            && self.sensors.len() == other.sensors.len()
+            && self
+                .sensors
+                .iter()
+                .zip(&other.sensors)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
+    }
+
     /// Process-noise covariance `Q`.
     pub fn process_noise(&self) -> &Matrix {
         &self.process_noise

@@ -211,6 +211,16 @@ impl Pool {
         items.div_ceil(self.threads().max(1)).max(min_chunk).max(1)
     }
 
+    /// [`Pool::chunk_size`] rounded up to the next multiple of `align`
+    /// (clamped to 1). Lane-batched engines align chunk boundaries to
+    /// their SIMD tile width so no K-lane tile ever straddles two jobs:
+    /// every chunk but the last holds a whole number of tiles, and only
+    /// the final chunk carries the fleet-level remainder tail.
+    pub fn chunk_size_aligned(&self, items: usize, min_chunk: usize, align: usize) -> usize {
+        self.chunk_size(items, min_chunk)
+            .next_multiple_of(align.max(1))
+    }
+
     /// Runs `f(index, item)` for every item, fanned out as one job per
     /// contiguous chunk of [`Pool::chunk_size`] items. Items are mutated
     /// in place and `f` sees them in ascending index order within each
@@ -490,6 +500,33 @@ mod tests {
         assert_eq!(pool.chunk_size(0, 0), 1); // clamped
         let single = Pool::new(1);
         assert_eq!(single.chunk_size(64, 1), 64);
+    }
+
+    #[test]
+    fn chunk_size_aligned_rounds_to_tile_width() {
+        let pool = Pool::new(4);
+        // 67 items over 4 workers → 17-item raw chunks; aligned to 8-lane
+        // tiles → 24. Three full chunks hold three tiles each and the
+        // remainder chunk carries the fleet tail.
+        assert_eq!(pool.chunk_size_aligned(67, 4, 8), 24);
+        let chunk = pool.chunk_size_aligned(67, 4, 8);
+        let mut sizes = Vec::new();
+        let mut rest = 67;
+        while rest > 0 {
+            let take = rest.min(chunk);
+            sizes.push(take);
+            rest -= take;
+        }
+        // Every chunk except the last is a whole number of tiles.
+        for &s in &sizes[..sizes.len() - 1] {
+            assert_eq!(s % 8, 0, "chunk of {s} straddles a tile");
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 67);
+        // Alignment of 1 (or 0, clamped) degenerates to chunk_size.
+        assert_eq!(pool.chunk_size_aligned(64, 1, 1), pool.chunk_size(64, 1));
+        assert_eq!(pool.chunk_size_aligned(64, 1, 0), pool.chunk_size(64, 1));
+        let single = Pool::new(1);
+        assert_eq!(single.chunk_size_aligned(13, 4, 8), 16);
     }
 
     #[test]
