@@ -30,8 +30,8 @@ use std::time::Instant;
 
 use roboads_core::obs::{json::JsonObject, RingBufferSink, Telemetry};
 use roboads_core::{
-    nuise_step, nuise_step_into, FleetEngine, Linearization, Mode, ModeSet, MultiModeEngine,
-    NuiseInput, NuiseWorkspace, RoboAds, RoboAdsConfig, RobotInput,
+    nuise_step, nuise_step_into, FleetEngine, FleetIngest, Linearization, Mode, ModeSet,
+    MultiModeEngine, NuiseInput, NuiseWorkspace, RoboAds, RoboAdsConfig, RobotInput,
 };
 use roboads_linalg::{Matrix, Vector};
 use roboads_models::presets;
@@ -345,6 +345,85 @@ fn bench_fleet_throughput(fast: bool) -> Vec<FleetRow> {
     rows
 }
 
+/// One async-ingestion overhead sample: the same fleet tick driven
+/// directly (`step_batch`) and through the [`FleetIngest`] front-end
+/// (per-frame offers + tick-boundary swap + masked step), back to back.
+struct IngestRow {
+    robots: usize,
+    direct_seconds: f64,
+    ingest_seconds: f64,
+    /// Per-robot-step cost added by the front-end, percent.
+    overhead_pct: f64,
+}
+
+/// Ingest throughput: what the double-buffered front-end costs on top
+/// of a direct dense batch. Each tick pays `robots × (sensors + 1)`
+/// buffer copies plus one pointer-swap pass; both legs run in the same
+/// function back to back so host drift cancels out of the overhead
+/// ratio.
+fn bench_ingest_throughput(fast: bool) -> Vec<IngestRow> {
+    let system = presets::khepera_system();
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let x1 = system.dynamics().step(&x0, &u);
+    let readings = clean_readings(&system, &x1);
+    let robot_counts: &[usize] = if fast { &[64] } else { &[8, 64] };
+    let mut rows = Vec::new();
+    for &robots in robot_counts {
+        let new_fleet = || {
+            FleetEngine::new(
+                (0..robots)
+                    .map(|_| RoboAds::with_defaults(system.clone(), x0.clone()).unwrap())
+                    .collect(),
+                1,
+            )
+        };
+        let per_batch = (if fast { 32 } else { 256 } / robots).max(1);
+        let batches = if fast { 3 } else { 10 };
+
+        let mut direct = new_fleet();
+        let inputs: Vec<RobotInput> = (0..robots)
+            .map(|_| RobotInput {
+                u_prev: &u,
+                readings: &readings,
+            })
+            .collect();
+        let direct_seconds = time_median(batches, per_batch, || {
+            direct.step_batch(&inputs).unwrap();
+        }) / robots as f64;
+
+        let mut fleet = new_fleet();
+        let mut ingest = FleetIngest::for_fleet(&fleet);
+        let ingest_seconds = time_median(batches, per_batch, || {
+            for robot in 0..robots {
+                ingest.offer_input(robot, &u).unwrap();
+                for (s, reading) in readings.iter().enumerate() {
+                    ingest.offer(robot, s, reading).unwrap();
+                }
+            }
+            ingest.step(&mut fleet).unwrap();
+        }) / robots as f64;
+
+        let overhead_pct = (ingest_seconds / direct_seconds - 1.0) * 100.0;
+        report(
+            &format!("ingest_step/robots={robots} threads=1"),
+            ingest_seconds,
+        );
+        println!(
+            "{:<44} {:>9.2} %",
+            format!("ingest overhead robots={robots} vs direct"),
+            overhead_pct
+        );
+        rows.push(IngestRow {
+            robots,
+            direct_seconds,
+            ingest_seconds,
+            overhead_pct,
+        });
+    }
+    rows
+}
+
 /// Slab-vs-scalar fleet throughput, measured **back to back in the same
 /// run** at 1 thread so host drift cannot masquerade as a kernel win:
 /// for each robot count, a scalar fleet (`slab_lanes = 1`, the
@@ -541,6 +620,7 @@ fn write_results(
     scaling: &[ScalingRow],
     fleet: &[FleetRow],
     slab: &[SlabRow],
+    ingest: &[IngestRow],
     fast: bool,
 ) {
     let mut o = JsonObject::new();
@@ -588,6 +668,16 @@ fn write_results(
         row.finish()
     }));
     o.field_raw("slab_throughput", &slab_rows);
+    let ingest_rows = roboads_core::obs::json::array_of(ingest.iter().map(|r| {
+        let mut row = JsonObject::new();
+        row.field_u64("robots", r.robots as u64);
+        row.field_u64("threads", 1);
+        row.field_f64("direct_robot_step_us", r.direct_seconds * 1e6);
+        row.field_f64("ingest_robot_step_us", r.ingest_seconds * 1e6);
+        row.field_f64("overhead_pct", r.overhead_pct);
+        row.finish()
+    }));
+    o.field_raw("ingest_throughput", &ingest_rows);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
     match std::fs::write(path, o.finish() + "\n") {
         Ok(()) => println!("\nwrote {path}"),
@@ -613,8 +703,11 @@ fn main() {
     let fleet = bench_fleet_throughput(fast);
     let slab = bench_slab_throughput(fast);
     check_fleet_gate(&fleet, &slab, detector.0);
+    // The ingest overhead leg carries its direct baseline inside itself
+    // (back to back), so its placement after the gate is drift-safe.
+    let ingest = bench_ingest_throughput(fast);
     let scaling = bench_scaling(fast);
     bench_substrates(fast);
     bench_simulation(fast);
-    write_results(nuise, detector, &scaling, &fleet, &slab, fast);
+    write_results(nuise, detector, &scaling, &fleet, &slab, &ingest, fast);
 }

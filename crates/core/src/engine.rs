@@ -140,6 +140,12 @@ struct EngineInstruments {
     /// `engine.numeric_failures` — iterations lost to
     /// [`CoreError::Numeric`].
     numeric_failures: Counter,
+    /// `engine.all_modes_floored` — iterations in which *every* mode's
+    /// parsimony-weighted likelihood sanitized to zero, so the selector
+    /// floored the whole bank. Without this counter a fleet-wide filter
+    /// blow-up renormalizes to near-uniform probabilities and reads as
+    /// healthy uncertainty.
+    all_modes_floored: Counter,
     /// `engine.cholesky_failures` — factorization breakdowns observed in
     /// the linalg substrate while this engine was stepping (process-wide
     /// attribution; see `roboads_linalg::health`).
@@ -161,6 +167,7 @@ impl EngineInstruments {
             steps: m.counter("engine.steps"),
             reanchors: m.counter("engine.reanchor.count"),
             numeric_failures: m.counter("engine.numeric_failures"),
+            all_modes_floored: m.counter("engine.all_modes_floored"),
             cholesky_failures: m.counter("engine.cholesky_failures"),
             selected_mode: m.gauge("engine.selected_mode"),
             mode_probability: (0..mode_count)
@@ -707,6 +714,20 @@ impl MultiModeEngine {
             let _select_span = self.telemetry.span("engine.select");
             self.selector.update(&self.weights)?
         };
+        if self.selector.all_floored() {
+            // No hypothesis explains this iteration at all (every
+            // parsimony-weighted consistency underflowed to zero). The
+            // selector's floor keeps the bank recoverable, but the
+            // near-uniform output must not pass as healthy uncertainty.
+            self.instruments.all_modes_floored.incr();
+            let selected_consistency = self.output.modes[selected].consistency;
+            self.telemetry.event("engine.all_modes_floored", || {
+                vec![
+                    ("selected", Value::U64(selected as u64)),
+                    ("consistency", Value::F64(selected_consistency)),
+                ]
+            });
+        }
 
         self.state_estimate
             .copy_from(&self.output.modes[selected].state_estimate);

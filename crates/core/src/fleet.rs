@@ -51,6 +51,34 @@ pub struct RobotInput<'a> {
     pub readings: &'a [Vector],
 }
 
+/// Internal view unifying the dense ([`FleetEngine::step_batch`]) and
+/// masked ([`FleetEngine::step_batch_masked`]) input shapes, so both
+/// share one scheduling/slab implementation without the dense path
+/// allocating a `Vec<Option<_>>` per tick (which would break the
+/// warm-path zero-allocation invariant pinned by `tests/alloc.rs`).
+#[derive(Clone, Copy)]
+enum Inputs<'i, 'a> {
+    Dense(&'i [RobotInput<'a>]),
+    Masked(&'i [Option<RobotInput<'a>>]),
+}
+
+impl<'i, 'a> Inputs<'i, 'a> {
+    fn len(&self) -> usize {
+        match self {
+            Inputs::Dense(inputs) => inputs.len(),
+            Inputs::Masked(inputs) => inputs.len(),
+        }
+    }
+
+    /// Robot `i`'s input, or `None` when it missed the tick boundary.
+    fn get(&self, i: usize) -> Option<&'i RobotInput<'a>> {
+        match self {
+            Inputs::Dense(inputs) => Some(&inputs[i]),
+            Inputs::Masked(inputs) => inputs[i].as_ref(),
+        }
+    }
+}
+
 /// Per-robot cell of the fleet slab: everything one robot's step
 /// touches lives here, so a pool job owns its robots' cells exclusively
 /// and the scheduler never synchronizes on shared detector state.
@@ -298,10 +326,11 @@ impl FleetEngine {
     /// All robots run every tick — a failing robot never stalls its
     /// neighbours — and the error reported is the *first failing
     /// robot's*, in slab order, regardless of thread interleaving.
-    /// After an error the failing robots' reports hold partial verdicts
-    /// (query [`FleetEngine::result`] per robot to tell them apart);
-    /// their filter state is unchanged, exactly as a standalone
-    /// [`RoboAds::step_into`] failure.
+    /// Detection state is strictly per robot: a failing robot's report
+    /// holds a partial verdict and its filter state is unchanged
+    /// (exactly as a standalone [`RoboAds::step_into`] failure), while
+    /// every robot whose [`FleetEngine::result`] is `Ok` has a fully
+    /// valid, committed report — a neighbour's failure never taints it.
     ///
     /// A warmed-up sequential fleet (`threads == 1`) performs zero heap
     /// allocations per batch; a parallel fleet allocates only the pool's
@@ -312,6 +341,30 @@ impl FleetEngine {
     /// [`CoreError::BadReadings`] when `inputs.len() != self.len()`,
     /// else the first robot failure in slab order.
     pub fn step_batch(&mut self, inputs: &[RobotInput<'_>]) -> Result<()> {
+        self.step_batch_inner(Inputs::Dense(inputs))
+    }
+
+    /// Like [`FleetEngine::step_batch`], but tolerates holes: a `None`
+    /// input means the robot had no complete reading set at the tick
+    /// boundary (the [`crate::FleetIngest`] front-end produces exactly
+    /// this shape under its `MarkMissing` deadline policy). A missing
+    /// robot's detector and report are left **untouched** — the
+    /// iteration is skipped, exactly as if a standalone caller had
+    /// elected not to call [`RoboAds::step`] — and its per-robot
+    /// [`FleetEngine::result`] is [`CoreError::MissedDeadline`], so the
+    /// absence itself is a queryable verdict. Present robots step
+    /// normally and bitwise-identically to a fully dense batch.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadReadings`] when `inputs.len() != self.len()`,
+    /// else the first robot failure in slab order (a missed deadline
+    /// counts as a failure).
+    pub fn step_batch_masked(&mut self, inputs: &[Option<RobotInput<'_>>]) -> Result<()> {
+        self.step_batch_inner(Inputs::Masked(inputs))
+    }
+
+    fn step_batch_inner(&mut self, inputs: Inputs<'_, '_>) -> Result<()> {
         if inputs.len() != self.cells.len() {
             return Err(CoreError::BadReadings {
                 reason: format!(
@@ -329,12 +382,21 @@ impl FleetEngine {
             SlabState::K8(jobs) => step_batch_slab::<8>(cells, pool.as_ref(), jobs, inputs),
             SlabState::Ineligible | SlabState::Unknown => {
                 let step_robot = |i: usize, cell: &mut RobotCell| {
-                    roboads_obs::set_robot(i as u32 + 1);
-                    let input = &inputs[i];
-                    cell.result =
-                        cell.detector
-                            .step_into(input.u_prev, input.readings, &mut cell.report);
-                    roboads_obs::set_robot(0);
+                    // RAII reset: `step_into` runs inside a pool job
+                    // whose panics are caught by the worker, so a manual
+                    // `set_robot(0)` after it would be skipped on unwind
+                    // and leak this robot's id into every later span the
+                    // worker closes.
+                    let _robot = roboads_obs::robot_scope(i as u32 + 1);
+                    cell.result = match inputs.get(i) {
+                        Some(input) => {
+                            cell.detector
+                                .step_into(input.u_prev, input.readings, &mut cell.report)
+                        }
+                        // Missed the tick boundary: skip the iteration,
+                        // leaving detector state and report untouched.
+                        None => Err(CoreError::MissedDeadline { robot: i }),
+                    };
                 };
                 match pool {
                     None => {
@@ -362,7 +424,15 @@ impl FleetEngine {
     }
 
     /// Robot `i`'s report from the last [`FleetEngine::step_batch`].
-    /// Meaningful only when [`FleetEngine::result`] is `Ok`.
+    ///
+    /// Report validity is **per robot**, keyed by robot `i`'s own
+    /// [`FleetEngine::result`]: when `result(i)` is `Ok`, the report is
+    /// fully committed and valid *regardless of what happened to any
+    /// other robot in the batch* — a failing neighbour never taints it.
+    /// When `result(i)` is an `Err`, robot `i`'s report holds a partial
+    /// verdict from the failed step and should be discarded (for
+    /// [`CoreError::MissedDeadline`] it is the previous tick's report,
+    /// untouched).
     pub fn report(&self, i: usize) -> &DetectionReport {
         &self.cells[i].report
     }
@@ -388,7 +458,7 @@ fn step_batch_slab<const K: usize>(
     cells: &mut [RobotCell],
     pool: Option<&Arc<Pool>>,
     jobs: &mut [SlabJob<K>],
-    inputs: &[RobotInput<'_>],
+    inputs: Inputs<'_, '_>,
 ) {
     match pool {
         None => step_range_slab(&mut jobs[0], cells, 0, inputs),
@@ -414,7 +484,7 @@ fn step_range_slab<const K: usize>(
     job: &mut SlabJob<K>,
     cells: &mut [RobotCell],
     base: usize,
-    inputs: &[RobotInput<'_>],
+    inputs: Inputs<'_, '_>,
 ) {
     for (t, tile) in cells.chunks_mut(K).enumerate() {
         step_tile(&mut job.bank, tile, base + t * K, inputs);
@@ -434,18 +504,30 @@ fn step_tile<const K: usize>(
     bank: &mut [NuiseSlabWorkspace<K>],
     cells: &mut [RobotCell],
     base: usize,
-    inputs: &[RobotInput<'_>],
+    inputs: Inputs<'_, '_>,
 ) {
+    // A lane is `present` when its robot delivered a complete input set
+    // this tick (always true on the dense path); a missing lane is
+    // masked out of every batched kernel *and* skips the scalar
+    // fallback — there is nothing to run, the robot's iteration simply
+    // does not happen.
+    let mut present = [false; K];
     let mut lane_ok = [false; K];
-    for flag in lane_ok.iter_mut().take(cells.len()) {
-        *flag = true;
+    for (l, (p, flag)) in present
+        .iter_mut()
+        .zip(lane_ok.iter_mut())
+        .enumerate()
+        .take(cells.len())
+    {
+        *p = inputs.get(base + l).is_some();
+        *flag = *p;
     }
     for (m, ws) in bank.iter_mut().enumerate() {
         for (l, cell) in cells.iter().enumerate() {
             if !lane_ok[l] {
                 continue;
             }
-            let input = &inputs[base + l];
+            let input = inputs.get(base + l).expect("ok lane is present");
             let eng = cell.detector.engine();
             let (x_m, p_m) = eng.mode_state(m);
             if ws
@@ -472,16 +554,20 @@ fn step_tile<const K: usize>(
         }
     }
     for (l, cell) in cells.iter_mut().enumerate() {
-        roboads_obs::set_robot((base + l) as u32 + 1);
-        let input = &inputs[base + l];
+        // RAII reset (not a manual set/clear pair): the scalar fallback
+        // below runs inside a pool job that catches panics, and a leaked
+        // robot id would mislabel every later span on the worker.
+        let _robot = roboads_obs::robot_scope((base + l) as u32 + 1);
         cell.result = if lane_ok[l] {
             cell.detector
                 .commit_slab_step(bank.iter().map(|ws| ws.count(l)), &mut cell.report)
-        } else {
+        } else if present[l] {
+            let input = inputs.get(base + l).expect("failed lane is present");
             cell.detector
                 .step_into(input.u_prev, input.readings, &mut cell.report)
+        } else {
+            Err(CoreError::MissedDeadline { robot: base + l })
         };
-        roboads_obs::set_robot(0);
     }
 }
 
@@ -581,6 +667,81 @@ mod tests {
         assert_eq!(fleet.detector(0).iteration(), 1);
         assert_eq!(fleet.detector(1).iteration(), 0);
         assert_eq!(fleet.detector(2).iteration(), 1);
+    }
+
+    #[test]
+    fn masked_batch_skips_missing_robot_and_advances_the_rest() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut fleet = FleetEngine::new((0..3).map(|_| detector()).collect(), 1);
+        let mut twin = FleetEngine::new((0..3).map(|_| detector()).collect(), 1);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        for k in 0..6 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let readings = clean_readings(&system, &x_true);
+            let input = RobotInput {
+                u_prev: &u,
+                readings: &readings,
+            };
+            twin.step_batch(&[input; 3]).unwrap();
+            // Robot 1 misses ticks 2 and 3 in the masked fleet.
+            let hole = k == 2 || k == 3;
+            let masked = [Some(input), (!hole).then_some(input), Some(input)];
+            let batch = fleet.step_batch_masked(&masked);
+            if hole {
+                assert!(matches!(batch, Err(CoreError::MissedDeadline { robot: 1 })));
+                assert!(matches!(
+                    fleet.result(1),
+                    Err(CoreError::MissedDeadline { robot: 1 })
+                ));
+            } else {
+                batch.unwrap();
+            }
+            // Neighbours are bitwise identical to the dense twin run.
+            assert_eq!(fleet.report(0), twin.report(0), "robot 0 diverged at {k}");
+            assert_eq!(fleet.report(2), twin.report(2), "robot 2 diverged at {k}");
+        }
+        // The skipped robot lost exactly its two missed iterations.
+        assert_eq!(fleet.detector(0).iteration(), 6);
+        assert_eq!(fleet.detector(1).iteration(), 4);
+        assert_eq!(fleet.detector(2).iteration(), 6);
+    }
+
+    #[test]
+    fn neighbour_failure_leaves_a_succeeding_robots_report_fully_valid() {
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut fleet = FleetEngine::new((0..2).map(|_| detector()).collect(), 1);
+        let mut twin = detector();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        let bad: Vec<Vector> = Vec::new(); // malformed: robot 1 fails mid-batch
+        for k in 0..5 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            if k >= 2 {
+                readings[0][0] += 0.07; // give robot 0 a real verdict to carry
+            }
+            let expected = twin.step(&u, &readings).unwrap();
+            let inputs = [
+                RobotInput {
+                    u_prev: &u,
+                    readings: &readings,
+                },
+                RobotInput {
+                    u_prev: &u,
+                    readings: &bad,
+                },
+            ];
+            assert!(fleet.step_batch(&inputs).is_err());
+            assert!(fleet.result(0).is_ok());
+            assert!(fleet.result(1).is_err());
+            // Robot 0's report is complete and committed — bitwise equal
+            // to a standalone run — despite its neighbour failing every
+            // tick of the batch sequence.
+            assert_eq!(fleet.report(0), &expected, "report tainted at step {k}");
+        }
     }
 
     #[test]

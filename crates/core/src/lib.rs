@@ -71,6 +71,7 @@ mod decision;
 mod detector;
 mod engine;
 mod fleet;
+mod ingest;
 mod mode;
 mod nuise;
 mod nuise_slab;
@@ -82,6 +83,7 @@ pub use decision::DecisionMaker;
 pub use detector::RoboAds;
 pub use engine::{EngineOutput, MultiModeEngine};
 pub use fleet::{FleetEngine, RobotInput};
+pub use ingest::{DeadlinePolicy, FleetIngest, SlotState, SwapSummary};
 pub use mode::{Mode, ModeSet};
 pub use nuise::{nuise_step, nuise_step_into, NuiseInput, NuiseOutput, NuiseWorkspace};
 pub use report::{AnomalyEstimate, DetectionReport, SensorAnomaly};
@@ -118,6 +120,18 @@ pub enum CoreError {
         /// What was wrong.
         reason: String,
     },
+    /// A fleet robot had no complete input set at the tick boundary:
+    /// its frames were late or dropped and the ingest policy was
+    /// [`DeadlinePolicy::MarkMissing`] (or nothing was ever delivered).
+    /// The robot's detector state is untouched — exactly as if the
+    /// iteration had been skipped — and the paper's precursor
+    /// (arXiv:1708.01834) treats the missing reading itself as the
+    /// detectable misbehavior, so this error is a per-robot verdict,
+    /// not a batch failure.
+    MissedDeadline {
+        /// Index of the robot whose inputs never completed.
+        robot: usize,
+    },
     /// An underlying numeric operation failed.
     Numeric(String),
 }
@@ -132,6 +146,12 @@ impl fmt::Display for CoreError {
                 write!(f, "mode {mode} is degenerate: {reason}")
             }
             CoreError::BadReadings { reason } => write!(f, "bad readings: {reason}"),
+            CoreError::MissedDeadline { robot } => {
+                write!(
+                    f,
+                    "robot {robot} missed the tick deadline: incomplete input set"
+                )
+            }
             CoreError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
         }
     }

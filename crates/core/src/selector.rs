@@ -40,6 +40,13 @@ pub struct ModeSelector {
     floor: f64,
     mixing: f64,
     selected: usize,
+    /// Whether the last [`ModeSelector::update`] saw *every* likelihood
+    /// sanitize to zero (non-finite, negative or exactly 0). The floor
+    /// then renormalizes the bank to near-uniform — indistinguishable,
+    /// from the probabilities alone, from healthy uncertainty — so the
+    /// condition must stay queryable: a fleet-wide filter blow-up is an
+    /// alarm, not a shrug.
+    all_floored: bool,
 }
 
 /// Per-iteration mixing rate toward the uniform distribution (the
@@ -78,6 +85,7 @@ impl ModeSelector {
             floor,
             mixing: MODE_MIXING,
             selected: 0,
+            all_floored: false,
         })
     }
 
@@ -111,6 +119,7 @@ impl ModeSelector {
                 ),
             });
         }
+        self.all_floored = !likelihoods.iter().any(|&n| n.is_finite() && n > 0.0);
         for (mu, &n) in self.probabilities.iter_mut().zip(likelihoods) {
             let n = if n.is_finite() && n > 0.0 { n } else { 0.0 };
             *mu = (*mu * n).max(self.floor);
@@ -154,6 +163,16 @@ impl ModeSelector {
     /// The currently selected mode.
     pub fn selected(&self) -> usize {
         self.selected
+    }
+
+    /// Whether the last [`ModeSelector::update`] floored *every* mode:
+    /// all likelihoods were zero, negative or non-finite, so no
+    /// hypothesis explains the data and the near-uniform probabilities
+    /// carry no information. Callers should surface this (the engine
+    /// emits `engine.all_modes_floored`) rather than read the uniform
+    /// output as healthy uncertainty.
+    pub fn all_floored(&self) -> bool {
+        self.all_floored
     }
 
     /// The normalized mode probabilities.
@@ -224,6 +243,33 @@ mod tests {
         for &p in sel.probabilities() {
             assert!((p - 0.25).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn all_floored_is_flagged_and_clears_on_recovery() {
+        let mut sel = ModeSelector::uniform(3, 1e-6).unwrap();
+        assert!(!sel.all_floored(), "fresh selector has seen no update");
+        sel.update(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(!sel.all_floored());
+        // Every hypothesis dies at once: zeros, NaN and a negative all
+        // sanitize to zero, so the floor is the only thing holding the
+        // distribution up — that must be flagged, because the resulting
+        // near-uniform probabilities look exactly like healthy
+        // uncertainty.
+        sel.update(&[0.0, f64::NAN, -1.0]).unwrap();
+        assert!(sel.all_floored(), "fleet-wide blow-up must be visible");
+        let sum: f64 = sel.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "output is still a distribution");
+        // One live likelihood clears the flag again.
+        sel.update(&[0.0, 5.0, 0.0]).unwrap();
+        assert!(!sel.all_floored());
+    }
+
+    #[test]
+    fn single_floored_mode_does_not_flag() {
+        let mut sel = ModeSelector::uniform(2, 1e-6).unwrap();
+        sel.update(&[0.0, 4.0]).unwrap();
+        assert!(!sel.all_floored(), "one dead mode is normal operation");
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Span attribution must survive a panicking robot step.
+//!
+//! [`FleetEngine::step_batch`] stamps the per-robot telemetry context
+//! (`roboads_obs::set_robot`) around each robot's `step_into`. Pool
+//! workers catch job panics and keep serving jobs, so the reset **must
+//! be RAII** (`roboads_obs::robot_scope`): a plain `set_robot(0)` after
+//! the step would be skipped on unwind, leaking the panicking robot's
+//! id into every span the surviving worker records afterwards —
+//! silently misattributing the whole rest of the run. This suite pins
+//! the unwind path at the pool + obs seam the fleet relies on.
+
+use roboads_obs::{current_robot, robot_scope, RingBufferSink, Telemetry};
+use roboads_pool::Pool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// A job that panics inside a robot scope must not leak the robot id
+/// into spans recorded by later jobs on the same (surviving) worker.
+#[test]
+fn panicking_job_does_not_leak_its_robot_id_into_later_spans() {
+    let ring = Arc::new(RingBufferSink::new(64));
+    let telemetry = Telemetry::new(ring.clone());
+    // One worker: the panicking job and the follow-up job are
+    // guaranteed to share a thread, so a leaked thread-local would be
+    // visible to the second job.
+    let pool = Pool::new(1);
+
+    let batch = catch_unwind(AssertUnwindSafe(|| {
+        pool.scoped(|scope| {
+            scope.execute(|| {
+                let _robot = robot_scope(7);
+                panic!("robot 7 step blew up mid-span");
+            });
+        });
+    }));
+    assert!(batch.is_err(), "the job panic must surface to the caller");
+
+    // The worker survived the panic; whatever it records next must be
+    // attributed to "no robot context", not robot 7.
+    pool.scoped(|scope| {
+        let telemetry = &telemetry;
+        scope.execute(move || {
+            let _span = telemetry.span("fleet.idle_probe");
+        });
+    });
+    let spans = ring.spans();
+    let probe = spans
+        .iter()
+        .find(|s| s.name == "fleet.idle_probe")
+        .expect("follow-up span recorded");
+    assert_eq!(
+        probe.robot, 0,
+        "panicking robot's id leaked into a later span"
+    );
+}
+
+/// The guard restores the *enclosing* scope, not unconditionally zero —
+/// a nested panic inside an outer robot scope must fall back to the
+/// outer robot, and the outer guard must still reset to none.
+#[test]
+fn nested_panic_restores_the_enclosing_robot_scope() {
+    let outer = robot_scope(3);
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let _inner = robot_scope(9);
+        panic!("inner robot step failed");
+    }));
+    assert!(caught.is_err());
+    assert_eq!(current_robot(), 3, "unwind must restore the outer robot");
+    drop(outer);
+    assert_eq!(current_robot(), 0);
+}

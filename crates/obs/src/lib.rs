@@ -46,5 +46,6 @@ pub use sink::{
     WriterSink,
 };
 pub use telemetry::{
-    current_robot, current_worker, set_robot, set_worker, OwnedSpan, Span, Telemetry,
+    current_robot, current_worker, robot_scope, set_robot, set_worker, OwnedSpan, RobotScope, Span,
+    Telemetry,
 };

@@ -50,6 +50,35 @@ pub fn current_robot() -> u32 {
     ROBOT_ID.with(Cell::get)
 }
 
+/// Sets the robot context of the calling thread for the lifetime of the
+/// returned guard, restoring the previous id when the guard drops —
+/// **including during unwinding**.
+///
+/// Prefer this over a manual [`set_robot`]`(id)` / `set_robot(0)` pair
+/// anywhere the bracketed work can panic: a pool worker catches job
+/// panics and lives on, so a skipped manual reset would leak the robot
+/// id into the worker's thread-local and mislabel every span that
+/// worker closes afterwards.
+#[must_use = "the robot context resets when this guard drops"]
+pub fn robot_scope(id: u32) -> RobotScope {
+    let prev = current_robot();
+    set_robot(id);
+    RobotScope { prev }
+}
+
+/// RAII guard returned by [`robot_scope`]: restores the previous robot
+/// context on drop (normal exit and unwinding alike).
+#[derive(Debug)]
+pub struct RobotScope {
+    prev: u32,
+}
+
+impl Drop for RobotScope {
+    fn drop(&mut self) {
+        set_robot(self.prev);
+    }
+}
+
 /// Shared telemetry context threaded through the detection pipeline.
 ///
 /// Cloning shares the sink, the registry and the epoch, so a simulation
@@ -353,6 +382,27 @@ mod tests {
         std::thread::scope(|s| {
             s.spawn(|| assert_eq!(current_robot(), 0));
         });
+    }
+
+    #[test]
+    fn robot_scope_restores_previous_id_on_drop_and_panic() {
+        assert_eq!(current_robot(), 0);
+        set_robot(2);
+        {
+            let _guard = robot_scope(9);
+            assert_eq!(current_robot(), 9);
+        }
+        assert_eq!(current_robot(), 2, "guard restores the previous id");
+        // The reset must also run while unwinding: a panic inside the
+        // scope may be caught (pool workers catch job panics), and a
+        // leaked id would mislabel every later span on the thread.
+        let result = std::panic::catch_unwind(|| {
+            let _guard = robot_scope(5);
+            panic!("job exploded");
+        });
+        assert!(result.is_err());
+        assert_eq!(current_robot(), 2, "guard resets during unwinding");
+        set_robot(0);
     }
 
     #[test]

@@ -529,6 +529,37 @@ mod tests {
         assert_eq!(single.chunk_size_aligned(13, 4, 8), 16);
     }
 
+    /// Degenerate shapes: a tile wider than the whole work list, or a
+    /// work list smaller than the minimum chunk, must still yield one
+    /// well-formed covering chunk — never a zero-size chunk (which
+    /// would spin `chunked_for_each`'s job splitter forever).
+    #[test]
+    fn chunk_size_aligned_degenerate_shapes_yield_one_covering_chunk() {
+        let pool = Pool::new(4);
+        // Alignment wider than the item count: one chunk, whole list.
+        let chunk = pool.chunk_size_aligned(3, 1, 8);
+        assert!(chunk >= 3, "chunk of {chunk} cannot cover 3 items");
+        assert_eq!(chunk % 8, 0);
+        // Fewer items than min_chunk: the min_chunk floor wins, again
+        // one covering chunk.
+        let chunk = pool.chunk_size_aligned(2, 16, 4);
+        assert!(chunk >= 16);
+        assert_eq!(chunk % 4, 0);
+        // Zero items is never a zero chunk.
+        for (items, min_chunk, align) in [(0usize, 0usize, 0usize), (0, 1, 8), (1, 0, 0), (5, 0, 3)]
+        {
+            let chunk = pool.chunk_size_aligned(items, min_chunk, align);
+            assert!(
+                chunk >= 1,
+                "zero-size chunk for {items}/{min_chunk}/{align}"
+            );
+            assert!(chunk >= items || chunk.is_multiple_of(align.max(1)));
+        }
+        // And the unaligned helper obeys the same floor.
+        assert_eq!(pool.chunk_size(0, 0), 1);
+        assert_eq!(pool.chunk_size(3, 0), 1);
+    }
+
     #[test]
     fn chunked_for_each_matches_sequential_loop() {
         let pool = Pool::new(3);

@@ -39,6 +39,17 @@ pub struct Frame {
     pub source: String,
     /// Nano-unit payload words.
     pub payload: Vec<i64>,
+    /// Control tick the frame belongs to, stamped by [`Bus::publish`]
+    /// from the bus clock ([`Bus::begin_tick`]). Consumers use it to
+    /// tell a fresh reading from a cached one — a frame can only claim
+    /// an older tick, never a fresher one, so a delayed or replayed
+    /// frame is detectable by its stamp.
+    pub tick: u64,
+    /// Bus-wide publish sequence number, stamped by [`Bus::publish`].
+    /// Strictly increasing across the bus lifetime (it survives
+    /// [`Bus::clear`]), so reordered frames within a tick are sortable
+    /// and a forensic log line is globally identifiable.
+    pub seq: u64,
 }
 
 impl Frame {
@@ -65,6 +76,8 @@ impl Frame {
             id,
             source: source.into(),
             payload,
+            tick: 0,
+            seq: 0,
         }
     }
 
@@ -96,22 +109,75 @@ impl Frame {
 #[derive(Debug, Clone, Default)]
 pub struct Bus {
     frames: Vec<Frame>,
+    /// Current control tick of the bus clock (see [`Bus::begin_tick`]).
+    tick: u64,
+    /// Next publish sequence number; never reset, so frame identities
+    /// stay unique across [`Bus::clear`] calls.
+    next_seq: u64,
 }
 
 impl Bus {
-    /// Creates an empty bus.
+    /// Creates an empty bus at tick 0.
     pub fn new() -> Self {
         Bus::default()
     }
 
-    /// Publishes a frame (workflows and attackers alike).
+    /// Advances the bus clock to `tick`. Frames published afterwards
+    /// are stamped with it; frames already on the bus keep their older
+    /// stamps, which is exactly what makes a dropped reading visible —
+    /// the consumer's "latest" frame stops matching the current tick
+    /// (see [`Bus::staleness`]).
+    pub fn begin_tick(&mut self, tick: u64) {
+        self.tick = tick;
+    }
+
+    /// The current bus-clock tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Publishes a frame (workflows and attackers alike), stamping it
+    /// with the current tick and the next bus-wide sequence number.
     pub fn publish(&mut self, frame: Frame) {
+        self.publish_stamped(frame, self.tick);
+    }
+
+    /// Publishes a frame carrying an *explicit* tick stamp — the fault
+    /// injector's surface for delayed frames: a frame generated at tick
+    /// `t` but delivered at tick `t+1` arrives stamped `t`, so a
+    /// stamp-checking consumer rejects it as late instead of silently
+    /// consuming last tick's data.
+    pub fn publish_stamped(&mut self, mut frame: Frame, tick: u64) {
+        frame.tick = tick;
+        frame.seq = self.next_seq;
+        self.next_seq += 1;
         self.frames.push(frame);
     }
 
-    /// The freshest frame carrying the given arbitration id.
+    /// The newest frame carrying the given arbitration id, **regardless
+    /// of age** — consumer-cache semantics. On a bus that retains
+    /// frames across ticks this can silently return last tick's value
+    /// for a dropped reading; staleness-aware consumers must check
+    /// [`Bus::staleness`] or use [`Bus::latest_fresh`].
     pub fn latest(&self, id: u16) -> Option<&Frame> {
         self.frames.iter().rev().find(|f| f.id == id)
+    }
+
+    /// The newest frame with the given arbitration id stamped with the
+    /// *current* tick — `None` when the reading was dropped or delayed
+    /// this tick, even if an older frame is still cached.
+    pub fn latest_fresh(&self, id: u16) -> Option<&Frame> {
+        self.frames
+            .iter()
+            .rev()
+            .find(|f| f.id == id && f.tick == self.tick)
+    }
+
+    /// Age of the newest frame with the given arbitration id, in ticks
+    /// (`Some(0)` = fresh this tick); `None` when no frame with that id
+    /// was ever seen.
+    pub fn staleness(&self, id: u16) -> Option<u64> {
+        self.latest(id).map(|f| self.tick.saturating_sub(f.tick))
     }
 
     /// All frames transmitted this iteration, in publish order (the
@@ -130,7 +196,9 @@ impl Bus {
         self.frames.is_empty()
     }
 
-    /// Clears the bus for the next control iteration.
+    /// Clears the frame log for the next control iteration. The bus
+    /// clock and the sequence counter survive — identity and freshness
+    /// bookkeeping outlive any single iteration's frames.
     pub fn clear(&mut self) {
         self.frames.clear();
     }
@@ -164,8 +232,76 @@ mod tests {
         // same id displaces the authentic reading.
         let forged = Frame::encode(SENSOR_ID_BASE, "attacker", &Vector::from_slice(&[9.0]));
         bus.publish(forged.clone());
-        assert_eq!(bus.latest(SENSOR_ID_BASE), Some(&forged));
+        let latest = bus.latest(SENSOR_ID_BASE).unwrap();
+        assert_eq!(latest.source, "attacker");
+        assert_eq!(latest.payload, forged.payload);
         assert_eq!(bus.len(), 2); // the log keeps both for forensics
+    }
+
+    #[test]
+    fn publish_stamps_tick_and_a_monotonic_sequence() {
+        let mut bus = Bus::new();
+        bus.begin_tick(4);
+        bus.publish(Frame::encode(
+            SENSOR_ID_BASE,
+            "ips",
+            &Vector::from_slice(&[1.0]),
+        ));
+        bus.publish(Frame::encode(
+            COMMAND_ID,
+            "planner",
+            &Vector::from_slice(&[0.1]),
+        ));
+        let log = bus.log();
+        assert_eq!(log[0].tick, 4);
+        assert_eq!(log[1].tick, 4);
+        assert_eq!(log[0].seq + 1, log[1].seq);
+        // The sequence counter survives a per-iteration clear: frame
+        // identities never repeat across ticks.
+        bus.clear();
+        bus.begin_tick(5);
+        bus.publish(Frame::encode(
+            SENSOR_ID_BASE,
+            "ips",
+            &Vector::from_slice(&[2.0]),
+        ));
+        assert_eq!(bus.log()[0].seq, 2);
+        assert_eq!(bus.log()[0].tick, 5);
+    }
+
+    /// Regression for the consumer-cache staleness bug: [`Bus::latest`]
+    /// happily returns last tick's frame after a drop, but the stamps
+    /// now make the staleness queryable instead of silent.
+    #[test]
+    fn dropped_frame_is_reported_stale_not_silently_reused() {
+        let mut bus = Bus::new();
+        bus.begin_tick(0);
+        bus.publish(Frame::encode(
+            SENSOR_ID_BASE,
+            "ips",
+            &Vector::from_slice(&[1.0]),
+        ));
+        assert_eq!(bus.staleness(SENSOR_ID_BASE), Some(0));
+        assert!(bus.latest_fresh(SENSOR_ID_BASE).is_some());
+
+        // Next tick: the IPS frame is dropped (nothing published).
+        bus.begin_tick(1);
+        // The cache still serves the old frame — the original bug...
+        assert!(bus.latest(SENSOR_ID_BASE).is_some());
+        // ...but the staleness is now queryable, and the fresh view is
+        // empty.
+        assert_eq!(bus.staleness(SENSOR_ID_BASE), Some(1));
+        assert!(bus.latest_fresh(SENSOR_ID_BASE).is_none());
+        assert_eq!(bus.staleness(0x300), None, "never-seen id has no age");
+
+        // A delayed frame delivered now but stamped for tick 0 is still
+        // not fresh.
+        bus.publish_stamped(
+            Frame::encode(SENSOR_ID_BASE, "ips", &Vector::from_slice(&[2.0])),
+            0,
+        );
+        assert!(bus.latest_fresh(SENSOR_ID_BASE).is_none());
+        assert_eq!(bus.staleness(SENSOR_ID_BASE), Some(1));
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! standalone run (see `DESIGN.md` §12).
 
 use roboads_control::{BicycleTracker, DifferentialDriveTracker, Mission, TrackingController};
-use roboads_core::{FleetEngine, ModeSet, RoboAds, RoboAdsConfig, RobotInput};
+use roboads_core::{
+    CoreError, DeadlinePolicy, FleetEngine, FleetIngest, ModeSet, RoboAds, RoboAdsConfig,
+    RobotInput,
+};
 use roboads_linalg::Vector;
 use roboads_models::sensors::WheelEncoderOdometry;
 use roboads_models::{presets, Pose2};
@@ -29,6 +32,22 @@ use crate::scenario::Scenario;
 use crate::trace::{Trace, TraceRecord};
 use crate::workflow::{ActuationWorkflow, SensingWorkflow};
 use crate::{Result, SimError};
+
+/// A monitor-side transport fault: what happens to one robot's frames
+/// on their way from its bus to the fleet monitor's ingest front-end.
+/// The robot's *local* closed loop (controller, physics, noise stream)
+/// is untouched — only the monitor's copy of the data misbehaves, so a
+/// faulted robot's world evolves exactly as in a fault-free run and
+/// every other robot's detection is provably unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Frames are lost on the wire: nothing reaches the ingest window.
+    Drop,
+    /// Frames arrive one tick late: delivered with last tick's stamp,
+    /// so the stamp-checking ingest rejects them
+    /// (`ingest.frames_rejected`) and the window stays incomplete.
+    Delay,
+}
 
 /// The result of a fleet run.
 #[derive(Debug, Clone)]
@@ -78,6 +97,8 @@ pub struct FleetSimulationBuilder {
     duration: Option<usize>,
     config: RoboAdsConfig,
     telemetry: Option<Telemetry>,
+    ingest: Option<DeadlinePolicy>,
+    faults: Vec<(usize, std::ops::Range<usize>, FrameFault)>,
 }
 
 /// One robot's closed-loop world: everything a standalone run owns
@@ -151,6 +172,8 @@ impl FleetSimulationBuilder {
             duration: None,
             config: RoboAdsConfig::paper_defaults(),
             telemetry: None,
+            ingest: None,
+            faults: Vec::new(),
         }
     }
 
@@ -212,6 +235,35 @@ impl FleetSimulationBuilder {
     /// `roboads_obs::current_robot`).
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Switches the monitor to **async ingestion**: instead of handing
+    /// the fleet engine an aligned dense batch, each robot's decoded
+    /// bus frames are offered to a [`FleetIngest`] front-end
+    /// (tick-stamped, in arrival order) and the tick boundary swaps the
+    /// published batch into [`FleetEngine::step_batch_masked`]. With
+    /// every frame on time this is bitwise identical to the sync path;
+    /// a robot whose frames miss the deadline (see
+    /// [`FleetSimulationBuilder::frame_fault`]) resolves per `policy`
+    /// while the rest of the fleet is untouched.
+    pub fn ingest(mut self, policy: DeadlinePolicy) -> Self {
+        self.ingest = Some(policy);
+        self
+    }
+
+    /// Injects a monitor-side transport fault: robot `robot`'s frames
+    /// suffer `fault` during the iterations in `window`. Only
+    /// meaningful in [`FleetSimulationBuilder::ingest`] mode — the sync
+    /// path has no transport to misbehave. The robot's own closed loop
+    /// is unaffected (see [`FrameFault`]).
+    pub fn frame_fault(
+        mut self,
+        robot: usize,
+        window: std::ops::Range<usize>,
+        fault: FrameFault,
+    ) -> Self {
+        self.faults.push((robot, window, fault));
         self
     }
 
@@ -298,6 +350,13 @@ impl FleetSimulationBuilder {
         if let Some(t) = &self.telemetry {
             fleet.set_telemetry(t.clone());
         }
+        let mut ingest = self.ingest.map(|policy| {
+            let mut ingest = FleetIngest::for_fleet(&fleet).with_policy(policy);
+            if let Some(t) = &self.telemetry {
+                ingest.set_telemetry(t.clone());
+            }
+            ingest
+        });
 
         for k in 0..duration {
             // Advance every world: plan, actuate, move, sense — data
@@ -310,6 +369,7 @@ impl FleetSimulationBuilder {
                 w.d_a_true = d_a_true;
                 w.platform.step(&system, &w.u_executed, &mut w.rng);
                 w.bus.clear();
+                w.bus.begin_tick(k as u64);
                 w.bus
                     .publish(Frame::encode(COMMAND_ID, "planner", &w.u_planned));
                 w.d_s_true.clear();
@@ -327,27 +387,77 @@ impl FleetSimulationBuilder {
                 for i in 0..system.sensor_count() {
                     w.readings.push(
                         w.bus
-                            .latest(SENSOR_ID_BASE + i as u16)
+                            .latest_fresh(SENSOR_ID_BASE + i as u16)
                             .expect("every workflow published")
                             .decode(),
                     );
                 }
                 w.u_planned = w
                     .bus
-                    .latest(COMMAND_ID)
+                    .latest_fresh(COMMAND_ID)
                     .expect("planner published")
                     .decode();
             }
 
-            // One batched detector dispatch for the whole fleet.
-            let inputs: Vec<RobotInput> = worlds
-                .iter()
-                .map(|w| RobotInput {
-                    u_prev: &w.u_planned,
-                    readings: &w.readings,
-                })
-                .collect();
-            fleet.step_batch(&inputs)?;
+            match &mut ingest {
+                // Sync monitor: one aligned dense batch for the fleet.
+                None => {
+                    let inputs: Vec<RobotInput> = worlds
+                        .iter()
+                        .map(|w| RobotInput {
+                            u_prev: &w.u_planned,
+                            readings: &w.readings,
+                        })
+                        .collect();
+                    fleet.step_batch(&inputs)?;
+                }
+                // Async monitor: the same decoded frames are offered to
+                // the ingest front-end as tick-stamped arrivals, and the
+                // tick boundary publishes whatever completed. Transport
+                // faults perturb only the monitor's copy — each world's
+                // closed loop above is already done for this tick.
+                Some(ingest) => {
+                    for (robot, w) in worlds.iter().enumerate() {
+                        let fault = self
+                            .faults
+                            .iter()
+                            .find(|(r, window, _)| *r == robot && window.contains(&k))
+                            .map(|(_, _, fault)| *fault);
+                        let stamp = match fault {
+                            // Lost on the wire: nothing to offer.
+                            Some(FrameFault::Drop) => continue,
+                            // Delivered a tick late: stamped for the
+                            // window that already swapped, so the ingest
+                            // rejects it. Tick 0 has no previous window —
+                            // the frame is still in flight.
+                            Some(FrameFault::Delay) => match (k as u64).checked_sub(1) {
+                                Some(previous) => previous,
+                                None => continue,
+                            },
+                            None => w.bus.tick(),
+                        };
+                        ingest.offer_input_stamped(robot, &w.u_planned, stamp)?;
+                        for (s, reading) in w.readings.iter().enumerate() {
+                            ingest.offer_stamped(robot, s, reading, stamp)?;
+                        }
+                    }
+                    ingest.swap();
+                    let inputs: Vec<Option<RobotInput>> =
+                        (0..worlds.len()).map(|r| ingest.input(r)).collect();
+                    if fleet.step_batch_masked(&inputs).is_err() {
+                        // A missed deadline is the faulted robot's
+                        // per-tick verdict, carried in its `result`;
+                        // anything else is a real failure.
+                        for robot in 0..worlds.len() {
+                            if let Err(e) = fleet.result(robot) {
+                                if !matches!(e, CoreError::MissedDeadline { .. }) {
+                                    return Err(e.clone().into());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
 
             for (robot, w) in worlds.iter_mut().enumerate() {
                 w.controller_pose =
@@ -459,6 +569,127 @@ mod tests {
                 assert_eq!(a.report, b.report, "robot {robot} step {}", a.k);
             }
         }
+    }
+
+    /// The tentpole equality proof: with every frame on time, the async
+    /// ingest monitor is *bitwise* invisible — every robot's full report
+    /// stream equals the sync path's.
+    #[test]
+    fn async_ingest_with_on_time_frames_matches_sync_mode_bitwise() {
+        let build = || {
+            FleetSimulationBuilder::khepera()
+                .scenario(Scenario::ips_spoofing())
+                .robots(3)
+                .phase(7)
+                .seed(11)
+                .duration(60)
+        };
+        let sync = build().run().unwrap();
+        let async_run = build().ingest(DeadlinePolicy::MarkMissing).run().unwrap();
+        for robot in 0..3 {
+            for (a, b) in sync.traces[robot]
+                .records()
+                .iter()
+                .zip(async_run.traces[robot].records())
+            {
+                assert_eq!(a.report, b.report, "robot {robot} step {}", a.k);
+                assert_eq!(a.readings, b.readings);
+            }
+        }
+    }
+
+    /// A robot whose frames are dropped (or delayed past the deadline)
+    /// on the monitor side stalls only its own detector: its reports
+    /// freeze through the window, every other robot's stream stays
+    /// bitwise identical to the fault-free run, and a delayed frame is
+    /// rejected and counted rather than consumed a tick late.
+    #[test]
+    fn monitor_side_faults_isolate_the_faulted_robot() {
+        use roboads_obs::RingBufferSink;
+        use std::sync::Arc;
+        const FAULTED: usize = 1;
+        let build = || {
+            FleetSimulationBuilder::khepera()
+                .scenario(Scenario::ips_spoofing())
+                .robots(3)
+                .phase(7)
+                .seed(11)
+                .duration(40)
+                .ingest(DeadlinePolicy::MarkMissing)
+        };
+        let clean = build().run().unwrap();
+        for (fault, rejected) in [(FrameFault::Drop, 0), (FrameFault::Delay, 4 * 2)] {
+            let ring = Arc::new(RingBufferSink::new(4096));
+            let telemetry = Telemetry::new(ring.clone());
+            let faulted = build()
+                .frame_fault(FAULTED, 20..24, fault)
+                .telemetry(telemetry.clone())
+                .run()
+                .unwrap();
+            for robot in [0, 2] {
+                for (a, b) in clean.traces[robot]
+                    .records()
+                    .iter()
+                    .zip(faulted.traces[robot].records())
+                {
+                    assert_eq!(a.report, b.report, "robot {robot} perturbed at {}", a.k);
+                }
+            }
+            let records = faulted.traces[FAULTED].records();
+            for k in 20..24 {
+                assert_eq!(
+                    records[k].report, records[19].report,
+                    "{fault:?}: faulted robot's report not frozen at {k}"
+                );
+            }
+            // Before the window the faulted robot matches the clean run;
+            // its world (ground truth, readings) is never perturbed.
+            assert_eq!(
+                records[19].report,
+                clean.traces[FAULTED].records()[19].report
+            );
+            for (a, b) in clean.traces[FAULTED].records().iter().zip(records) {
+                assert_eq!(a.readings, b.readings);
+                assert_eq!(a.true_state, b.true_state);
+            }
+            // 4 ticks × (1 command + sensor frames) late offers — only
+            // in Delay mode, where frames arrive stamped a tick old.
+            let m = telemetry.metrics();
+            let expected = if fault == FrameFault::Delay {
+                // command + 3 sensors per tick, 4 ticks
+                4 * 4
+            } else {
+                rejected
+            };
+            assert_eq!(m.counter_value("ingest.frames_rejected"), Some(expected));
+            assert_eq!(
+                m.counter_value("ingest.robots_missing"),
+                Some(4),
+                "{fault:?}: the faulted robot misses exactly its window"
+            );
+        }
+    }
+
+    #[test]
+    fn hold_last_keeps_the_faulted_robot_stepping() {
+        const FAULTED: usize = 2;
+        let outcome = FleetSimulationBuilder::khepera()
+            .scenario(Scenario::clean())
+            .robots(3)
+            .seed(4)
+            .duration(30)
+            .ingest(DeadlinePolicy::HoldLast)
+            .frame_fault(FAULTED, 15..17, FrameFault::Drop)
+            .run()
+            .unwrap();
+        let records = outcome.traces[FAULTED].records();
+        // Held ticks still produce *new* reports (the detector stepped,
+        // on last tick's readings) — unlike MarkMissing's frozen ones.
+        assert_ne!(records[15].report, records[14].report);
+        assert_eq!(
+            records[15].report.iteration,
+            records[14].report.iteration + 1
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod trace;
 mod workflow;
 
 pub use eval::{evaluate, EvalResult, TransitionDelay};
-pub use fleet::{FleetOutcome, FleetSimulationBuilder};
+pub use fleet::{FleetOutcome, FleetSimulationBuilder, FrameFault};
 pub use misbehavior::{Corruption, Misbehavior, Target};
 pub use platform::RobotPlatform;
 pub use runner::{RobotKind, SimOutcome, SimulationBuilder};

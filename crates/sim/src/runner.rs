@@ -269,6 +269,7 @@ impl SimulationBuilder {
             // arbitration id. Data really round-trips through the
             // fixed-point frames.
             bus.clear();
+            bus.begin_tick(k as u64);
             bus.publish(Frame::encode(COMMAND_ID, "planner", &u_planned));
             let mut d_s_true = Vec::with_capacity(sensing.len());
             for wf in &mut sensing {
