@@ -30,8 +30,9 @@ use std::time::Instant;
 
 use roboads_core::obs::{json::JsonObject, RingBufferSink, Telemetry};
 use roboads_core::{
-    nuise_step, nuise_step_into, FleetEngine, FleetIngest, Linearization, Mode, ModeSet,
-    MultiModeEngine, NuiseInput, NuiseWorkspace, RoboAds, RoboAdsConfig, RobotInput,
+    nuise_step, nuise_step_into, DetectionReport, FleetEngine, FleetIngest, Linearization, Mode,
+    ModeSet, MultiModeEngine, NuiseInput, NuiseWorkspace, RecorderConfig, RoboAds, RoboAdsConfig,
+    RobotInput,
 };
 use roboads_linalg::{Matrix, Vector};
 use roboads_models::presets;
@@ -424,6 +425,85 @@ fn bench_ingest_throughput(fast: bool) -> Vec<IngestRow> {
     rows
 }
 
+/// One flight-recorder overhead sample: identical warm detectors
+/// stepped via `step_into`, one bare and one with `record_tick` after
+/// every step (clean inputs, so the recorder stays on its zero-alloc
+/// warm path with the ring wrapping continuously).
+struct RecorderRow {
+    base_seconds: f64,
+    live_seconds: f64,
+    overhead_pct: f64,
+}
+
+/// Acceptance budget for warm-path recording, percent of the step cost.
+const RECORDER_BUDGET_PCT: f64 = 5.0;
+
+/// What the flight recorder costs per tick on top of a detector step.
+/// Both legs run back to back in the same function (like the ingest
+/// section) so host drift cancels out of the overhead ratio; the
+/// recorded leg's ring is small enough that the measured window is all
+/// wraparound — the steady state a long mission lives in.
+fn bench_recorder_overhead(fast: bool) -> RecorderRow {
+    let system = presets::khepera_system();
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let x1 = system.dynamics().step(&x0, &u);
+    let readings = clean_readings(&system, &x1);
+    let (batches, per_batch) = if fast { (5, 32) } else { (30, 256) };
+
+    let mut base = RoboAds::with_defaults(system.clone(), x0.clone()).unwrap();
+    let mut base_report = DetectionReport::blank();
+    let base_seconds = time_median(batches, per_batch, || {
+        base.step_into(&u, &readings, &mut base_report).unwrap();
+    });
+    report("recorder_overhead/base_step", base_seconds);
+
+    let mut live = RoboAds::with_defaults(system, x0)
+        .unwrap()
+        .with_recorder(RecorderConfig {
+            capacity: 64,
+            ..RecorderConfig::default()
+        });
+    let mut live_report = DetectionReport::blank();
+    let mut tick = 0u64;
+    let live_seconds = time_median(batches, per_batch, || {
+        live.step_into(&u, &readings, &mut live_report).unwrap();
+        live.record_tick(tick, &u, &readings, &live_report);
+        tick += 1;
+    });
+    report("recorder_overhead/recorded_step", live_seconds);
+
+    let overhead_pct = (live_seconds / base_seconds - 1.0) * 100.0;
+    println!(
+        "{:<44} {:>9.2} %  (budget {RECORDER_BUDGET_PCT:.1} %)",
+        "recorder overhead (recorded vs base)", overhead_pct
+    );
+    RecorderRow {
+        base_seconds,
+        live_seconds,
+        overhead_pct,
+    }
+}
+
+/// `ROBOADS_FLEET_GATE=1` leg for the recorder: warm-path recording may
+/// cost at most [`RECORDER_BUDGET_PCT`] of the step it rides on.
+fn check_recorder_gate(row: &RecorderRow) {
+    if std::env::var_os("ROBOADS_FLEET_GATE").is_none_or(|v| v == "0") {
+        return;
+    }
+    println!(
+        "recorder gate: {:.2} % overhead (budget {RECORDER_BUDGET_PCT:.1} %)",
+        row.overhead_pct
+    );
+    assert!(
+        row.overhead_pct <= RECORDER_BUDGET_PCT,
+        "flight-recorder overhead regression: recording costs {:.2} % of a detector step \
+         (budget {RECORDER_BUDGET_PCT:.1} %) — the warm record path is doing more than \
+         refilling pre-sized ring slots",
+        row.overhead_pct
+    );
+}
+
 /// Slab-vs-scalar fleet throughput, measured **back to back in the same
 /// run** at 1 thread so host drift cannot masquerade as a kernel win:
 /// for each robot count, a scalar fleet (`slab_lanes = 1`, the
@@ -614,15 +694,24 @@ fn bench_substrates(fast: bool) {
     report("linalg/pseudo_inverse_7x7", t);
 }
 
-fn write_results(
-    nuise: (f64, f64),
-    detector: (f64, f64, f64),
-    scaling: &[ScalingRow],
-    fleet: &[FleetRow],
-    slab: &[SlabRow],
-    ingest: &[IngestRow],
-    fast: bool,
-) {
+/// The per-section result rows `write_results` renders, bundled so the
+/// signature doesn't grow an argument per bench section.
+struct SectionRows<'a> {
+    scaling: &'a [ScalingRow],
+    fleet: &'a [FleetRow],
+    slab: &'a [SlabRow],
+    ingest: &'a [IngestRow],
+    recorder: &'a RecorderRow,
+}
+
+fn write_results(nuise: (f64, f64), detector: (f64, f64, f64), rows: &SectionRows, fast: bool) {
+    let SectionRows {
+        scaling,
+        fleet,
+        slab,
+        ingest,
+        recorder,
+    } = rows;
     let mut o = JsonObject::new();
     o.field_str("bench", "perf");
     o.field_bool("fast_mode", fast);
@@ -678,6 +767,12 @@ fn write_results(
         row.finish()
     }));
     o.field_raw("ingest_throughput", &ingest_rows);
+    let mut rec = JsonObject::new();
+    rec.field_f64("base_us", recorder.base_seconds * 1e6);
+    rec.field_f64("live_us", recorder.live_seconds * 1e6);
+    rec.field_f64("overhead_pct", recorder.overhead_pct);
+    rec.field_f64("budget_pct", RECORDER_BUDGET_PCT);
+    o.field_raw("recorder_overhead", &rec.finish());
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
     match std::fs::write(path, o.finish() + "\n") {
         Ok(()) => println!("\nwrote {path}"),
@@ -703,11 +798,24 @@ fn main() {
     let fleet = bench_fleet_throughput(fast);
     let slab = bench_slab_throughput(fast);
     check_fleet_gate(&fleet, &slab, detector.0);
-    // The ingest overhead leg carries its direct baseline inside itself
-    // (back to back), so its placement after the gate is drift-safe.
+    // The recorder and ingest overhead legs carry their baselines inside
+    // themselves (back to back), so their placement is drift-safe.
+    let recorder = bench_recorder_overhead(fast);
+    check_recorder_gate(&recorder);
     let ingest = bench_ingest_throughput(fast);
     let scaling = bench_scaling(fast);
     bench_substrates(fast);
     bench_simulation(fast);
-    write_results(nuise, detector, &scaling, &fleet, &slab, &ingest, fast);
+    write_results(
+        nuise,
+        detector,
+        &SectionRows {
+            scaling: &scaling,
+            fleet: &fleet,
+            slab: &slab,
+            ingest: &ingest,
+            recorder: &recorder,
+        },
+        fast,
+    );
 }

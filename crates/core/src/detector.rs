@@ -5,6 +5,7 @@ use crate::config::RoboAdsConfig;
 use crate::decision::DecisionMaker;
 use crate::engine::MultiModeEngine;
 use crate::mode::ModeSet;
+use crate::recorder::{FlightRecorder, RecorderConfig};
 use crate::report::DetectionReport;
 use crate::Result;
 
@@ -45,6 +46,9 @@ pub struct RoboAds {
     engine: MultiModeEngine,
     decision: DecisionMaker,
     iteration: u64,
+    /// Optional flight recorder (boxed: it carries a full ring of tick
+    /// records and must not bloat recorder-less detectors).
+    recorder: Option<Box<FlightRecorder>>,
 }
 
 impl RoboAds {
@@ -70,6 +74,7 @@ impl RoboAds {
             engine,
             decision,
             iteration: 0,
+            recorder: None,
         })
     }
 
@@ -94,6 +99,9 @@ impl RoboAds {
     /// The default is a disabled context; call this before the first
     /// [`RoboAds::step`] so every sample lands in the shared registry.
     pub fn set_telemetry(&mut self, telemetry: roboads_obs::Telemetry) {
+        if let Some(recorder) = &mut self.recorder {
+            recorder.set_telemetry(telemetry.clone());
+        }
         self.engine.set_telemetry(telemetry.clone());
         self.decision.set_telemetry(telemetry);
     }
@@ -108,6 +116,54 @@ impl RoboAds {
     /// The telemetry context the pipeline reports into.
     pub fn telemetry(&self) -> &roboads_obs::Telemetry {
         self.engine.telemetry()
+    }
+
+    /// Attaches a [`FlightRecorder`] sized for this detector's system
+    /// and mode set. The recorder shares the detector's telemetry
+    /// context (capsules are enriched with its histograms). Replaces any
+    /// previously attached recorder.
+    pub fn attach_recorder(&mut self, config: RecorderConfig) {
+        let mut recorder =
+            FlightRecorder::for_system(config, self.engine.system(), self.engine.modes().len());
+        recorder.set_telemetry(self.engine.telemetry().clone());
+        self.recorder = Some(Box::new(recorder));
+    }
+
+    /// Builder-style variant of [`RoboAds::attach_recorder`].
+    #[must_use]
+    pub fn with_recorder(mut self, config: RecorderConfig) -> Self {
+        self.attach_recorder(config);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Mutable access to the attached flight recorder, if any.
+    pub fn recorder_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.recorder.as_deref_mut()
+    }
+
+    /// Feeds one completed iteration to the attached recorder (no-op
+    /// without one). `stamp` is the bus/ingest tick the inputs arrived
+    /// under; `report` must be the report the inputs just produced.
+    ///
+    /// This is a separate hook rather than part of [`RoboAds::step_into`]
+    /// because the fleet's slab path commits reports without re-entering
+    /// `step_into` — both paths (and the sim runner) call this after a
+    /// successful step so every recorded robot sees every tick.
+    pub fn record_tick(
+        &mut self,
+        stamp: u64,
+        u_prev: &Vector,
+        readings: &[Vector],
+        report: &DetectionReport,
+    ) {
+        if let Some(recorder) = &mut self.recorder {
+            recorder.record(stamp, u_prev, readings, report);
+        }
     }
 
     /// One control iteration (the monitor's hand-off): the planned

@@ -32,6 +32,7 @@ use roboads_pool::Pool;
 use crate::config::Linearization;
 use crate::detector::RoboAds;
 use crate::nuise_slab::NuiseSlabWorkspace;
+use crate::recorder::RecorderConfig;
 use crate::report::DetectionReport;
 use crate::{CoreError, Result};
 
@@ -174,6 +175,12 @@ pub struct FleetEngine {
     threads: usize,
     /// Lazily-resolved SIMD slab path state (see [`SlabState`]).
     slab: SlabState,
+    /// Tick counter used to stamp recorded batches when the caller does
+    /// not provide one.
+    tick: u64,
+    /// One-shot stamp override for the next batch (set by the ingest
+    /// boundary from its [`crate::SwapSummary`]).
+    pending_stamp: Option<u64>,
 }
 
 impl FleetEngine {
@@ -199,6 +206,8 @@ impl FleetEngine {
             pool,
             threads,
             slab: SlabState::Unknown,
+            tick: 0,
+            pending_stamp: None,
         };
         for d in detectors {
             fleet.push_cell(d);
@@ -321,6 +330,59 @@ impl FleetEngine {
         }
     }
 
+    /// Attaches a [`crate::FlightRecorder`] to every robot, each stamped
+    /// with its fleet index (see [`RoboAds::attach_recorder`]). Batches
+    /// stepped afterwards are recorded on both the scalar and slab
+    /// paths.
+    pub fn attach_recorder(&mut self, config: RecorderConfig) {
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            cell.detector.attach_recorder(config);
+            if let Some(recorder) = cell.detector.recorder_mut() {
+                recorder.set_robot(i as u32);
+            }
+        }
+    }
+
+    /// Robot `i`'s flight recorder, if attached.
+    pub fn recorder(&self, i: usize) -> Option<&crate::FlightRecorder> {
+        self.cells[i].detector.recorder()
+    }
+
+    /// Mutable access to robot `i`'s flight recorder, if attached.
+    pub fn recorder_mut(&mut self, i: usize) -> Option<&mut crate::FlightRecorder> {
+        self.cells[i].detector.recorder_mut()
+    }
+
+    /// Sets the tick stamp recorded for the *next* batch (one-shot).
+    /// The ingest boundary calls this with the swap's published tick so
+    /// records carry the stamped-bus timeline; without it, batches are
+    /// stamped from an internal 0-based tick counter.
+    pub fn set_tick_stamp(&mut self, stamp: u64) {
+        self.pending_stamp = Some(stamp);
+    }
+
+    /// Seals any in-flight capsules (end of run); see
+    /// [`crate::FlightRecorder::finish`].
+    pub fn finish_recorders(&mut self) {
+        for cell in &mut self.cells {
+            if let Some(recorder) = cell.detector.recorder_mut() {
+                recorder.finish();
+            }
+        }
+    }
+
+    /// Drains every robot's sealed capsules into one list (robots in
+    /// slab order; each capsule carries its robot index).
+    pub fn take_capsules(&mut self) -> Vec<crate::IncidentCapsule> {
+        let mut out = Vec::new();
+        for cell in &mut self.cells {
+            if let Some(recorder) = cell.detector.recorder_mut() {
+                out.append(&mut recorder.take_capsules());
+            }
+        }
+        out
+    }
+
     /// Steps every robot once with its own inputs.
     ///
     /// All robots run every tick — a failing robot never stalls its
@@ -375,11 +437,16 @@ impl FleetEngine {
             });
         }
         self.resolve_slab();
+        // One stamp per batch: the ingest's published tick when set,
+        // else the engine's own counter. Taken by value so a robot that
+        // misses this tick can never be recorded under a stale stamp.
+        let stamp = self.pending_stamp.take().unwrap_or(self.tick);
+        self.tick = stamp + 1;
         let cells = &mut self.cells;
         let pool = &self.pool;
         match &mut self.slab {
-            SlabState::K4(jobs) => step_batch_slab::<4>(cells, pool.as_ref(), jobs, inputs),
-            SlabState::K8(jobs) => step_batch_slab::<8>(cells, pool.as_ref(), jobs, inputs),
+            SlabState::K4(jobs) => step_batch_slab::<4>(cells, pool.as_ref(), jobs, inputs, stamp),
+            SlabState::K8(jobs) => step_batch_slab::<8>(cells, pool.as_ref(), jobs, inputs, stamp),
             SlabState::Ineligible | SlabState::Unknown => {
                 let step_robot = |i: usize, cell: &mut RobotCell| {
                     // RAII reset: `step_into` runs inside a pool job
@@ -397,6 +464,15 @@ impl FleetEngine {
                         // leaving detector state and report untouched.
                         None => Err(CoreError::MissedDeadline { robot: i }),
                     };
+                    if cell.result.is_ok() {
+                        let input = inputs.get(i).expect("ok result implies input");
+                        cell.detector.record_tick(
+                            stamp,
+                            input.u_prev,
+                            input.readings,
+                            &cell.report,
+                        );
+                    }
                 };
                 match pool {
                     None => {
@@ -459,9 +535,10 @@ fn step_batch_slab<const K: usize>(
     pool: Option<&Arc<Pool>>,
     jobs: &mut [SlabJob<K>],
     inputs: Inputs<'_, '_>,
+    stamp: u64,
 ) {
     match pool {
-        None => step_range_slab(&mut jobs[0], cells, 0, inputs),
+        None => step_range_slab(&mut jobs[0], cells, 0, inputs, stamp),
         Some(pool) => {
             let chunk = pool.chunk_size_aligned(cells.len(), MIN_ROBOTS_PER_JOB, K);
             pool.scoped(|scope| {
@@ -469,7 +546,7 @@ fn step_batch_slab<const K: usize>(
                     cells.chunks_mut(chunk).zip(jobs.iter_mut()).enumerate()
                 {
                     let base = chunk_idx * chunk;
-                    scope.execute(move || step_range_slab(job, cell_chunk, base, inputs));
+                    scope.execute(move || step_range_slab(job, cell_chunk, base, inputs, stamp));
                 }
             });
         }
@@ -485,9 +562,10 @@ fn step_range_slab<const K: usize>(
     cells: &mut [RobotCell],
     base: usize,
     inputs: Inputs<'_, '_>,
+    stamp: u64,
 ) {
     for (t, tile) in cells.chunks_mut(K).enumerate() {
-        step_tile(&mut job.bank, tile, base + t * K, inputs);
+        step_tile(&mut job.bank, tile, base + t * K, inputs, stamp);
     }
 }
 
@@ -505,6 +583,7 @@ fn step_tile<const K: usize>(
     cells: &mut [RobotCell],
     base: usize,
     inputs: Inputs<'_, '_>,
+    stamp: u64,
 ) {
     // A lane is `present` when its robot delivered a complete input set
     // this tick (always true on the dense path); a missing lane is
@@ -568,6 +647,14 @@ fn step_tile<const K: usize>(
         } else {
             Err(CoreError::MissedDeadline { robot: base + l })
         };
+        // Record on either completed path (slab commit or scalar
+        // fallback) — the slab path bypasses `step_into`, so recording
+        // must hang off the fleet, not the detector's step.
+        if cell.result.is_ok() {
+            let input = inputs.get(base + l).expect("ok result implies input");
+            cell.detector
+                .record_tick(stamp, input.u_prev, input.readings, &cell.report);
+        }
     }
 }
 

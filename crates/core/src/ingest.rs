@@ -496,7 +496,10 @@ impl FleetIngest {
                 ),
             });
         }
-        self.swap();
+        let summary = self.swap();
+        // Recorded batches carry the published tick, not the fleet's
+        // internal counter, so capsules line up with the stamped bus.
+        fleet.set_tick_stamp(summary.tick);
         let inputs: Vec<Option<RobotInput<'_>>> =
             (0..self.slots.len()).map(|r| self.input(r)).collect();
         fleet.step_batch_masked(&inputs)

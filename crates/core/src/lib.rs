@@ -65,12 +65,14 @@
 pub mod baseline;
 pub mod ekf;
 pub mod forensics;
+pub mod recorder;
 
 mod config;
 mod decision;
 mod detector;
 mod engine;
 mod fleet;
+mod health;
 mod ingest;
 mod mode;
 mod nuise;
@@ -83,9 +85,14 @@ pub use decision::DecisionMaker;
 pub use detector::RoboAds;
 pub use engine::{EngineOutput, MultiModeEngine};
 pub use fleet::{FleetEngine, RobotInput};
+pub use health::{FleetHealth, RobotHealth};
 pub use ingest::{DeadlinePolicy, FleetIngest, SlotState, SwapSummary};
 pub use mode::{Mode, ModeSet};
 pub use nuise::{nuise_step, nuise_step_into, NuiseInput, NuiseOutput, NuiseWorkspace};
+pub use recorder::{
+    replay_capsule, CapsuleIncident, DecisionDigest, FlightRecorder, IncidentCapsule, IncidentKind,
+    RecorderConfig, ReplayOutcome, TickRecord, CAPSULE_VERSION,
+};
 pub use report::{AnomalyEstimate, DetectionReport, SensorAnomaly};
 pub use selector::{ModeSelector, MODE_MIXING, SELECTION_HYSTERESIS};
 
@@ -132,6 +139,12 @@ pub enum CoreError {
         /// Index of the robot whose inputs never completed.
         robot: usize,
     },
+    /// An incident capsule could not be parsed or replayed (schema
+    /// mismatch, corruption, or a replay-contract violation).
+    Capsule {
+        /// What was wrong.
+        reason: String,
+    },
     /// An underlying numeric operation failed.
     Numeric(String),
 }
@@ -152,6 +165,7 @@ impl fmt::Display for CoreError {
                     "robot {robot} missed the tick deadline: incomplete input set"
                 )
             }
+            CoreError::Capsule { reason } => write!(f, "incident capsule error: {reason}"),
             CoreError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
         }
     }

@@ -1,0 +1,898 @@
+//! The per-robot flight recorder: an allocation-free ring of stamped
+//! tick records, edge-triggered incident capsules, and bitwise replay.
+//!
+//! ## Why a recorder inside the detector
+//!
+//! The paper motivates anomaly quantification "for forensics purposes"
+//! (§III-C) and names post-detection forensics as future work; a
+//! forensic verdict is only as trustworthy as the evidence trail behind
+//! it. The [`FlightRecorder`] keeps that trail: every control iteration
+//! it captures the detector's exact inputs (`u_{k−1}`, the per-sensor
+//! readings, and the tick stamp from the bus/ingest path) together with
+//! a compact [`DecisionDigest`] of the resulting [`DetectionReport`].
+//! When an alarm confirms (rising edge), the pre-alarm window is frozen,
+//! a configurable post-alarm window is appended, and the whole thing is
+//! sealed into a versioned [`IncidentCapsule`] enriched with the robot's
+//! [`ForensicLog`] incident summary and telemetry histograms.
+//!
+//! ## The replay contract
+//!
+//! [`replay_capsule`] feeds a capsule's recorded inputs through a fresh
+//! [`RoboAds`] and compares every produced report against the recorded
+//! digests **bitwise** (`f64::to_bits`). Because the detector is
+//! deterministic, any divergence means either capsule corruption or a
+//! detector behavior change — observability doubling as a correctness
+//! oracle. The current contract requires the capsule to be *anchored at
+//! detector birth* (its first record is iteration 1, so the ring
+//! capacity must cover the full run up to the trigger); this is the
+//! degenerate state snapshot, and the capsule format is versioned so a
+//! mid-run estimator snapshot can be added without breaking readers.
+//!
+//! ## Zero-alloc warm path
+//!
+//! [`FlightRecorder::record`] on a clean tick performs no heap
+//! allocation: the ring is a [`SlotRing`] whose [`TickRecord`] slots are
+//! pre-sized at attach time from the robot's dimensions and refilled in
+//! place (`clear()` + `extend_from_slice`, never rebuilding the outer
+//! `Vec`s). Allocation happens only when an incident opens — the same
+//! boundary the [`ForensicLog`] draws.
+
+use roboads_linalg::Vector;
+use roboads_models::RobotSystem;
+use roboads_obs::json::{self, JsonObject, JsonValue};
+use roboads_obs::{HistogramSummary, SlotRing, Telemetry};
+
+use crate::detector::RoboAds;
+use crate::forensics::ForensicLog;
+use crate::report::DetectionReport;
+use crate::{CoreError, Result};
+
+/// Version stamped into every capsule header; bump on any change to the
+/// JSONL schema (see README's schema table).
+pub const CAPSULE_VERSION: u32 = 1;
+
+/// Compact, digestible projection of one [`DetectionReport`]: what the
+/// recorder persists per tick, and what [`replay_capsule`] compares.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecisionDigest {
+    /// Control iteration `k` (1-based).
+    pub iteration: u64,
+    /// Selected mode index.
+    pub selected_mode: usize,
+    /// Normalized mode probabilities.
+    pub mode_probabilities: Vec<f64>,
+    /// Updated state estimate `x̂_{k|k}`.
+    pub state_estimate: Vec<f64>,
+    /// Aggregate sensor χ² statistic of the selected mode.
+    pub sensor_statistic: f64,
+    /// The χ² critical value the sensor statistic was tested against.
+    pub sensor_threshold: f64,
+    /// Raw per-iteration sensor test outcome.
+    pub sensor_exceeds: bool,
+    /// Window-confirmed sensor alarm.
+    pub sensor_alarm: bool,
+    /// Identified misbehaving sensors (sorted suite indices).
+    pub misbehaving_sensors: Vec<usize>,
+    /// Sensor anomaly-vector estimate `d̂^s` (stacked testing sensors).
+    pub sensor_estimate: Vec<f64>,
+    /// Actuator χ² statistic of the selected mode.
+    pub actuator_statistic: f64,
+    /// The χ² critical value the actuator statistic was tested against.
+    pub actuator_threshold: f64,
+    /// Raw per-iteration actuator test outcome.
+    pub actuator_exceeds: bool,
+    /// Window-confirmed actuator alarm.
+    pub actuator_alarm: bool,
+    /// Actuator anomaly-vector estimate `d̂^a`.
+    pub actuator_estimate: Vec<f64>,
+}
+
+fn refill(dst: &mut Vec<f64>, src: &[f64]) {
+    dst.clear();
+    dst.extend_from_slice(src);
+}
+
+/// Bit-level equality for digest floats: exact bits, except that any
+/// NaN matches any NaN (NaN payloads are not meaningful here).
+fn feq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+fn slice_feq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| feq(*x, *y))
+}
+
+impl DecisionDigest {
+    /// Builds a digest of `report` (allocating; used by replay/tests).
+    pub fn of(report: &DetectionReport) -> Self {
+        let mut d = DecisionDigest::default();
+        d.fill(report);
+        d
+    }
+
+    /// Overwrites this digest in place from `report`. Allocation-free
+    /// once the vectors have reached their steady-state capacity.
+    pub fn fill(&mut self, report: &DetectionReport) {
+        self.iteration = report.iteration;
+        self.selected_mode = report.selected_mode;
+        refill(&mut self.mode_probabilities, &report.mode_probabilities);
+        refill(&mut self.state_estimate, report.state_estimate.as_slice());
+        self.sensor_statistic = report.sensor_anomaly.statistic;
+        self.sensor_threshold = report.sensor_anomaly.threshold;
+        self.sensor_exceeds = report.sensor_anomaly.exceeds;
+        self.sensor_alarm = report.sensor_alarm;
+        self.misbehaving_sensors.clear();
+        self.misbehaving_sensors
+            .extend_from_slice(&report.misbehaving_sensors);
+        refill(
+            &mut self.sensor_estimate,
+            report.sensor_anomaly.estimate.as_slice(),
+        );
+        self.actuator_statistic = report.actuator_anomaly.statistic;
+        self.actuator_threshold = report.actuator_anomaly.threshold;
+        self.actuator_exceeds = report.actuator_anomaly.exceeds;
+        self.actuator_alarm = report.actuator_alarm;
+        refill(
+            &mut self.actuator_estimate,
+            report.actuator_anomaly.estimate.as_slice(),
+        );
+    }
+
+    /// Whether `other` matches this digest bitwise (floats compared via
+    /// `to_bits`, NaNs matching NaNs).
+    pub fn bitwise_eq(&self, other: &DecisionDigest) -> bool {
+        self.iteration == other.iteration
+            && self.selected_mode == other.selected_mode
+            && slice_feq(&self.mode_probabilities, &other.mode_probabilities)
+            && slice_feq(&self.state_estimate, &other.state_estimate)
+            && feq(self.sensor_statistic, other.sensor_statistic)
+            && feq(self.sensor_threshold, other.sensor_threshold)
+            && self.sensor_exceeds == other.sensor_exceeds
+            && self.sensor_alarm == other.sensor_alarm
+            && self.misbehaving_sensors == other.misbehaving_sensors
+            && slice_feq(&self.sensor_estimate, &other.sensor_estimate)
+            && feq(self.actuator_statistic, other.actuator_statistic)
+            && feq(self.actuator_threshold, other.actuator_threshold)
+            && self.actuator_exceeds == other.actuator_exceeds
+            && self.actuator_alarm == other.actuator_alarm
+            && slice_feq(&self.actuator_estimate, &other.actuator_estimate)
+    }
+}
+
+/// One recorded control iteration: the detector's exact inputs plus the
+/// decision digest they produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TickRecord {
+    /// Detector iteration (1-based, equals the digest's).
+    pub seq: u64,
+    /// Bus/ingest tick stamp the inputs arrived under.
+    pub stamp: u64,
+    /// Planned commands `u_{k−1}`.
+    pub u_prev: Vec<f64>,
+    /// Per-sensor readings `z_k`.
+    pub readings: Vec<Vec<f64>>,
+    /// Digest of the resulting report.
+    pub digest: DecisionDigest,
+}
+
+impl TickRecord {
+    fn fill(
+        &mut self,
+        seq: u64,
+        stamp: u64,
+        u_prev: &Vector,
+        readings: &[Vector],
+        report: &DetectionReport,
+    ) {
+        self.seq = seq;
+        self.stamp = stamp;
+        refill(&mut self.u_prev, u_prev.as_slice());
+        // Refill inner vectors in place: truncating the outer Vec would
+        // drop (deallocate) the inner buffers, so it only ever grows.
+        if self.readings.len() < readings.len() {
+            self.readings.resize_with(readings.len(), Vec::new);
+        }
+        for (dst, src) in self.readings.iter_mut().zip(readings) {
+            refill(dst, src.as_slice());
+        }
+        for dst in self.readings.iter_mut().skip(readings.len()) {
+            dst.clear();
+        }
+        self.digest.fill(report);
+    }
+}
+
+/// Sizing and windows of a [`FlightRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecorderConfig {
+    /// Ring capacity in ticks. For bitwise replay the ring must cover
+    /// every tick since detector birth (see the module docs' replay
+    /// contract); beyond that it bounds the recorder's memory.
+    pub capacity: usize,
+    /// Pre-trigger window frozen into a capsule (clamped to what the
+    /// ring holds).
+    pub pre: usize,
+    /// Post-trigger window appended before the capsule seals.
+    pub post: usize,
+    /// Control period in seconds (drives the forensic timeline).
+    pub dt: f64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            capacity: 1024,
+            pre: 64,
+            post: 16,
+            dt: 0.1,
+        }
+    }
+}
+
+/// What kind of misbehavior triggered a capsule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// Sensor alarm only.
+    Sensor,
+    /// Actuator alarm only.
+    Actuator,
+    /// Both alarms at the trigger tick.
+    Both,
+}
+
+impl IncidentKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            IncidentKind::Sensor => "sensor",
+            IncidentKind::Actuator => "actuator",
+            IncidentKind::Both => "both",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sensor" => Some(IncidentKind::Sensor),
+            "actuator" => Some(IncidentKind::Actuator),
+            "both" => Some(IncidentKind::Both),
+            _ => None,
+        }
+    }
+}
+
+/// The [`ForensicLog`] summary carried inside a capsule (a flattened
+/// [`crate::forensics::Incident`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapsuleIncident {
+    /// Condition label, e.g. `"S1"`, `"A1"`, `"S2+A1"`.
+    pub label: String,
+    /// Start time in seconds.
+    pub start: f64,
+    /// End time in seconds (exclusive).
+    pub end: f64,
+    /// Identified misbehaving sensors.
+    pub sensors: Vec<usize>,
+    /// Whether an actuator misbehavior was confirmed.
+    pub actuator: bool,
+    /// Iterations the incident spanned.
+    pub iterations: u64,
+    /// One-number severity (largest mean anomaly component).
+    pub peak_magnitude: f64,
+}
+
+/// A sealed, self-contained incident record: the frozen pre/post tick
+/// window plus forensic and telemetry enrichment, serializable as JSONL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentCapsule {
+    /// Schema version ([`CAPSULE_VERSION`] at write time).
+    pub version: u32,
+    /// Fleet robot index (`0` for a standalone detector).
+    pub robot: u32,
+    /// Which alarm(s) fired at the trigger tick.
+    pub kind: IncidentKind,
+    /// Detector iteration of the trigger tick.
+    pub trigger_seq: u64,
+    /// Bus/ingest stamp of the trigger tick.
+    pub trigger_stamp: u64,
+    /// The frozen window, oldest first (trigger included).
+    pub records: Vec<TickRecord>,
+    /// Forensic incident summary, when the [`ForensicLog`] had resolved
+    /// one by seal time.
+    pub incident: Option<CapsuleIncident>,
+    /// Telemetry histogram summaries at seal time, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl IncidentCapsule {
+    /// Whether the capsule starts at detector birth (iteration 1) and
+    /// therefore satisfies the bitwise replay contract.
+    pub fn anchored_at_birth(&self) -> bool {
+        self.records
+            .first()
+            .is_some_and(|r| r.digest.iteration == 1)
+    }
+
+    /// Serializes the capsule as JSONL: one header line followed by one
+    /// line per tick record. Every float is written losslessly
+    /// ([`json::write_f64_lossless`]), so a parsed capsule replays
+    /// bitwise.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut header = JsonObject::new();
+        header.field_str("type", "roboads.capsule");
+        header.field_u64("version", u64::from(self.version));
+        header.field_u64("robot", u64::from(self.robot));
+        header.field_str("kind", self.kind.as_str());
+        header.field_u64("trigger_seq", self.trigger_seq);
+        header.field_u64("trigger_stamp", self.trigger_stamp);
+        header.field_u64("records", self.records.len() as u64);
+        match &self.incident {
+            None => header.field_raw("incident", "null"),
+            Some(inc) => {
+                let mut o = JsonObject::new();
+                o.field_str("label", &inc.label);
+                o.field_f64("start", inc.start);
+                o.field_f64("end", inc.end);
+                o.field_raw("sensors", &usize_array(&inc.sensors));
+                o.field_bool("actuator", inc.actuator);
+                o.field_u64("iterations", inc.iterations);
+                lossless_field(&mut o, "peak_magnitude", inc.peak_magnitude);
+                header.field_raw("incident", &o.finish());
+            }
+        }
+        let mut hists = JsonObject::new();
+        for (name, s) in &self.histograms {
+            hists.field_raw(name, &summary_json(s));
+        }
+        header.field_raw("histograms", &hists.finish());
+        out.push_str(&header.finish());
+        out.push('\n');
+        for r in &self.records {
+            out.push_str(&tick_json(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a capsule back from its JSONL form.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Capsule`] on malformed JSON, an unknown schema
+    /// version, or a record-count mismatch.
+    pub fn from_jsonl(text: &str) -> Result<Self> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header_line = lines.next().ok_or_else(|| capsule_err("empty capsule"))?;
+        let header = parse_line(header_line)?;
+        if header.get("type").and_then(JsonValue::as_str) != Some("roboads.capsule") {
+            return Err(capsule_err("missing roboads.capsule header"));
+        }
+        let version = field_u64(&header, "version")? as u32;
+        if version != CAPSULE_VERSION {
+            return Err(CoreError::Capsule {
+                reason: format!(
+                    "unsupported capsule version {version} (reader supports {CAPSULE_VERSION})"
+                ),
+            });
+        }
+        let expected = field_u64(&header, "records")? as usize;
+        let incident = match header.get("incident") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(CapsuleIncident {
+                label: field_str(v, "label")?,
+                start: field_f64(v, "start")?,
+                end: field_f64(v, "end")?,
+                sensors: field_usize_array(v, "sensors")?,
+                actuator: field_bool(v, "actuator")?,
+                iterations: field_u64(v, "iterations")?,
+                peak_magnitude: field_f64(v, "peak_magnitude")?,
+            }),
+        };
+        let mut histograms = Vec::new();
+        if let Some(JsonValue::Object(fields)) = header.get("histograms") {
+            for (name, v) in fields {
+                histograms.push((name.clone(), parse_summary(v)?));
+            }
+        }
+        let mut records = Vec::with_capacity(expected);
+        for line in lines {
+            let v = parse_line(line)?;
+            if v.get("type").and_then(JsonValue::as_str) != Some("tick") {
+                return Err(capsule_err("non-tick line in capsule body"));
+            }
+            records.push(parse_tick(&v)?);
+        }
+        if records.len() != expected {
+            return Err(CoreError::Capsule {
+                reason: format!(
+                    "record count mismatch: header says {expected}, body has {}",
+                    records.len()
+                ),
+            });
+        }
+        Ok(IncidentCapsule {
+            version,
+            robot: field_u64(&header, "robot")? as u32,
+            kind: header
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .and_then(IncidentKind::parse)
+                .ok_or_else(|| capsule_err("bad incident kind"))?,
+            trigger_seq: field_u64(&header, "trigger_seq")?,
+            trigger_stamp: field_u64(&header, "trigger_stamp")?,
+            records,
+            incident,
+            histograms,
+        })
+    }
+}
+
+fn capsule_err(reason: &str) -> CoreError {
+    CoreError::Capsule {
+        reason: reason.to_string(),
+    }
+}
+
+fn parse_line(line: &str) -> Result<JsonValue> {
+    json::parse(line).map_err(|e| CoreError::Capsule {
+        reason: format!("malformed capsule line: {e}"),
+    })
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Result<u64> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| CoreError::Capsule {
+            reason: format!("missing integer field {key:?}"),
+        })
+}
+
+fn field_f64(v: &JsonValue, key: &str) -> Result<f64> {
+    v.get(key)
+        .and_then(JsonValue::as_lossless_f64)
+        .ok_or_else(|| CoreError::Capsule {
+            reason: format!("missing float field {key:?}"),
+        })
+}
+
+fn field_bool(v: &JsonValue, key: &str) -> Result<bool> {
+    v.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| CoreError::Capsule {
+            reason: format!("missing bool field {key:?}"),
+        })
+}
+
+fn field_str(v: &JsonValue, key: &str) -> Result<String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| CoreError::Capsule {
+            reason: format!("missing string field {key:?}"),
+        })
+}
+
+fn field_f64_array(v: &JsonValue, key: &str) -> Result<Vec<f64>> {
+    let items = v
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| CoreError::Capsule {
+            reason: format!("missing array field {key:?}"),
+        })?;
+    items
+        .iter()
+        .map(|x| {
+            x.as_lossless_f64().ok_or_else(|| CoreError::Capsule {
+                reason: format!("non-numeric entry in {key:?}"),
+            })
+        })
+        .collect()
+}
+
+fn field_usize_array(v: &JsonValue, key: &str) -> Result<Vec<usize>> {
+    let items = v
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| CoreError::Capsule {
+            reason: format!("missing array field {key:?}"),
+        })?;
+    items
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| CoreError::Capsule {
+                    reason: format!("non-integer entry in {key:?}"),
+                })
+        })
+        .collect()
+}
+
+fn lossless_field(o: &mut JsonObject, key: &str, v: f64) {
+    let mut buf = String::new();
+    json::write_f64_lossless(&mut buf, v);
+    o.field_raw(key, &buf);
+}
+
+fn lossless_array(values: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_f64_lossless(&mut out, *v);
+    }
+    out.push(']');
+    out
+}
+
+fn usize_array(values: &[usize]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+    out
+}
+
+fn summary_json(s: &HistogramSummary) -> String {
+    let mut o = JsonObject::new();
+    o.field_u64("count", s.count);
+    o.field_u64("nonfinite", s.nonfinite);
+    lossless_field(&mut o, "mean", s.mean);
+    lossless_field(&mut o, "min", s.min);
+    lossless_field(&mut o, "max", s.max);
+    lossless_field(&mut o, "p50", s.p50);
+    lossless_field(&mut o, "p95", s.p95);
+    lossless_field(&mut o, "p99", s.p99);
+    o.finish()
+}
+
+fn parse_summary(v: &JsonValue) -> Result<HistogramSummary> {
+    Ok(HistogramSummary {
+        count: field_u64(v, "count")?,
+        nonfinite: field_u64(v, "nonfinite")?,
+        mean: field_f64(v, "mean")?,
+        min: field_f64(v, "min")?,
+        max: field_f64(v, "max")?,
+        p50: field_f64(v, "p50")?,
+        p95: field_f64(v, "p95")?,
+        p99: field_f64(v, "p99")?,
+    })
+}
+
+fn tick_json(r: &TickRecord) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("type", "tick");
+    o.field_u64("seq", r.seq);
+    o.field_u64("stamp", r.stamp);
+    o.field_raw("u", &lossless_array(&r.u_prev));
+    let readings: Vec<String> = r.readings.iter().map(|z| lossless_array(z)).collect();
+    o.field_raw("readings", &format!("[{}]", readings.join(",")));
+    let d = &r.digest;
+    let mut dig = JsonObject::new();
+    dig.field_u64("iteration", d.iteration);
+    dig.field_u64("selected_mode", d.selected_mode as u64);
+    dig.field_raw("mode_probabilities", &lossless_array(&d.mode_probabilities));
+    dig.field_raw("state_estimate", &lossless_array(&d.state_estimate));
+    lossless_field(&mut dig, "sensor_statistic", d.sensor_statistic);
+    lossless_field(&mut dig, "sensor_threshold", d.sensor_threshold);
+    dig.field_bool("sensor_exceeds", d.sensor_exceeds);
+    dig.field_bool("sensor_alarm", d.sensor_alarm);
+    dig.field_raw("misbehaving_sensors", &usize_array(&d.misbehaving_sensors));
+    dig.field_raw("sensor_estimate", &lossless_array(&d.sensor_estimate));
+    lossless_field(&mut dig, "actuator_statistic", d.actuator_statistic);
+    lossless_field(&mut dig, "actuator_threshold", d.actuator_threshold);
+    dig.field_bool("actuator_exceeds", d.actuator_exceeds);
+    dig.field_bool("actuator_alarm", d.actuator_alarm);
+    dig.field_raw("actuator_estimate", &lossless_array(&d.actuator_estimate));
+    o.field_raw("digest", &dig.finish());
+    o.finish()
+}
+
+fn parse_tick(v: &JsonValue) -> Result<TickRecord> {
+    let readings_v = v
+        .get("readings")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| capsule_err("tick missing readings"))?;
+    let mut readings = Vec::with_capacity(readings_v.len());
+    for (i, z) in readings_v.iter().enumerate() {
+        let items = z.as_array().ok_or_else(|| CoreError::Capsule {
+            reason: format!("reading {i} is not an array"),
+        })?;
+        let mut sensor = Vec::with_capacity(items.len());
+        for x in items {
+            sensor.push(x.as_lossless_f64().ok_or_else(|| CoreError::Capsule {
+                reason: format!("non-numeric sample in reading {i}"),
+            })?);
+        }
+        readings.push(sensor);
+    }
+    let d = v
+        .get("digest")
+        .ok_or_else(|| capsule_err("tick missing digest"))?;
+    Ok(TickRecord {
+        seq: field_u64(v, "seq")?,
+        stamp: field_u64(v, "stamp")?,
+        u_prev: field_f64_array(v, "u")?,
+        readings,
+        digest: DecisionDigest {
+            iteration: field_u64(d, "iteration")?,
+            selected_mode: field_u64(d, "selected_mode")? as usize,
+            mode_probabilities: field_f64_array(d, "mode_probabilities")?,
+            state_estimate: field_f64_array(d, "state_estimate")?,
+            sensor_statistic: field_f64(d, "sensor_statistic")?,
+            sensor_threshold: field_f64(d, "sensor_threshold")?,
+            sensor_exceeds: field_bool(d, "sensor_exceeds")?,
+            sensor_alarm: field_bool(d, "sensor_alarm")?,
+            misbehaving_sensors: field_usize_array(d, "misbehaving_sensors")?,
+            sensor_estimate: field_f64_array(d, "sensor_estimate")?,
+            actuator_statistic: field_f64(d, "actuator_statistic")?,
+            actuator_threshold: field_f64(d, "actuator_threshold")?,
+            actuator_exceeds: field_bool(d, "actuator_exceeds")?,
+            actuator_alarm: field_bool(d, "actuator_alarm")?,
+            actuator_estimate: field_f64_array(d, "actuator_estimate")?,
+        },
+    })
+}
+
+#[derive(Debug, Clone)]
+struct PendingCapsule {
+    capsule: IncidentCapsule,
+    post_left: usize,
+}
+
+/// The per-robot flight recorder. See the module docs for the design;
+/// construct via [`RoboAds::attach_recorder`] (which pre-sizes the ring
+/// from the robot's dimensions) rather than directly.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    config: RecorderConfig,
+    robot: u32,
+    ring: SlotRing<TickRecord>,
+    forensics: ForensicLog,
+    telemetry: Telemetry,
+    prev_alarm: bool,
+    recorded: u64,
+    pending: Option<PendingCapsule>,
+    capsules: Vec<IncidentCapsule>,
+}
+
+impl FlightRecorder {
+    /// Builds a recorder sized for `system` (slot vectors pre-allocated
+    /// to the robot's exact dimensions so the warm record path never
+    /// allocates).
+    pub fn for_system(config: RecorderConfig, system: &RobotSystem, mode_count: usize) -> Self {
+        let sensor_dims: Vec<usize> = (0..system.sensor_count())
+            .map(|i| system.sensor(i).map(|s| s.dim()).unwrap_or(0))
+            .collect();
+        let slot = || TickRecord {
+            seq: 0,
+            stamp: 0,
+            u_prev: Vec::with_capacity(system.input_dim()),
+            readings: sensor_dims.iter().map(|&d| Vec::with_capacity(d)).collect(),
+            digest: DecisionDigest {
+                mode_probabilities: Vec::with_capacity(mode_count),
+                state_estimate: Vec::with_capacity(system.state_dim()),
+                misbehaving_sensors: Vec::with_capacity(system.sensor_count()),
+                sensor_estimate: Vec::with_capacity(system.total_measurement_dim()),
+                actuator_estimate: Vec::with_capacity(system.input_dim()),
+                ..DecisionDigest::default()
+            },
+        };
+        let slots = (0..config.capacity.max(1)).map(|_| slot()).collect();
+        FlightRecorder {
+            config,
+            robot: 0,
+            ring: SlotRing::from_slots(slots),
+            forensics: ForensicLog::new(config.dt),
+            telemetry: Telemetry::disabled(),
+            prev_alarm: false,
+            recorded: 0,
+            pending: None,
+            capsules: Vec::new(),
+        }
+    }
+
+    /// Sets the fleet robot index stamped into capsules.
+    pub fn set_robot(&mut self, robot: u32) {
+        self.robot = robot;
+    }
+
+    /// Attaches the telemetry context whose histograms enrich capsules.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The recorder's configuration.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.config
+    }
+
+    /// Number of ticks recorded so far.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Number of live records in the ring.
+    pub fn ring_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The `i`-th live ring record, oldest first.
+    pub fn ring_record(&self, i: usize) -> Option<&TickRecord> {
+        self.ring.get(i)
+    }
+
+    /// The forensic log fed by this recorder.
+    pub fn forensics(&self) -> &ForensicLog {
+        &self.forensics
+    }
+
+    /// Sealed capsules waiting for collection.
+    pub fn capsules(&self) -> &[IncidentCapsule] {
+        &self.capsules
+    }
+
+    /// Takes ownership of the sealed capsules.
+    pub fn take_capsules(&mut self) -> Vec<IncidentCapsule> {
+        std::mem::take(&mut self.capsules)
+    }
+
+    /// Records one completed control iteration. Clean ticks are
+    /// allocation-free (ring slots are refilled in place); alarm edges
+    /// freeze the pre-window and start accumulating a capsule.
+    pub fn record(
+        &mut self,
+        stamp: u64,
+        u_prev: &Vector,
+        readings: &[Vector],
+        report: &DetectionReport,
+    ) {
+        self.recorded += 1;
+        self.ring
+            .push_with(|slot| slot.fill(report.iteration, stamp, u_prev, readings, report));
+        self.forensics.push(report);
+
+        let alarm = report.sensor_alarm || report.actuator_alarm;
+        if let Some(pending) = &mut self.pending {
+            let latest = self.ring.latest().expect("just pushed").clone();
+            pending.capsule.records.push(latest);
+            pending.post_left -= 1;
+            if pending.post_left == 0 {
+                self.seal();
+            }
+        } else if alarm && !self.prev_alarm {
+            // Rising edge: freeze the pre-window (trigger tick included).
+            let kind = match (report.sensor_alarm, report.actuator_alarm) {
+                (true, true) => IncidentKind::Both,
+                (true, false) => IncidentKind::Sensor,
+                _ => IncidentKind::Actuator,
+            };
+            let window = (self.config.pre + 1).min(self.ring.len());
+            let start = self.ring.len() - window;
+            let records: Vec<TickRecord> = (start..self.ring.len())
+                .map(|i| self.ring.get(i).expect("index in range").clone())
+                .collect();
+            let capsule = IncidentCapsule {
+                version: CAPSULE_VERSION,
+                robot: self.robot,
+                kind,
+                trigger_seq: report.iteration,
+                trigger_stamp: stamp,
+                records,
+                incident: None,
+                histograms: Vec::new(),
+            };
+            if self.config.post == 0 {
+                self.pending = Some(PendingCapsule {
+                    capsule,
+                    post_left: 0,
+                });
+                self.seal();
+            } else {
+                self.pending = Some(PendingCapsule {
+                    capsule,
+                    post_left: self.config.post,
+                });
+            }
+        }
+        self.prev_alarm = alarm;
+    }
+
+    /// Seals any in-flight capsule (short post-window) — call at the end
+    /// of a run so a late-run incident is not lost.
+    pub fn finish(&mut self) {
+        if self.pending.is_some() {
+            self.seal();
+        }
+    }
+
+    fn seal(&mut self) {
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        let mut capsule = pending.capsule;
+        capsule.incident = self
+            .forensics
+            .incidents()
+            .last()
+            .map(|inc| CapsuleIncident {
+                label: inc.label.clone(),
+                start: inc.start,
+                end: inc.end,
+                sensors: inc.sensors.clone(),
+                actuator: inc.actuator,
+                iterations: inc.iterations as u64,
+                peak_magnitude: inc.peak_magnitude(),
+            });
+        capsule.histograms = self.telemetry.metrics().snapshot().histograms;
+        self.capsules.push(capsule);
+    }
+}
+
+/// Outcome of one [`replay_capsule`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Ticks replayed.
+    pub ticks: usize,
+    /// Sequence numbers whose replayed digest diverged from the record.
+    pub mismatched_seqs: Vec<u64>,
+}
+
+impl ReplayOutcome {
+    /// Whether every replayed tick reproduced its recorded digest
+    /// bitwise.
+    pub fn is_bitwise(&self) -> bool {
+        self.mismatched_seqs.is_empty()
+    }
+}
+
+/// Feeds `capsule`'s recorded inputs through `detector` and compares
+/// every produced report against the recorded digests bitwise.
+///
+/// The detector must be *fresh and identically constructed* (same
+/// system, config, initial state and mode set as the recording robot)
+/// and the capsule anchored at detector birth — the replay contract in
+/// the module docs.
+///
+/// # Errors
+///
+/// [`CoreError::Capsule`] when the capsule is empty or not aligned with
+/// the detector's next iteration; any detector stepping error is
+/// propagated.
+pub fn replay_capsule(capsule: &IncidentCapsule, detector: &mut RoboAds) -> Result<ReplayOutcome> {
+    let first = capsule
+        .records
+        .first()
+        .ok_or_else(|| capsule_err("capsule has no records"))?;
+    if first.digest.iteration != detector.iteration() + 1 {
+        return Err(CoreError::Capsule {
+            reason: format!(
+                "capsule starts at iteration {} but the detector's next iteration is {} — \
+                 replay requires a fresh detector and a birth-anchored capsule",
+                first.digest.iteration,
+                detector.iteration() + 1
+            ),
+        });
+    }
+    let mut mismatched_seqs = Vec::new();
+    for record in &capsule.records {
+        let u = Vector::from_slice(&record.u_prev);
+        let readings: Vec<Vector> = record
+            .readings
+            .iter()
+            .map(|z| Vector::from_slice(z))
+            .collect();
+        let report = detector.step(&u, &readings)?;
+        if !DecisionDigest::of(&report).bitwise_eq(&record.digest) {
+            mismatched_seqs.push(record.seq);
+        }
+    }
+    Ok(ReplayOutcome {
+        ticks: capsule.records.len(),
+        mismatched_seqs,
+    })
+}

@@ -11,7 +11,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use roboads_core::{nuise_step, nuise_step_into, NuiseInput, NuiseWorkspace, RoboAdsConfig};
-use roboads_core::{FleetEngine, Linearization, ModeSet, RoboAds, RobotInput};
+use roboads_core::{FleetEngine, Linearization, ModeSet, RecorderConfig, RoboAds, RobotInput};
 use roboads_linalg::{Matrix, Vector};
 use roboads_models::presets;
 
@@ -190,4 +190,56 @@ fn warmed_up_sequential_fleet_batch_is_allocation_free() {
              allocated {steady_allocs} times"
         );
     }
+}
+
+#[test]
+fn warmed_up_flight_recorder_tick_is_allocation_free() {
+    // The flight recorder rides the control loop's hot path: on a clean
+    // tick, `record_tick` must refill a pre-sized ring slot in place and
+    // touch the allocator zero times. The ring capacity is deliberately
+    // tiny so the measured window includes wraparound (slot reuse), the
+    // recorder's steady state. Allocation is reserved for the alarm
+    // edge, where a capsule is frozen — the same boundary the forensic
+    // log draws.
+    let system = presets::khepera_system();
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let mut ads = RoboAds::new(
+        system.clone(),
+        RoboAdsConfig::paper_defaults(),
+        x0.clone(),
+        ModeSet::one_reference_per_sensor(&system),
+    )
+    .unwrap()
+    .with_recorder(RecorderConfig {
+        capacity: 3,
+        ..RecorderConfig::default()
+    });
+
+    let mut x = x0;
+    let step = |ads: &mut RoboAds, x: &mut Vector| {
+        *x = system.dynamics().step(x, &u);
+        let readings: Vec<Vector> = (0..system.sensor_count())
+            .map(|i| system.sensor(i).unwrap().measure(x))
+            .collect();
+        let report = ads.step(&u, &readings).unwrap();
+        (report, readings)
+    };
+
+    // Warm-up: fill every ring slot (and wrap once) so each slot's
+    // vectors have reached steady-state capacity.
+    for k in 0..5 {
+        let (report, readings) = step(&mut ads, &mut x);
+        ads.record_tick(k, &u, &readings, &report);
+    }
+
+    for k in 5..8 {
+        let (report, readings) = step(&mut ads, &mut x);
+        let recording_allocs = allocations_during(|| ads.record_tick(k, &u, &readings, &report));
+        assert_eq!(
+            recording_allocs, 0,
+            "tick {k}: warmed-up record_tick allocated {recording_allocs} times"
+        );
+    }
+    assert_eq!(ads.recorder().unwrap().recorded(), 8);
 }

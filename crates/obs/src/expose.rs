@@ -1,0 +1,218 @@
+//! Prometheus-style text exposition for metrics snapshots.
+//!
+//! ## Naming conventions
+//!
+//! Dotted internal metric names (`sim.step_latency_s`) are sanitized to
+//! the exposition charset `[a-zA-Z0-9_:]` (`sim_step_latency_s`); a
+//! leading digit gains a `_` prefix. Per-robot series carry a
+//! `robot="<index>"` label rather than a per-robot metric name, so a
+//! fleet of any size stays one time series family per quantity.
+//! Histogram summaries expand to `<name>_count`, `<name>_sum`,
+//! `<name>_min`, `<name>_max` plus `<name>{quantile="…"}` samples
+//! (Prometheus summary convention). Non-finite values are rendered with
+//! the exposition literals `NaN`, `+Inf` and `-Inf`.
+
+use crate::metrics::MetricsSnapshot;
+
+/// Rewrites `name` into the Prometheus metric-name charset: characters
+/// outside `[a-zA-Z0-9_:]` become `_`, and a leading digit is prefixed
+/// with `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+fn render_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        out.push_str(&format!("{v:?}"));
+    }
+}
+
+/// Incremental builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct PrometheusText {
+    out: String,
+}
+
+impl PrometheusText {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `# HELP` line. `name` is sanitized; `help` newlines
+    /// are flattened to spaces (the format is line-oriented).
+    pub fn help(&mut self, name: &str, help: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(&sanitize(name));
+        self.out.push(' ');
+        for c in help.chars() {
+            self.out.push(if c == '\n' || c == '\r' { ' ' } else { c });
+        }
+        self.out.push('\n');
+    }
+
+    /// Appends a `# TYPE` line (`counter`, `gauge`, `summary`, …).
+    pub fn type_(&mut self, name: &str, kind: &str) {
+        self.out.push_str("# TYPE ");
+        self.out.push_str(&sanitize(name));
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Appends one sample line: `name{labels} value`. Label values are
+    /// escaped per the exposition format (`\\`, `\"`, `\n`).
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(&sanitize(name));
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(&sanitize(k));
+                self.out.push_str("=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        _ => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        render_value(&mut self.out, value);
+        self.out.push('\n');
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders a whole [`MetricsSnapshot`] as exposition text: counters as
+/// `counter`, gauges as `gauge`, histogram summaries as `summary`
+/// families (count/sum/min/max + quantile samples).
+pub fn render_snapshot(snap: &MetricsSnapshot) -> String {
+    let mut p = PrometheusText::new();
+    for (name, v) in &snap.counters {
+        p.type_(name, "counter");
+        p.sample(name, &[], *v as f64);
+    }
+    for (name, v) in &snap.gauges {
+        p.type_(name, "gauge");
+        p.sample(name, &[], *v);
+    }
+    for (name, s) in &snap.histograms {
+        p.type_(name, "summary");
+        p.sample(&format!("{name}_count"), &[], s.count as f64);
+        // The registry tracks the exact mean, not the raw sum — recover
+        // the sum so `_sum / _count` works the standard way.
+        let sum = if s.count == 0 {
+            0.0
+        } else {
+            s.mean * s.count as f64
+        };
+        p.sample(&format!("{name}_sum"), &[], sum);
+        p.sample(&format!("{name}_min"), &[], s.min);
+        p.sample(&format!("{name}_max"), &[], s.max);
+        for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+            p.sample(name, &[("quantile", q)], v);
+        }
+    }
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn sanitize_rewrites_invalid_chars_and_leading_digits() {
+        assert_eq!(sanitize("sim.step_latency_s"), "sim_step_latency_s");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("2fast"), "_2fast");
+        assert_eq!(sanitize("ok:name_9"), "ok:name_9");
+    }
+
+    #[test]
+    fn samples_render_labels_escapes_and_nonfinite_literals() {
+        let mut p = PrometheusText::new();
+        p.sample("m", &[("robot", "3"), ("label", "a\"b\\c\nd")], 1.5);
+        p.sample("nan", &[], f64::NAN);
+        p.sample("inf", &[], f64::INFINITY);
+        p.sample("ninf", &[], f64::NEG_INFINITY);
+        let text = p.finish();
+        assert!(
+            text.contains(r#"m{robot="3",label="a\"b\\c\nd"} 1.5"#),
+            "{text}"
+        );
+        assert!(text.contains("nan NaN\n"), "{text}");
+        assert!(text.contains("inf +Inf\n"), "{text}");
+        assert!(text.contains("ninf -Inf\n"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_renders_counter_gauge_and_summary_families() {
+        let reg = MetricsRegistry::new();
+        reg.counter("fleet.ticks").add(7);
+        reg.gauge("fleet.alarm_rate").set(0.25);
+        let h = reg.histogram("sim.step_latency_s");
+        for i in 1..=100 {
+            h.record(i as f64 * 1e-4);
+        }
+        let text = render_snapshot(&reg.snapshot());
+        assert!(
+            text.contains("# TYPE fleet_ticks counter\nfleet_ticks 7.0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE fleet_alarm_rate gauge\nfleet_alarm_rate 0.25\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE sim_step_latency_s summary\n"),
+            "{text}"
+        );
+        assert!(text.contains("sim_step_latency_s_count 100.0\n"), "{text}");
+        assert!(text.contains("sim_step_latency_s_min 0.0001\n"), "{text}");
+        assert!(
+            text.contains(r#"sim_step_latency_s{quantile="0.5"}"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"sim_step_latency_s{quantile="0.99"}"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_renders_nan_quantiles_and_zero_sum() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("h");
+        let text = render_snapshot(&reg.snapshot());
+        assert!(text.contains("h_count 0.0\n"), "{text}");
+        assert!(text.contains("h_sum 0.0\n"), "{text}");
+        assert!(text.contains(r#"h{quantile="0.5"} NaN"#), "{text}");
+    }
+}

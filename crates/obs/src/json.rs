@@ -1,10 +1,13 @@
-//! Hand-rolled JSON encoding.
+//! Hand-rolled JSON encoding and decoding.
 //!
 //! The observability layer exports JSONL records and summary documents
 //! without any external serialization crate (the tier-1 build must
-//! resolve offline). Only what the sinks need is implemented: object
-//! assembly, string escaping per RFC 8259, and `f64` formatting that
-//! maps non-finite values to `null` (JSON has no NaN/Infinity).
+//! resolve offline). Only what the sinks and the incident-capsule
+//! format need is implemented: object assembly, string escaping per
+//! RFC 8259, `f64` formatting that maps non-finite values to `null`
+//! (JSON has no NaN/Infinity), a lossless `f64` variant for records
+//! that must round-trip bitwise ([`write_f64_lossless`]), and a small
+//! recursive-descent parser ([`parse`]) for reading capsules back.
 
 /// Escapes `s` into `buf` as a JSON string body (no surrounding quotes).
 pub fn escape_into(buf: &mut String, s: &str) {
@@ -31,6 +34,28 @@ pub fn write_f64(buf: &mut String, v: f64) {
         buf.push_str(&format!("{v:?}"));
     } else {
         buf.push_str("null");
+    }
+}
+
+/// Writes `v` into `buf` so that parsing the output recovers `v`'s
+/// exact bit pattern (modulo NaN payloads, which collapse to the
+/// canonical quiet NaN).
+///
+/// Finite values — including `-0.0` and subnormals down to `5e-324` —
+/// use the same shortest round-trip formatting as [`write_f64`]; the
+/// non-finite values JSON cannot express as numbers are written as the
+/// strings `"NaN"`, `"Infinity"` and `"-Infinity"`, which
+/// [`JsonValue::as_lossless_f64`] maps back. Incident capsules depend
+/// on this: a replayed detector must see bitwise-identical inputs.
+pub fn write_f64_lossless(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        buf.push_str(&format!("{v:?}"));
+    } else if v.is_nan() {
+        buf.push_str("\"NaN\"");
+    } else if v > 0.0 {
+        buf.push_str("\"Infinity\"");
+    } else {
+        buf.push_str("\"-Infinity\"");
     }
 }
 
@@ -128,6 +153,310 @@ pub fn array_of(items: impl IntoIterator<Item = String>) -> String {
     buf
 }
 
+/// A parsed JSON value.
+///
+/// Object fields keep their document order (no map type, no hashing) —
+/// enough for the capsule reader, which looks fields up by name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`; `str::parse` is correctly
+    /// rounded, so numbers written by [`write_f64`] round-trip exactly).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, fields in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (first match), `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as written by [`write_f64_lossless`]: a number, or one
+    /// of the non-finite marker strings.
+    pub fn as_lossless_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            JsonValue::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "Infinity" => Some(f64::INFINITY),
+                "-Infinity" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        (v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64).then_some(v as u64)
+    }
+
+    /// The boolean value, `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string value, `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, `None` for non-arrays.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object fields, `None` for non-objects.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset and a static reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub at: usize,
+    /// What was wrong.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON document.
+///
+/// # Errors
+///
+/// [`JsonError`] on malformed input, including trailing non-whitespace.
+pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { s, i: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'s> {
+    s: &'s str,
+    i: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn err(&self, reason: &'static str) -> JsonError {
+        JsonError { at: self.i, reason }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.as_bytes().get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str, reason: &'static str) -> Result<(), JsonError> {
+        if self.s[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(reason))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'n' => self.eat("null", "expected null").map(|()| JsonValue::Null),
+            b't' => self
+                .eat("true", "expected true")
+                .map(|()| JsonValue::Bool(true)),
+            b'f' => self
+                .eat("false", "expected false")
+                .map(|()| JsonValue::Bool(false)),
+            b'"' => self.string().map(JsonValue::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.i += 1;
+        }
+        self.s[start..self.i]
+            .parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat("\"", "expected string")?;
+        let mut out = String::new();
+        let bytes = self.s.as_bytes();
+        loop {
+            let chunk_start = self.i;
+            // Copy the run of plain characters in one slice push.
+            while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                self.i += 1;
+            }
+            out.push_str(&self.s[chunk_start..self.i]);
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(_) => {
+                    // Escape sequence.
+                    self.i += 1;
+                    let esc = bytes
+                        .get(self.i)
+                        .copied()
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: the low half must follow.
+                                self.eat("\\u", "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .s
+            .get(self.i..self.i + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        self.i += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| self.err("malformed \\u escape"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat("[", "expected array")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat("{", "expected object")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":", "expected ':'")?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +492,96 @@ mod tests {
     #[test]
     fn empty_object() {
         assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn escape_covers_every_control_character() {
+        for c in 0u32..0x20 {
+            let c = char::from_u32(c).unwrap();
+            let mut s = String::new();
+            escape_into(&mut s, &c.to_string());
+            let parsed = parse(&format!("\"{s}\"")).unwrap();
+            assert_eq!(parsed.as_str().unwrap(), c.to_string(), "control {c:?}");
+        }
+    }
+
+    #[test]
+    fn write_f64_round_trips_finite_extremes() {
+        // Negative zero, subnormal min, f64::MAX, and a classic
+        // non-representable decimal must all survive write -> parse bitwise.
+        for v in [
+            -0.0_f64,
+            5e-324,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            0.1,
+            1.0 / 3.0,
+            -1.7976931348623157e308,
+        ] {
+            let mut s = String::new();
+            write_f64(&mut s, v);
+            let back = parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "value {v:?} via {s}");
+        }
+    }
+
+    #[test]
+    fn write_f64_lossless_round_trips_non_finite() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 5e-324] {
+            let mut s = String::new();
+            write_f64_lossless(&mut s, v);
+            let back = parse(&s).unwrap().as_lossless_f64().unwrap();
+            if v.is_nan() {
+                assert!(back.is_nan());
+            } else {
+                assert_eq!(back.to_bits(), v.to_bits(), "value {v:?} via {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_lookup() {
+        let doc =
+            r#" {"a": [1, -2.5e3, null, true], "s": "x\n\u00e9\ud83d\ude00", "o": {"k": false}} "#;
+        let v = parse(doc).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(-2500.0));
+        assert_eq!(a[2], JsonValue::Null);
+        assert_eq!(a[3].as_bool(), Some(true));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\n\u{e9}\u{1F600}"));
+        assert_eq!(v.get("o").unwrap().get("k").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            "nul",
+            "1 2",
+            "{\"k\" 1}",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_json_object_output() {
+        let mut o = JsonObject::new();
+        o.field_str("name", "robot \"3\"\n");
+        o.field_f64("v", -0.0);
+        o.field_bool("ok", true);
+        let text = o.finish();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("robot \"3\"\n"));
+        assert_eq!(
+            v.get("v").unwrap().as_f64().unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
     }
 }

@@ -35,12 +35,16 @@
 //! assert_eq!(step_latency.count(), 1);
 //! ```
 
+pub mod expose;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod sink;
 pub mod telemetry;
 
+pub use expose::{render_snapshot, PrometheusText};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use recorder::SlotRing;
 pub use sink::{
     EventRecord, Field, NoopSink, RingBufferSink, Sink, SpanRecord, TelemetryRecord, Value,
     WriterSink,

@@ -443,18 +443,25 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Encodes the snapshot as one JSON object with `counters`,
-    /// `gauges` and `histograms` sub-objects.
+    /// `gauges` and `histograms` sub-objects. Each section is sorted by
+    /// instrument name regardless of insertion order, so two snapshots
+    /// of the same state always serialize identically (diffable runs).
     pub fn to_json(&self) -> String {
+        fn sorted<T>(items: &[(String, T)]) -> Vec<&(String, T)> {
+            let mut refs: Vec<_> = items.iter().collect();
+            refs.sort_by(|a, b| a.0.cmp(&b.0));
+            refs
+        }
         let mut counters = JsonObject::new();
-        for (name, v) in &self.counters {
+        for (name, v) in sorted(&self.counters) {
             counters.field_u64(name, *v);
         }
         let mut gauges = JsonObject::new();
-        for (name, v) in &self.gauges {
+        for (name, v) in sorted(&self.gauges) {
             gauges.field_f64(name, *v);
         }
         let mut hists = JsonObject::new();
-        for (name, s) in &self.histograms {
+        for (name, s) in sorted(&self.histograms) {
             hists.field_raw(name, &s.to_json());
         }
         let mut o = JsonObject::new();
@@ -594,6 +601,29 @@ mod tests {
         assert!(json.contains("\"counters\":{\"c\":7}"));
         assert!(json.contains("\"gauges\":{\"g\":1.5}"));
         assert!(json.contains("\"h\":{\"count\":1"));
+    }
+
+    #[test]
+    fn snapshot_to_json_sorts_every_section_by_name() {
+        // Construct an intentionally unsorted snapshot by hand — the
+        // encoder, not the producer, owns the ordering guarantee.
+        let snap = MetricsSnapshot {
+            counters: vec![("z".into(), 1), ("a".into(), 2), ("m".into(), 3)],
+            gauges: vec![("beta".into(), 2.0), ("alpha".into(), 1.0)],
+            histograms: vec![
+                ("late".into(), HistogramSummary::empty()),
+                ("early".into(), HistogramSummary::empty()),
+            ],
+        };
+        let json = snap.to_json();
+        assert!(json.contains(r#""counters":{"a":2,"m":3,"z":1}"#), "{json}");
+        assert!(
+            json.contains(r#""gauges":{"alpha":1.0,"beta":2.0}"#),
+            "{json}"
+        );
+        let early = json.find("\"early\"").unwrap();
+        let late = json.find("\"late\"").unwrap();
+        assert!(early < late, "{json}");
     }
 
     #[test]

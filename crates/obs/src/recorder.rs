@@ -1,0 +1,182 @@
+//! The flight-recorder ring primitive: a fixed-capacity slot ring whose
+//! slots are pre-allocated once and mutated in place.
+//!
+//! `VecDeque`-style rings allocate on push (the evicted element is
+//! dropped, the new one constructed); a detector's per-tick record path
+//! cannot afford that. [`SlotRing`] instead owns `capacity` slots from
+//! construction and hands the writer a `&mut` to the slot being
+//! overwritten ([`SlotRing::push_with`]), so a slot whose `Vec` fields
+//! were sized on the first lap is reused allocation-free on every lap
+//! after — the same idea as the pipeline's pre-registered instruments.
+
+/// Fixed-capacity ring over pre-allocated slots.
+///
+/// Logical order is oldest→newest; physically the ring wraps in place.
+#[derive(Debug, Clone)]
+pub struct SlotRing<T> {
+    slots: Vec<T>,
+    /// Index of the next slot to overwrite.
+    head: usize,
+    /// Number of live records (`<= slots.len()`).
+    len: usize,
+}
+
+impl<T> SlotRing<T> {
+    /// Builds a ring that reuses `slots` as its storage. The slots'
+    /// contents are placeholders until overwritten; the ring starts
+    /// logically empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity — a recorder with no memory is a bug at
+    /// the call site, not a runtime condition.
+    pub fn from_slots(slots: Vec<T>) -> Self {
+        assert!(!slots.is_empty(), "SlotRing requires capacity >= 1");
+        SlotRing {
+            slots,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Maximum number of live records.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no record is live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Logically clears the ring. Slot storage (and any capacity inside
+    /// the slots) is retained for reuse.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Appends a record by overwriting the oldest slot in place:
+    /// `fill` receives the slot being recycled, still holding its
+    /// previous contents (so `Vec` fields keep their capacity).
+    pub fn push_with(&mut self, fill: impl FnOnce(&mut T)) {
+        fill(&mut self.slots[self.head]);
+        self.head = (self.head + 1) % self.slots.len();
+        if self.len < self.slots.len() {
+            self.len += 1;
+        }
+    }
+
+    /// The `i`-th live record, oldest first.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            return None;
+        }
+        let start = if self.len == self.slots.len() {
+            self.head
+        } else {
+            0
+        };
+        Some(&self.slots[(start + i) % self.slots.len()])
+    }
+
+    /// The most recent record.
+    pub fn latest(&self) -> Option<&T> {
+        self.get(self.len.checked_sub(1)?)
+    }
+
+    /// Iterates the live records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..self.len).map(move |i| self.get(i).expect("index in range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(capacity: usize) -> SlotRing<Vec<u64>> {
+        SlotRing::from_slots(vec![Vec::new(); capacity])
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut r = ring(3);
+        assert!(r.is_empty());
+        for i in 0..5u64 {
+            r.push_with(|slot| {
+                slot.clear();
+                slot.push(i);
+            });
+        }
+        assert_eq!(r.len(), 3);
+        let seen: Vec<u64> = r.iter().map(|s| s[0]).collect();
+        assert_eq!(seen, vec![2, 3, 4]);
+        assert_eq!(r.latest().unwrap()[0], 4);
+        assert_eq!(r.get(0).unwrap()[0], 2);
+        assert_eq!(r.get(3), None);
+    }
+
+    #[test]
+    fn partial_fill_iterates_from_slot_zero() {
+        let mut r = ring(4);
+        for i in 0..2u64 {
+            r.push_with(|slot| {
+                slot.clear();
+                slot.push(i);
+            });
+        }
+        let seen: Vec<u64> = r.iter().map(|s| s[0]).collect();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn slot_capacity_survives_wraparound() {
+        let mut r = ring(2);
+        // First lap sizes the slots…
+        for i in 0..2u64 {
+            r.push_with(|slot| {
+                slot.clear();
+                slot.extend_from_slice(&[i; 8]);
+            });
+        }
+        let caps: Vec<usize> = (0..2).map(|i| r.get(i).unwrap().capacity()).collect();
+        // …later laps reuse that capacity (clear() keeps it).
+        for i in 2..10u64 {
+            r.push_with(|slot| {
+                slot.clear();
+                slot.extend_from_slice(&[i; 8]);
+            });
+        }
+        for (i, cap) in caps.iter().enumerate() {
+            assert!(r.get(i).unwrap().capacity() >= *cap);
+        }
+    }
+
+    #[test]
+    fn clear_retains_storage() {
+        let mut r = ring(2);
+        r.push_with(|slot| slot.push(1));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 2);
+        r.push_with(|slot| {
+            // The recycled slot still holds its previous contents.
+            assert_eq!(slot.as_slice(), &[1]);
+            slot.clear();
+            slot.push(2);
+        });
+        assert_eq!(r.latest().unwrap()[0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_panics() {
+        let _ = SlotRing::<u8>::from_slots(Vec::new());
+    }
+}

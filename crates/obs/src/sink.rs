@@ -6,6 +6,7 @@ use std::io::Write;
 use std::sync::Mutex;
 
 use crate::json::JsonObject;
+use crate::metrics::{Counter, MetricsRegistry};
 
 /// A typed field value carried by an [`EventRecord`].
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +129,12 @@ pub trait Sink: Send + Sync + std::fmt::Debug {
 
     /// Accepts an event.
     fn record_event(&self, event: &EventRecord);
+
+    /// Called once when the sink is attached to a [`crate::Telemetry`],
+    /// handing it the run's metrics registry. Sinks with internal loss
+    /// accounting (see [`RingBufferSink`]) register their counters here;
+    /// the default does nothing.
+    fn bind_metrics(&self, _metrics: &MetricsRegistry) {}
 }
 
 /// Discards everything; reports itself as disabled so callers skip
@@ -158,6 +165,11 @@ pub enum TelemetryRecord {
 struct RingInner {
     buf: VecDeque<TelemetryRecord>,
     dropped: u64,
+    /// `telemetry.dropped` counter, present once `bind_metrics` ran.
+    dropped_counter: Option<Counter>,
+    /// Next `dropped` total at which an overflow event is noted; keeps
+    /// the self-reporting to at most one event per `capacity` drops.
+    overflow_note_at: u64,
 }
 
 /// Keeps the most recent `capacity` records in memory, overwriting the
@@ -181,6 +193,8 @@ impl RingBufferSink {
             inner: Mutex::new(RingInner {
                 buf: VecDeque::with_capacity(preallocate),
                 dropped: 0,
+                dropped_counter: None,
+                overflow_note_at: 1,
             }),
         }
     }
@@ -190,6 +204,35 @@ impl RingBufferSink {
         if inner.buf.len() == self.capacity {
             inner.buf.pop_front();
             inner.dropped += 1;
+            if let Some(c) = &inner.dropped_counter {
+                c.incr();
+            }
+            if inner.dropped >= inner.overflow_note_at
+                && inner.dropped_counter.is_some()
+                && self.capacity >= 2
+            {
+                // Self-report the loss in-band, rate-limited to one note
+                // per ring's worth of drops so the note itself can never
+                // dominate the buffer. Only telemetry-bound rings note —
+                // a standalone ring is an inspection buffer whose exact
+                // contents tests rely on. (A capacity-1 ring would evict
+                // the note immediately — skip it there too.)
+                inner.overflow_note_at = inner.dropped + self.capacity as u64;
+                let note = EventRecord {
+                    name: "telemetry.overflow",
+                    time_ns: 0,
+                    fields: vec![("dropped", Value::U64(inner.dropped))],
+                };
+                if inner.buf.len() + 1 >= self.capacity {
+                    // The note displaces one more record; count that too.
+                    inner.buf.pop_front();
+                    inner.dropped += 1;
+                    if let Some(c) = &inner.dropped_counter {
+                        c.incr();
+                    }
+                }
+                inner.buf.push_back(TelemetryRecord::Event(note));
+            }
         }
         inner.buf.push_back(r);
     }
@@ -251,12 +294,23 @@ impl Sink for RingBufferSink {
     fn record_event(&self, event: &EventRecord) {
         self.push(TelemetryRecord::Event(event.clone()));
     }
+
+    fn bind_metrics(&self, metrics: &MetricsRegistry) {
+        let counter = metrics.counter("telemetry.dropped");
+        let mut inner = self.inner.lock().expect("ring sink poisoned");
+        // Catch the counter up with any loss that predates binding.
+        counter.add(inner.dropped);
+        inner.dropped_counter = Some(counter);
+    }
 }
 
 /// Streams records as JSON Lines (one object per line) to any writer —
-/// a file, a pipe, or an in-memory buffer in tests.
+/// a file, a pipe, or an in-memory buffer in tests. The writer is
+/// flushed explicitly via [`WriterSink::flush`] and automatically on
+/// `Drop`, so buffered JSONL (capsules, telemetry tails) survives a
+/// normal process exit.
 pub struct WriterSink<W: Write + Send> {
-    w: Mutex<W>,
+    w: Mutex<Option<W>>,
 }
 
 impl<W: Write + Send> std::fmt::Debug for WriterSink<W> {
@@ -268,19 +322,45 @@ impl<W: Write + Send> std::fmt::Debug for WriterSink<W> {
 impl<W: Write + Send> WriterSink<W> {
     /// Wraps a writer.
     pub fn new(w: W) -> Self {
-        WriterSink { w: Mutex::new(w) }
+        WriterSink {
+            w: Mutex::new(Some(w)),
+        }
     }
 
     /// Unwraps the inner writer (e.g. to inspect a `Vec<u8>` in tests).
+    /// The drop-flush is skipped — the caller now owns the writer.
     pub fn into_inner(self) -> W {
-        self.w.into_inner().expect("writer sink poisoned")
+        self.w
+            .lock()
+            .expect("writer sink poisoned")
+            .take()
+            .expect("writer already taken")
+    }
+
+    /// Flushes the underlying writer. I/O errors are swallowed, as for
+    /// record writes.
+    pub fn flush(&self) {
+        if let Some(w) = self.w.lock().expect("writer sink poisoned").as_mut() {
+            let _ = w.flush();
+        }
     }
 
     fn line(&self, json: &str) {
-        let mut w = self.w.lock().expect("writer sink poisoned");
-        // Telemetry must never take the robot down: I/O errors are
-        // swallowed by design.
-        let _ = writeln!(w, "{json}");
+        if let Some(w) = self.w.lock().expect("writer sink poisoned").as_mut() {
+            // Telemetry must never take the robot down: I/O errors are
+            // swallowed by design.
+            let _ = writeln!(w, "{json}");
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for WriterSink<W> {
+    fn drop(&mut self) {
+        if let Ok(mut guard) = self.w.lock() {
+            if let Some(w) = guard.as_mut() {
+                let _ = w.flush();
+            }
+        }
     }
 }
 
@@ -375,5 +455,98 @@ mod tests {
         assert!(!NoopSink.enabled());
         let ring = RingBufferSink::new(4);
         assert!(ring.enabled());
+    }
+
+    #[test]
+    fn ring_drop_accounting_feeds_counter_and_overflow_events() {
+        let reg = MetricsRegistry::new();
+        let ring = RingBufferSink::new(4);
+        ring.bind_metrics(&reg);
+        // Fill without loss: counter stays zero, no overflow note.
+        for i in 0..4 {
+            ring.record_span(&span("s", i));
+        }
+        assert_eq!(reg.counter_value("telemetry.dropped"), Some(0));
+        // Force several wraparounds.
+        for i in 4..20 {
+            ring.record_span(&span("s", i));
+        }
+        let dropped = ring.dropped();
+        assert!(dropped >= 16, "expected ≥16 drops, saw {dropped}");
+        assert_eq!(reg.counter_value("telemetry.dropped"), Some(dropped));
+        let notes: Vec<u64> = ring
+            .events()
+            .iter()
+            .filter(|e| e.name == "telemetry.overflow")
+            .filter_map(|e| match e.fields[0] {
+                ("dropped", Value::U64(n)) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert!(!notes.is_empty(), "overflow must be self-reported in-band");
+        // Rate limit: at most one note per capacity's worth of drops.
+        assert!(notes.len() as u64 <= dropped / 4 + 1, "notes {notes:?}");
+        // The ring never exceeds its capacity, notes included.
+        assert_eq!(ring.len(), 4);
+    }
+
+    #[test]
+    fn ring_counter_catches_up_on_late_binding() {
+        let ring = RingBufferSink::new(2);
+        for i in 0..5 {
+            ring.record_span(&span("s", i));
+        }
+        let pre = ring.dropped();
+        assert!(pre > 0);
+        let reg = MetricsRegistry::new();
+        ring.bind_metrics(&reg);
+        assert_eq!(reg.counter_value("telemetry.dropped"), Some(pre));
+    }
+
+    /// Write-through probe that counts `flush` calls.
+    struct FlushProbe {
+        flushes: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        buf: Vec<u8>,
+    }
+
+    impl Write for FlushProbe {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend_from_slice(data);
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushes
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writer_sink_flushes_explicitly_and_on_drop() {
+        let flushes = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let sink = WriterSink::new(FlushProbe {
+            flushes: flushes.clone(),
+            buf: Vec::new(),
+        });
+        sink.record_span(&span("s", 1));
+        assert_eq!(flushes.load(std::sync::atomic::Ordering::SeqCst), 0);
+        sink.flush();
+        assert_eq!(flushes.load(std::sync::atomic::Ordering::SeqCst), 1);
+        drop(sink);
+        assert_eq!(flushes.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn writer_sink_into_inner_skips_drop_flush() {
+        let flushes = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let sink = WriterSink::new(FlushProbe {
+            flushes: flushes.clone(),
+            buf: Vec::new(),
+        });
+        sink.record_span(&span("s", 1));
+        let probe = sink.into_inner();
+        assert!(!probe.buf.is_empty());
+        assert_eq!(flushes.load(std::sync::atomic::Ordering::SeqCst), 0);
     }
 }

@@ -122,8 +122,11 @@ impl Telemetry {
         Telemetry::with_registry(sink, Arc::new(MetricsRegistry::new()))
     }
 
-    /// A context with the given sink and an existing registry.
+    /// A context with the given sink and an existing registry. The sink
+    /// is handed the registry ([`Sink::bind_metrics`]) so loss-tracking
+    /// sinks can register their counters alongside the pipeline's.
     pub fn with_registry(sink: Arc<dyn Sink>, metrics: Arc<MetricsRegistry>) -> Self {
+        sink.bind_metrics(&metrics);
         Telemetry {
             sink,
             metrics,

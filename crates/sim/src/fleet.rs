@@ -14,8 +14,8 @@
 
 use roboads_control::{BicycleTracker, DifferentialDriveTracker, Mission, TrackingController};
 use roboads_core::{
-    CoreError, DeadlinePolicy, FleetEngine, FleetIngest, ModeSet, RoboAds, RoboAdsConfig,
-    RobotInput,
+    CoreError, DeadlinePolicy, FleetEngine, FleetHealth, FleetIngest, IncidentCapsule, ModeSet,
+    RecorderConfig, RoboAds, RoboAdsConfig, RobotInput,
 };
 use roboads_linalg::Vector;
 use roboads_models::sensors::WheelEncoderOdometry;
@@ -63,6 +63,12 @@ pub struct FleetOutcome {
     /// Per-robot evaluations against each robot's *own* (phase-shifted)
     /// ground truth.
     pub evals: Vec<EvalResult>,
+    /// Incident capsules sealed across the fleet, in robot order (empty
+    /// unless [`FleetSimulationBuilder::recorder`] was configured).
+    pub capsules: Vec<IncidentCapsule>,
+    /// The live health board after the final tick (present when
+    /// [`FleetSimulationBuilder::health`] was enabled).
+    pub health: Option<FleetHealth>,
 }
 
 /// Builder for a fleet run: M phase-offset copies of one scenario,
@@ -99,6 +105,8 @@ pub struct FleetSimulationBuilder {
     telemetry: Option<Telemetry>,
     ingest: Option<DeadlinePolicy>,
     faults: Vec<(usize, std::ops::Range<usize>, FrameFault)>,
+    recorder: Option<RecorderConfig>,
+    health: bool,
 }
 
 /// One robot's closed-loop world: everything a standalone run owns
@@ -174,6 +182,8 @@ impl FleetSimulationBuilder {
             telemetry: None,
             ingest: None,
             faults: Vec::new(),
+            recorder: None,
+            health: false,
         }
     }
 
@@ -267,6 +277,23 @@ impl FleetSimulationBuilder {
         self
     }
 
+    /// Attaches a flight recorder to every robot's detector: confirmed
+    /// alarms seal [`IncidentCapsule`]s collected (in robot order) into
+    /// [`FleetOutcome::capsules`].
+    pub fn recorder(mut self, config: RecorderConfig) -> Self {
+        self.recorder = Some(config);
+        self
+    }
+
+    /// Maintains a live [`FleetHealth`] board across the run — one
+    /// `observe` per completed tick, folding in per-robot detector
+    /// verdicts, ingest slot freshness and capsule counts — returned in
+    /// [`FleetOutcome::health`].
+    pub fn health(mut self, yes: bool) -> Self {
+        self.health = yes;
+        self
+    }
+
     /// Executes the fleet run: one `step_batch` per control iteration.
     ///
     /// # Errors
@@ -350,6 +377,16 @@ impl FleetSimulationBuilder {
         if let Some(t) = &self.telemetry {
             fleet.set_telemetry(t.clone());
         }
+        if let Some(config) = self.recorder {
+            fleet.attach_recorder(config);
+        }
+        let mut health = self.health.then(|| {
+            let mut board = FleetHealth::new(self.robots);
+            if let Some(t) = &self.telemetry {
+                board.set_telemetry(t.clone());
+            }
+            board
+        });
         let mut ingest = self.ingest.map(|policy| {
             let mut ingest = FleetIngest::for_fleet(&fleet).with_policy(policy);
             if let Some(t) = &self.telemetry {
@@ -400,7 +437,8 @@ impl FleetSimulationBuilder {
             }
 
             match &mut ingest {
-                // Sync monitor: one aligned dense batch for the fleet.
+                // Sync monitor: one aligned dense batch for the fleet,
+                // stamped with the worlds' shared bus tick.
                 None => {
                     let inputs: Vec<RobotInput> = worlds
                         .iter()
@@ -409,6 +447,7 @@ impl FleetSimulationBuilder {
                             readings: &w.readings,
                         })
                         .collect();
+                    fleet.set_tick_stamp(k as u64);
                     fleet.step_batch(&inputs)?;
                 }
                 // Async monitor: the same decoded frames are offered to
@@ -441,7 +480,8 @@ impl FleetSimulationBuilder {
                             ingest.offer_stamped(robot, s, reading, stamp)?;
                         }
                     }
-                    ingest.swap();
+                    let summary = ingest.swap();
+                    fleet.set_tick_stamp(summary.tick);
                     let inputs: Vec<Option<RobotInput>> =
                         (0..worlds.len()).map(|r| ingest.input(r)).collect();
                     if fleet.step_batch_masked(&inputs).is_err() {
@@ -457,6 +497,10 @@ impl FleetSimulationBuilder {
                         }
                     }
                 }
+            }
+
+            if let Some(board) = &mut health {
+                board.observe(&fleet, ingest.as_ref());
             }
 
             for (robot, w) in worlds.iter_mut().enumerate() {
@@ -476,6 +520,9 @@ impl FleetSimulationBuilder {
             }
         }
 
+        fleet.finish_recorders();
+        let capsules = fleet.take_capsules();
+
         let mut traces = Vec::with_capacity(self.robots);
         let mut evals = Vec::with_capacity(self.robots);
         for w in worlds {
@@ -488,6 +535,8 @@ impl FleetSimulationBuilder {
             threads: self.threads,
             traces,
             evals,
+            capsules,
+            health,
         })
     }
 }

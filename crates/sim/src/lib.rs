@@ -55,7 +55,7 @@ pub use eval::{evaluate, EvalResult, TransitionDelay};
 pub use fleet::{FleetOutcome, FleetSimulationBuilder, FrameFault};
 pub use misbehavior::{Corruption, Misbehavior, Target};
 pub use platform::RobotPlatform;
-pub use runner::{RobotKind, SimOutcome, SimulationBuilder};
+pub use runner::{evaluation_detector, RobotKind, SimOutcome, SimulationBuilder};
 pub use scenario::{GroundTruth, Scenario};
 pub use telemetry::{ModeTelemetry, TelemetrySummary};
 pub use trace::{Trace, TraceRecord};

@@ -4,7 +4,9 @@ use roboads_control::{
     BicycleTracker, DifferentialDriveTracker, Mission, Path, TrackingController,
 };
 use roboads_core::baseline::LinearizedOnceDetector;
-use roboads_core::{DetectionReport, ModeSet, RoboAds, RoboAdsConfig};
+use roboads_core::{
+    DetectionReport, IncidentCapsule, ModeSet, RecorderConfig, RoboAds, RoboAdsConfig,
+};
 use roboads_linalg::Vector;
 use roboads_models::sensors::WheelEncoderOdometry;
 use roboads_models::{presets, Pose2, RobotSystem};
@@ -41,6 +43,9 @@ pub struct SimOutcome {
     /// Detector-health summary condensed from the run's telemetry
     /// registry (step latency, per-mode distributions, failure counts).
     pub telemetry: TelemetrySummary,
+    /// Incident capsules sealed by the flight recorder (empty unless
+    /// [`SimulationBuilder::recorder`] was configured).
+    pub capsules: Vec<IncidentCapsule>,
 }
 
 /// Builder wiring an arena, mission, tracker, workflows and the RoboADS
@@ -72,6 +77,7 @@ pub struct SimulationBuilder {
     path_override: Option<Path>,
     use_linearized_baseline: bool,
     telemetry: Option<Telemetry>,
+    recorder: Option<RecorderConfig>,
 }
 
 enum Detector {
@@ -85,6 +91,28 @@ impl Detector {
             Detector::RoboAds(d) => d.step(u, readings),
             Detector::Baseline(d) => d.step(u, readings),
         }
+    }
+
+    fn record_tick(
+        &mut self,
+        stamp: u64,
+        u: &Vector,
+        readings: &[Vector],
+        report: &DetectionReport,
+    ) {
+        if let Detector::RoboAds(d) = self {
+            d.record_tick(stamp, u, readings, report);
+        }
+    }
+
+    fn take_capsules(&mut self) -> Vec<IncidentCapsule> {
+        if let Detector::RoboAds(d) = self {
+            if let Some(recorder) = d.recorder_mut() {
+                recorder.finish();
+                return recorder.take_capsules();
+            }
+        }
+        Vec::new()
     }
 }
 
@@ -103,6 +131,7 @@ impl SimulationBuilder {
             path_override: None,
             use_linearized_baseline: false,
             telemetry: None,
+            recorder: None,
         }
     }
 
@@ -176,6 +205,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches a flight recorder to the RoboADS detector: every tick's
+    /// stamped inputs and decision digest are captured in a ring, and a
+    /// confirmed alarm freezes a pre/post window into an
+    /// [`IncidentCapsule`] (see [`SimOutcome::capsules`]). Ignored by
+    /// the linearize-once baseline, which has no recorder hook.
+    pub fn recorder(mut self, config: RecorderConfig) -> Self {
+        self.recorder = Some(config);
+        self
+    }
+
     /// Executes the run.
     ///
     /// # Errors
@@ -226,10 +265,12 @@ impl SimulationBuilder {
                 mode_set,
             )?)
         } else {
-            Detector::RoboAds(
-                RoboAds::new(system.clone(), self.config.clone(), x0.clone(), mode_set)?
-                    .with_telemetry(telemetry.clone()),
-            )
+            let mut ads = RoboAds::new(system.clone(), self.config.clone(), x0.clone(), mode_set)?
+                .with_telemetry(telemetry.clone());
+            if let Some(config) = self.recorder {
+                ads.attach_recorder(config);
+            }
+            Detector::RoboAds(ads)
         };
 
         let misbehaviors = self.scenario.misbehaviors().to_vec();
@@ -293,6 +334,9 @@ impl SimulationBuilder {
             let step_started = std::time::Instant::now();
             let report = detector.step(&u_monitored, &readings)?;
             step_latency.record(step_started.elapsed().as_secs_f64());
+            // Stamped with the bus tick so a capsule's timeline matches
+            // the frames it was decoded from.
+            detector.record_tick(k as u64, &u_monitored, &readings, &report);
             controller_pose = Pose2::from_vector(&readings[0]).expect("IPS readings carry a pose");
 
             trace.push(TraceRecord {
@@ -308,6 +352,7 @@ impl SimulationBuilder {
             });
         }
 
+        let capsules = detector.take_capsules();
         let eval = evaluate(&trace, &self.scenario.ground_truth());
         let report =
             trace
@@ -323,8 +368,34 @@ impl SimulationBuilder {
             eval,
             report,
             telemetry: TelemetrySummary::from_registry(telemetry.metrics()),
+            capsules,
         })
     }
+}
+
+/// A fresh, never-stepped RoboADS detector constructed exactly as
+/// [`SimulationBuilder::run`] builds its own (same evaluation arena,
+/// planned path, initial pose and default mode set) — the detector a
+/// capsule replay needs: [`roboads_core::replay_capsule`] requires an
+/// anchor-state twin of the recorded detector at birth.
+///
+/// # Errors
+///
+/// Propagates planning and detector-construction failures.
+pub fn evaluation_detector(kind: RobotKind, config: &RoboAdsConfig) -> Result<RoboAds> {
+    let system = match kind {
+        RobotKind::Khepera => presets::khepera_system(),
+        RobotKind::Tamiya => presets::tamiya_system(),
+    };
+    let arena = presets::evaluation_arena();
+    let mission = Mission::evaluation_default();
+    let path = mission.plan(&arena, 0.08)?;
+    let (sx, sy) = path.waypoints()[0];
+    let (lx, ly) = path.lookahead_point(sx, sy, 0.25);
+    let theta0 = (ly - sy).atan2(lx - sx);
+    let x0 = Vector::from_slice(&[sx, sy, theta0]);
+    let mode_set = ModeSet::one_reference_per_sensor(&system);
+    Ok(RoboAds::new(system, config.clone(), x0, mode_set)?)
 }
 
 #[cfg(test)]
