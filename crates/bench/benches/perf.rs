@@ -273,6 +273,22 @@ struct SlabRow {
     speedup_vs_scalar: f64,
 }
 
+/// One heterogeneous-fleet sample: a fleet *shape* (how robots are
+/// spread across model-signature groups) at a fixed robot count,
+/// 8 lanes, 1 thread.
+struct SlabGroupRow {
+    /// Fleet shape: `all_scalar`, `homogeneous`, `two_group` or
+    /// `odd_one_out`.
+    label: &'static str,
+    robots: usize,
+    /// Distinct model signatures in the fleet.
+    groups: usize,
+    seconds: f64,
+    /// Per-robot-step speedup over the `all_scalar` leg of the same
+    /// run.
+    speedup_vs_scalar: f64,
+}
+
 /// Fleet throughput: N warm detectors stepped through one
 /// `FleetEngine::step_batch` per tick, at robot grain. Returns
 /// `(robots, threads, per-robot-step seconds)` rows. Unlike the
@@ -593,6 +609,111 @@ fn bench_slab_throughput(fast: bool) -> Vec<SlabRow> {
     rows
 }
 
+/// Heterogeneous-fleet throughput: the same robot count spread across
+/// different model-signature shapes, all legs back to back (interleaved
+/// timing windows, same drift-cancelling scheme as the slab section):
+///
+/// * `all_scalar` — `slab_lanes = 1`, the per-robot baseline;
+/// * `homogeneous` — one signature, the whole fleet in one 8-lane slab
+///   (the pre-grouping best case);
+/// * `two_group` — two signatures dealt alternately, two slabs (the
+///   mixed Khepera-firmware fleet shape);
+/// * `odd_one_out` — one robot with its own signature amid N−1 shared
+///   ones. Pre-grouping this was the pathological case: the odd robot
+///   collapsed the whole fleet to `all_scalar` throughput (~1.0×);
+///   per-group slabs keep the N−1 group batched, so it must retain
+///   nearly the homogeneous speedup.
+fn bench_slab_groups(fast: bool) -> Vec<SlabGroupRow> {
+    let base = presets::khepera_system();
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let x1 = base.dynamics().step(&x0, &u);
+    let readings = clean_readings(&base, &x1);
+    let robots = if fast { 64 } else { 256 };
+    // (label, lanes, signature count, robot -> signature group).
+    type Shape = (&'static str, usize, usize, fn(usize, usize) -> usize);
+    const SHAPES: [Shape; 4] = [
+        ("all_scalar", 1, 1, |_, _| 0),
+        ("homogeneous", 8, 1, |_, _| 0),
+        ("two_group", 8, 2, |i, _| i % 2),
+        ("odd_one_out", 8, 2, |i, n| usize::from(i == n / 2)),
+    ];
+    let mut fleets: Vec<FleetEngine> = SHAPES
+        .iter()
+        .map(|&(_, lanes, signatures, group_of)| {
+            // Fresh, pointer-distinct (numerically identical) preset
+            // instances per signature group — the realistic per-unit
+            // model-provisioning shape.
+            let systems: Vec<_> = (0..signatures).map(|_| presets::khepera_system()).collect();
+            let config = RoboAdsConfig::paper_defaults().with_slab_lanes(lanes);
+            FleetEngine::new(
+                (0..robots)
+                    .map(|i| {
+                        let system = &systems[group_of(i, robots)];
+                        RoboAds::new(
+                            system.clone(),
+                            config.clone(),
+                            x0.clone(),
+                            ModeSet::one_reference_per_sensor(system),
+                        )
+                        .unwrap()
+                    })
+                    .collect(),
+                1,
+            )
+        })
+        .collect();
+    let inputs: Vec<RobotInput> = (0..robots)
+        .map(|_| RobotInput {
+            u_prev: &u,
+            readings: &readings,
+        })
+        .collect();
+    let per_batch = (if fast { 32 } else { 512 } / robots).max(1);
+    let rounds = if fast { 3 } else { 16 };
+    for fleet in &mut fleets {
+        for _ in 0..per_batch {
+            fleet.step_batch(&inputs).unwrap();
+        }
+    }
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); SHAPES.len()];
+    for _ in 0..rounds {
+        for (shape_samples, fleet) in samples.iter_mut().zip(fleets.iter_mut()) {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                fleet.step_batch(&inputs).unwrap();
+            }
+            shape_samples.push(start.elapsed().as_secs_f64() / per_batch as f64);
+        }
+    }
+    let mut scalar_seconds = f64::NAN;
+    let mut rows = Vec::with_capacity(SHAPES.len());
+    for (shape_samples, &(label, _, signatures, _)) in samples.iter_mut().zip(SHAPES.iter()) {
+        shape_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let seconds = shape_samples[shape_samples.len() / 2] / robots as f64;
+        if label == "all_scalar" {
+            scalar_seconds = seconds;
+        }
+        let speedup = scalar_seconds / seconds;
+        report(&format!("slab_groups/robots={robots} {label}"), seconds);
+        if label != "all_scalar" {
+            println!(
+                "{:<44} {:>9.2} x",
+                format!("slab_groups speedup robots={robots} {label}"),
+                speedup
+            );
+        }
+        rows.push(SlabGroupRow {
+            label,
+            robots,
+            groups: signatures,
+            seconds,
+            speedup_vs_scalar: speedup,
+        });
+    }
+    rows
+}
+
 /// `ROBOADS_FLEET_GATE=1` sanity floor for the CI fleet-smoke job: the
 /// 64-robot / 1-thread batch must sustain at least 32× the per-robot
 /// tick rate of a sequentially swept 64-robot fleet — i.e. batching may
@@ -600,7 +721,12 @@ fn bench_slab_throughput(fast: bool) -> Vec<SlabRow> {
 /// a tight perf gate) so a noisy shared runner cannot flake it, while a
 /// real regression — per-batch allocation, dispatch per robot, slab
 /// false sharing — still trips it.
-fn check_fleet_gate(fleet: &[FleetRow], slab: &[SlabRow], detector_step_s: f64) {
+fn check_fleet_gate(
+    fleet: &[FleetRow],
+    slab: &[SlabRow],
+    slab_groups: &[SlabGroupRow],
+    detector_step_s: f64,
+) {
     if std::env::var_os("ROBOADS_FLEET_GATE").is_none_or(|v| v == "0") {
         return;
     }
@@ -643,6 +769,27 @@ fn check_fleet_gate(fleet: &[FleetRow], slab: &[SlabRow], detector_step_s: f64) 
          the lane-batched kernels are slower than the per-robot path they replace",
         slab_row.speedup_vs_scalar,
         slab_row.robots
+    );
+    // Mixed-fleet leg: one odd robot amid N−1 shared-signature ones
+    // must retain ≥ 1.3x over all-scalar. Pre-grouping this shape ran
+    // at ~1.0x (the odd robot collapsed the fleet to the scalar path);
+    // post-grouping the N−1 group keeps its slab, whose homogeneous
+    // speedup is ~1.5x, so 1.3 is a real floor with noise headroom.
+    let odd = slab_groups
+        .iter()
+        .find(|r| r.label == "odd_one_out")
+        .expect("fleet gate requires the odd_one_out slab-groups row");
+    println!(
+        "slab-groups gate: {:.2}x vs all-scalar at {} robots, one odd robot (floor 1.30)",
+        odd.speedup_vs_scalar, odd.robots
+    );
+    assert!(
+        odd.speedup_vs_scalar >= 1.3,
+        "heterogeneous slab regression: one odd robot in a {}-robot fleet retains only \
+         {:.2}x over all-scalar (floor 1.30) — the signature partition is no longer \
+         keeping the majority group on the slab path",
+        odd.robots,
+        odd.speedup_vs_scalar
     );
 }
 
@@ -700,6 +847,7 @@ struct SectionRows<'a> {
     scaling: &'a [ScalingRow],
     fleet: &'a [FleetRow],
     slab: &'a [SlabRow],
+    slab_groups: &'a [SlabGroupRow],
     ingest: &'a [IngestRow],
     recorder: &'a RecorderRow,
 }
@@ -709,6 +857,7 @@ fn write_results(nuise: (f64, f64), detector: (f64, f64, f64), rows: &SectionRow
         scaling,
         fleet,
         slab,
+        slab_groups,
         ingest,
         recorder,
     } = rows;
@@ -757,6 +906,18 @@ fn write_results(nuise: (f64, f64), detector: (f64, f64, f64), rows: &SectionRow
         row.finish()
     }));
     o.field_raw("slab_throughput", &slab_rows);
+    let group_rows = roboads_core::obs::json::array_of(slab_groups.iter().map(|r| {
+        let mut row = JsonObject::new();
+        row.field_str("shape", r.label);
+        row.field_u64("robots", r.robots as u64);
+        row.field_u64("signature_groups", r.groups as u64);
+        row.field_u64("threads", 1);
+        row.field_f64("robot_step_us", r.seconds * 1e6);
+        row.field_f64("robot_steps_per_sec", 1.0 / r.seconds);
+        row.field_f64("speedup_vs_scalar", r.speedup_vs_scalar);
+        row.finish()
+    }));
+    o.field_raw("slab_groups", &group_rows);
     let ingest_rows = roboads_core::obs::json::array_of(ingest.iter().map(|r| {
         let mut row = JsonObject::new();
         row.field_u64("robots", r.robots as u64);
@@ -797,7 +958,8 @@ fn main() {
     let detector = bench_detector_and_overhead(fast);
     let fleet = bench_fleet_throughput(fast);
     let slab = bench_slab_throughput(fast);
-    check_fleet_gate(&fleet, &slab, detector.0);
+    let slab_groups = bench_slab_groups(fast);
+    check_fleet_gate(&fleet, &slab, &slab_groups, detector.0);
     // The recorder and ingest overhead legs carry their baselines inside
     // themselves (back to back), so their placement is drift-safe.
     let recorder = bench_recorder_overhead(fast);
@@ -813,6 +975,7 @@ fn main() {
             scaling: &scaling,
             fleet: &fleet,
             slab: &slab,
+            slab_groups: &slab_groups,
             ingest: &ingest,
             recorder: &recorder,
         },

@@ -14,23 +14,32 @@
 //!   on the sequential path;
 //! * forces every per-robot engine onto its sequential intra-step path
 //!   (`threads = Some(1)`) — parallelism lives at one grain only;
-//! * submits one pool job per worker covering a *contiguous robot
-//!   range* ([`roboads_pool::Pool::chunked_for_each`] with a minimum
+//! * partitions the fleet into **model-signature groups**
+//!   ([`roboads_models::ModelSignature`] plus the engine-level config
+//!   discriminants) and runs one SIMD slab per group, so a
+//!   heterogeneous fleet keeps the lane-batched win for every group
+//!   that fills a tile while odd robots run scalar individually (see
+//!   `DESIGN.md` §16);
+//! * submits pool jobs per *group* over contiguous lane-aligned robot
+//!   ranges ([`roboads_pool::Pool::chunk_size_aligned`] with a minimum
 //!   chunk floor), so per-tick dispatch overhead is O(workers), not
-//!   O(robots);
+//!   O(robots), and no tile ever straddles two groups or two jobs;
 //! * keeps each robot's arithmetic bitwise identical to a standalone
 //!   [`RoboAds`] fed the same inputs — robots never share mutable
-//!   state, so thread count and batch size cannot perturb results
-//!   (pinned by `tests/fleet_determinism.rs`).
+//!   state, so thread count, batch size and grouping cannot perturb
+//!   results (pinned by `tests/fleet_determinism.rs`).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use roboads_linalg::Vector;
-use roboads_obs::Telemetry;
+use roboads_models::ModelSignature;
+use roboads_obs::{Counter, Gauge, Telemetry, Value};
 use roboads_pool::Pool;
 
 use crate::config::Linearization;
 use crate::detector::RoboAds;
+use crate::mode::ModeSet;
 use crate::nuise_slab::NuiseSlabWorkspace;
 use crate::recorder::RecorderConfig;
 use crate::report::DetectionReport;
@@ -72,6 +81,8 @@ impl<'i, 'a> Inputs<'i, 'a> {
     }
 
     /// Robot `i`'s input, or `None` when it missed the tick boundary.
+    /// Indexed by **fleet index** (the caller's robot order), not by
+    /// internal cell position.
     fn get(&self, i: usize) -> Option<&'i RobotInput<'a>> {
         match self {
             Inputs::Dense(inputs) => Some(&inputs[i]),
@@ -89,6 +100,11 @@ struct RobotCell {
     report: DetectionReport,
     /// Outcome of the robot's last step (`Ok` until its first failure).
     result: Result<()>,
+    /// The robot's caller-facing fleet index. Cells are stored
+    /// group-major once the partition resolves, so every input lookup,
+    /// telemetry span, recorder stamp and error report maps back
+    /// through this id.
+    fleet: usize,
 }
 
 /// One pool job's slab scratch for the lane-batched fleet path: one
@@ -100,48 +116,123 @@ struct SlabJob<const K: usize> {
     bank: Vec<NuiseSlabWorkspace<K>>,
 }
 
-/// Resolved state of the fleet's SIMD-batched slab path. Resolution is
-/// lazy (first [`FleetEngine::step_batch`] after construction or
-/// [`FleetEngine::push`]) because eligibility is a whole-fleet
-/// property: every robot must share the first robot's system models,
-/// mode bank, compensation setting, per-iteration linearization and
-/// configured lane width, and the fleet must fill at least one tile.
+/// The grouping key of the heterogeneous-fleet partition: robots whose
+/// keys are equal run bitwise-identical per-mode arithmetic and may
+/// share a slab. The model half is [`ModelSignature`]; the rest are the
+/// engine-level config discriminants the slab kernels specialize on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GroupKey {
+    signature: ModelSignature,
+    modes: ModeSet,
+    compensate: bool,
+    lanes: usize,
+    /// Whether the engine relinearizes per iteration — the only
+    /// linearization policy the slab kernels implement. Non-eligible
+    /// robots still group (scalar groups step contiguously) but never
+    /// slab.
+    per_iteration: bool,
+}
+
+/// How one signature group executes its robots each tick.
 #[derive(Debug)]
-enum SlabState {
-    /// Not yet resolved against the current fleet composition.
-    Unknown,
-    /// The fleet is heterogeneous (or the knob is `1`): every tick runs
-    /// the per-robot scalar path.
-    Ineligible,
+enum GroupKind {
+    /// Per-robot scalar stepping: the group is smaller than one tile,
+    /// configured with `slab_lanes: Some(1)`, or not on per-iteration
+    /// linearization.
+    Scalar,
     /// 4-lane slab scratch, one bank per pool job.
     K4(Vec<SlabJob<4>>),
     /// 8-lane slab scratch, one bank per pool job.
     K8(Vec<SlabJob<8>>),
 }
 
+/// One signature group of the resolved partition: a contiguous run of
+/// `len` cells (cells are reordered group-major at resolution) plus the
+/// execution kind decided by the **per-group** small-fleet rule — a
+/// group slabs iff its *own* robot count fills at least one `K`-lane
+/// tile, independent of the fleet total or any other group's size.
+#[derive(Debug)]
+struct SlabGroup {
+    /// Robots in this group (cells `[start, start + len)` of the
+    /// group-major order; `start` is the running prefix sum).
+    len: usize,
+    kind: GroupKind,
+}
+
+/// Resolved state of the fleet's SIMD-batched slab path. Resolution is
+/// lazy (first [`FleetEngine::step_batch`] after construction or
+/// [`FleetEngine::push`]): any membership change resets the state to
+/// [`SlabState::Unknown`], and the next batch re-partitions the fleet
+/// into model-signature groups, reorders the cells group-major and
+/// rebuilds each slab group's per-job scratch.
+#[derive(Debug)]
+enum SlabState {
+    /// Not yet partitioned against the current fleet composition.
+    Unknown,
+    /// Partitioned: one [`SlabGroup`] per distinct [`GroupKey`], in
+    /// first-appearance (fleet) order, covering every robot exactly
+    /// once.
+    Grouped(Vec<SlabGroup>),
+}
+
+/// Pre-registered fleet-level metric handles, so refreshing them on
+/// re-partition does not touch the registry's lock-protected name map.
+#[derive(Debug)]
+struct FleetInstruments {
+    /// Signature groups currently on the lane-batched slab path.
+    slab_groups: Gauge,
+    /// Robots stepped through slab tiles.
+    slab_robots: Gauge,
+    /// Robots stepped per-robot (sub-tile groups, `lanes == 1`, or
+    /// non-per-iteration linearization).
+    scalar_robots: Gauge,
+    /// Re-partitions forced by membership changes (the first, lazy
+    /// partition is construction, not a regroup).
+    regroups: Counter,
+}
+
+impl FleetInstruments {
+    fn new(telemetry: &Telemetry) -> Self {
+        let m = telemetry.metrics();
+        FleetInstruments {
+            slab_groups: m.gauge("fleet.slab_groups"),
+            slab_robots: m.gauge("fleet.slab_robots"),
+            scalar_robots: m.gauge("fleet.scalar_robots"),
+            regroups: m.counter("fleet.regroups"),
+        }
+    }
+}
+
 /// Steps a fleet of independent detectors, batched per control tick.
 ///
-/// Robots are homogeneous in construction convenience only — each cell
-/// owns a full [`RoboAds`], so heterogeneous fleets work by pushing
-/// differently-configured detectors. Parallelism is at robot grain: a
-/// `threads > 1` fleet splits the slab into contiguous chunks, one pool
-/// job per worker per tick.
+/// Robots may be fully heterogeneous — each cell owns a complete
+/// [`RoboAds`], so mixed platforms, mode banks and configs coexist in
+/// one fleet. Parallelism is at robot grain: a `threads > 1` fleet
+/// splits each group into contiguous chunks, one pool job per worker
+/// per tick.
 ///
-/// # SIMD-batched slab path
+/// # SIMD-batched slab path (per-group)
 ///
-/// When every robot shares the first robot's system models (same `Arc`s
-/// and process noise), mode bank, compensation setting and
-/// per-iteration linearization — the common case of a homogeneous
-/// fleet built from one preset — `step_batch` tiles the fleet into
-/// `K`-robot lanes ([`crate::RoboAdsConfig::slab_lanes`], default 8)
-/// and steps each tile through structure-of-arrays NUISE kernels that
-/// vectorize *across robots*. Results are bitwise identical to the
-/// per-robot path: the slab kernels replicate the scalar arithmetic
-/// per lane, and any lane that hits a numeric failure falls back to
-/// the scalar estimator from its untouched filter state, reproducing
-/// the exact scalar outcome (see `DESIGN.md` §13). Heterogeneous
-/// fleets, fleets smaller than one tile, and `slab_lanes: Some(1)` run
-/// the per-robot path unchanged.
+/// At the first batch after construction or [`FleetEngine::push`], the
+/// fleet is partitioned into **model-signature groups**: robots sharing
+/// one [`roboads_models::ModelSignature`] (same dynamics/sensor `Arc`s
+/// and bitwise-equal process noise), mode bank, compensation setting,
+/// per-iteration linearization and configured lane width
+/// ([`crate::RoboAdsConfig::slab_lanes`], default 8). Each group whose
+/// robot count fills at least one `K`-lane tile is stepped through
+/// structure-of-arrays NUISE kernels that vectorize *across robots*;
+/// the rest run the per-robot path. The small-fleet rule is
+/// **per group**: a 40-robot fleet of five signatures with one 8-robot
+/// group slabs that group — a group below its own lane width would run
+/// every batch on a single mostly-masked tile, so it (and only it)
+/// stays scalar, regardless of the fleet total.
+///
+/// Results are bitwise identical to the per-robot path in every case:
+/// the slab kernels replicate the scalar arithmetic per lane, and any
+/// lane that hits a numeric failure falls back to the scalar estimator
+/// from its untouched filter state, reproducing the exact scalar
+/// outcome within its group while other groups' lanes are untouched
+/// (see `DESIGN.md` §13, §16).
 ///
 /// # Example
 ///
@@ -164,16 +255,25 @@ enum SlabState {
 /// let inputs = vec![RobotInput { u_prev: &u, readings: &readings }; 8];
 /// fleet.step_batch(&inputs)?;
 /// assert!(!fleet.report(0).sensor_misbehavior_detected());
+/// // One homogeneous signature group, all 8 robots on the slab path.
+/// assert_eq!(fleet.slab_groups(), 1);
+/// assert_eq!(fleet.slab_robots(), 8);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
 pub struct FleetEngine {
+    /// Robot cells in *cell* order: fleet order until the first
+    /// partition, group-major afterwards. [`FleetEngine::slots`] maps a
+    /// fleet index to its cell.
     cells: Vec<RobotCell>,
+    /// `slots[fleet_index]` = position of that robot's cell in
+    /// [`FleetEngine::cells`]. Identity until the first partition.
+    slots: Vec<usize>,
     /// Robot-grain worker pool; `None` runs the slab sequentially.
     pool: Option<Arc<Pool>>,
     threads: usize,
-    /// Lazily-resolved SIMD slab path state (see [`SlabState`]).
+    /// Lazily-resolved per-group slab partition (see [`SlabState`]).
     slab: SlabState,
     /// Tick counter used to stamp recorded batches when the caller does
     /// not provide one.
@@ -181,6 +281,11 @@ pub struct FleetEngine {
     /// One-shot stamp override for the next batch (set by the ingest
     /// boundary from its [`crate::SwapSummary`]).
     pending_stamp: Option<u64>,
+    /// Completed partitions, so a membership-forced re-partition can be
+    /// told apart from the first (construction) one.
+    partitions: u64,
+    telemetry: Telemetry,
+    instruments: FleetInstruments,
 }
 
 impl FleetEngine {
@@ -201,13 +306,19 @@ impl FleetEngine {
                 roboads_obs::set_worker(i as u32 + 1)
             }))
         });
+        let telemetry = Telemetry::disabled();
+        let instruments = FleetInstruments::new(&telemetry);
         let mut fleet = FleetEngine {
             cells: Vec::with_capacity(detectors.len()),
+            slots: Vec::with_capacity(detectors.len()),
             pool,
             threads,
             slab: SlabState::Unknown,
             tick: 0,
             pending_stamp: None,
+            partitions: 0,
+            telemetry,
+            instruments,
         };
         for d in detectors {
             fleet.push_cell(d);
@@ -222,80 +333,198 @@ impl FleetEngine {
             "fleet robots must use the sequential intra-step path \
              (build them with threads: None or Some(1))"
         );
+        let fleet = self.slots.len();
+        self.slots.push(self.cells.len());
         self.cells.push(RobotCell {
             detector,
             report: DetectionReport::blank(),
             result: Ok(()),
+            fleet,
         });
-        // Fleet composition changed; re-judge slab eligibility (and
-        // job sizing) on the next batch.
+        // Fleet composition changed; re-partition the signature groups
+        // (and job sizing) on the next batch.
         self.slab = SlabState::Unknown;
     }
 
-    /// Slab lane width if the current fleet is eligible for the
-    /// lane-batched path, else `None` (see [`SlabState`] for the
-    /// whole-fleet homogeneity conditions).
-    fn slab_eligibility(&self) -> Option<usize> {
-        let first = self.cells.first()?.detector.engine();
-        let lanes = first.slab_lanes();
-        if lanes == 1 || !matches!(first.linearization(), Linearization::PerIteration) {
-            return None;
+    /// Robot `fleet_index`'s grouping key. Allocates (signature + mode
+    /// bank clone); called only at partition time.
+    fn group_key(cell: &RobotCell) -> GroupKey {
+        let e = cell.detector.engine();
+        GroupKey {
+            signature: e.system().signature(),
+            modes: e.modes().clone(),
+            compensate: e.compensate(),
+            lanes: e.slab_lanes(),
+            per_iteration: matches!(e.linearization(), Linearization::PerIteration),
         }
-        // A fleet smaller than one tile would run every batch on a
-        // single mostly-masked tile — full K-lane arithmetic for
-        // cells.len() robots' worth of results. Keep the scalar path
-        // until at least one tile fills (partial *tail* tiles on larger
-        // fleets amortize the same waste across many full tiles).
-        if self.cells.len() < lanes {
-            return None;
-        }
-        let homogeneous = self.cells[1..].iter().all(|cell| {
-            let e = cell.detector.engine();
-            e.system().shares_models(first.system())
-                && e.modes() == first.modes()
-                && e.compensate() == first.compensate()
-                && e.slab_lanes() == lanes
-                && matches!(e.linearization(), Linearization::PerIteration)
-        });
-        homogeneous.then_some(lanes)
     }
 
-    /// Builds the per-job slab banks for lane width `K`: one job on the
+    /// Builds the per-job slab banks for the group at cells
+    /// `[start, start + len)` and lane width `K`: one job on the
     /// sequential path, one per lane-aligned pool chunk otherwise.
-    fn build_slab_jobs<const K: usize>(&self) -> Vec<SlabJob<K>> {
-        let first = self.cells[0].detector.engine();
+    fn build_group_jobs<const K: usize>(&self, start: usize, len: usize) -> Vec<SlabJob<K>> {
+        let rep = self.cells[start].detector.engine();
         let job_count = match &self.pool {
             None => 1,
             Some(pool) => {
-                let chunk = pool.chunk_size_aligned(self.cells.len(), MIN_ROBOTS_PER_JOB, K);
-                self.cells.len().div_ceil(chunk).max(1)
+                let chunk = pool.chunk_size_aligned(len, MIN_ROBOTS_PER_JOB, K);
+                len.div_ceil(chunk).max(1)
             }
         };
         (0..job_count)
             .map(|_| SlabJob {
-                bank: first
+                bank: rep
                     .modes()
                     .modes()
                     .iter()
-                    .map(|mode| NuiseSlabWorkspace::new(first.system(), mode))
+                    .map(|mode| NuiseSlabWorkspace::new(rep.system(), mode))
                     .collect(),
             })
             .collect()
     }
 
-    /// Resolves [`SlabState::Unknown`] against the current fleet.
+    /// Resolves [`SlabState::Unknown`] against the current fleet:
+    /// partitions robots into signature groups (first-appearance order,
+    /// fleet order within each group), physically reorders the cells
+    /// group-major so every group is one contiguous lane-tileable
+    /// slice, rebuilds each eligible group's slab scratch, and
+    /// refreshes the grouping gauges. Emits a `fleet.regroup` event
+    /// when a membership change forced this re-partition.
     fn resolve_slab(&mut self) {
         if !matches!(self.slab, SlabState::Unknown) {
             return;
         }
-        self.slab = match self.slab_eligibility() {
-            None => SlabState::Ineligible,
-            Some(4) => SlabState::K4(self.build_slab_jobs()),
-            Some(_) => SlabState::K8(self.build_slab_jobs()),
-        };
+        // Partition fleet indices by key. A HashMap only deduplicates;
+        // group order is first appearance in fleet order, so the
+        // partition (and therefore job shapes and error ordering) is
+        // deterministic.
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut by_key: HashMap<GroupKey, usize> = HashMap::new();
+        for fleet in 0..self.slots.len() {
+            let key = Self::group_key(&self.cells[self.slots[fleet]]);
+            let g = *by_key.entry(key).or_insert_with(|| {
+                members.push(Vec::new());
+                members.len() - 1
+            });
+            members[g].push(fleet);
+        }
+
+        // Reorder cells group-major (stable: fleet order within each
+        // group) and rebuild the fleet-index -> cell map.
+        let mut old: Vec<Option<RobotCell>> = std::mem::take(&mut self.cells)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut cells = Vec::with_capacity(old.len());
+        let mut ranges = Vec::with_capacity(members.len());
+        for group in &members {
+            let start = cells.len();
+            for &fleet in group {
+                let cell = old[self.slots[fleet]]
+                    .take()
+                    .expect("every robot belongs to exactly one group");
+                cells.push(cell);
+            }
+            ranges.push((start, group.len()));
+        }
+        self.cells = cells;
+        for (slot, cell) in self.cells.iter().enumerate() {
+            self.slots[cell.fleet] = slot;
+        }
+
+        // Decide each group's execution kind by the per-group
+        // small-fleet rule and build slab scratch.
+        let mut slab_groups = 0usize;
+        let mut slab_robots = 0usize;
+        let mut grouped = Vec::with_capacity(ranges.len());
+        for &(start, len) in &ranges {
+            let rep = self.cells[start].detector.engine();
+            let lanes = rep.slab_lanes();
+            let eligible = lanes > 1
+                && matches!(rep.linearization(), Linearization::PerIteration)
+                && len >= lanes;
+            let kind = if !eligible {
+                GroupKind::Scalar
+            } else {
+                slab_groups += 1;
+                slab_robots += len;
+                match lanes {
+                    4 => GroupKind::K4(self.build_group_jobs(start, len)),
+                    _ => GroupKind::K8(self.build_group_jobs(start, len)),
+                }
+            };
+            grouped.push(SlabGroup { len, kind });
+        }
+
+        let scalar_robots = self.cells.len() - slab_robots;
+        self.instruments.slab_groups.set(slab_groups as f64);
+        self.instruments.slab_robots.set(slab_robots as f64);
+        self.instruments.scalar_robots.set(scalar_robots as f64);
+        if self.partitions > 0 {
+            self.instruments.regroups.incr();
+            let robots = self.cells.len() as u64;
+            let groups = grouped.len() as u64;
+            self.telemetry.event("fleet.regroup", || {
+                vec![
+                    ("robots", Value::U64(robots)),
+                    ("groups", Value::U64(groups)),
+                    ("slab_groups", Value::U64(slab_groups as u64)),
+                    ("slab_robots", Value::U64(slab_robots as u64)),
+                    ("scalar_robots", Value::U64(scalar_robots as u64)),
+                ]
+            });
+        }
+        self.partitions += 1;
+        self.slab = SlabState::Grouped(grouped);
     }
 
-    /// Appends another robot to the slab.
+    /// `(slab groups, slab robots, scalar robots)` of the resolved
+    /// partition; all zero while the partition is unresolved.
+    fn group_stats(&self) -> (usize, usize, usize) {
+        match &self.slab {
+            SlabState::Unknown => (0, 0, 0),
+            SlabState::Grouped(groups) => {
+                let mut stats = (0, 0, 0);
+                for group in groups {
+                    match group.kind {
+                        GroupKind::Scalar => stats.2 += group.len,
+                        GroupKind::K4(_) | GroupKind::K8(_) => {
+                            stats.0 += 1;
+                            stats.1 += group.len;
+                        }
+                    }
+                }
+                stats
+            }
+        }
+    }
+
+    /// Signature groups currently on the lane-batched slab path.
+    ///
+    /// The partition resolves lazily: `0` until the first
+    /// [`FleetEngine::step_batch`] after construction or
+    /// [`FleetEngine::push`].
+    pub fn slab_groups(&self) -> usize {
+        self.group_stats().0
+    }
+
+    /// Robots currently stepped through slab tiles (see
+    /// [`FleetEngine::slab_groups`] for the lazy-resolution caveat).
+    pub fn slab_robots(&self) -> usize {
+        self.group_stats().1
+    }
+
+    /// Robots currently stepped per-robot: members of sub-tile groups,
+    /// `slab_lanes: Some(1)` configs, or non-per-iteration
+    /// linearizations (see [`FleetEngine::slab_groups`] for the
+    /// lazy-resolution caveat).
+    pub fn scalar_robots(&self) -> usize {
+        self.group_stats().2
+    }
+
+    /// Appends another robot to the fleet. The signature partition is
+    /// re-resolved on the next batch (`fleet.regroup` event, refreshed
+    /// grouping gauges).
     ///
     /// # Panics
     ///
@@ -320,13 +549,23 @@ impl FleetEngine {
         self.threads
     }
 
-    /// Threads one telemetry context through every robot's pipeline.
-    /// Spans recorded during [`FleetEngine::step_batch`] carry the
-    /// robot's id (`robot_index + 1`) so one shared sink can attribute
-    /// them; see [`roboads_obs::set_robot`].
+    /// Threads one telemetry context through every robot's pipeline and
+    /// re-registers the fleet-level instruments (grouping gauges,
+    /// regroup counter) on its registry. Spans recorded during
+    /// [`FleetEngine::step_batch`] carry the robot's id
+    /// (`robot_index + 1`) so one shared sink can attribute them; see
+    /// [`roboads_obs::set_robot`].
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         for cell in &mut self.cells {
             cell.detector.set_telemetry(telemetry.clone());
+        }
+        self.instruments = FleetInstruments::new(&telemetry);
+        self.telemetry = telemetry;
+        if !matches!(self.slab, SlabState::Unknown) {
+            let (slab_groups, slab_robots, scalar_robots) = self.group_stats();
+            self.instruments.slab_groups.set(slab_groups as f64);
+            self.instruments.slab_robots.set(slab_robots as f64);
+            self.instruments.scalar_robots.set(scalar_robots as f64);
         }
     }
 
@@ -335,22 +574,23 @@ impl FleetEngine {
     /// stepped afterwards are recorded on both the scalar and slab
     /// paths.
     pub fn attach_recorder(&mut self, config: RecorderConfig) {
-        for (i, cell) in self.cells.iter_mut().enumerate() {
+        for cell in &mut self.cells {
             cell.detector.attach_recorder(config);
+            let fleet = cell.fleet;
             if let Some(recorder) = cell.detector.recorder_mut() {
-                recorder.set_robot(i as u32);
+                recorder.set_robot(fleet as u32);
             }
         }
     }
 
     /// Robot `i`'s flight recorder, if attached.
     pub fn recorder(&self, i: usize) -> Option<&crate::FlightRecorder> {
-        self.cells[i].detector.recorder()
+        self.cells[self.slots[i]].detector.recorder()
     }
 
     /// Mutable access to robot `i`'s flight recorder, if attached.
     pub fn recorder_mut(&mut self, i: usize) -> Option<&mut crate::FlightRecorder> {
-        self.cells[i].detector.recorder_mut()
+        self.cells[self.slots[i]].detector.recorder_mut()
     }
 
     /// Sets the tick stamp recorded for the *next* batch (one-shot).
@@ -372,11 +612,12 @@ impl FleetEngine {
     }
 
     /// Drains every robot's sealed capsules into one list (robots in
-    /// slab order; each capsule carries its robot index).
+    /// fleet order; each capsule carries its robot index).
     pub fn take_capsules(&mut self) -> Vec<crate::IncidentCapsule> {
         let mut out = Vec::new();
-        for cell in &mut self.cells {
-            if let Some(recorder) = cell.detector.recorder_mut() {
+        for i in 0..self.slots.len() {
+            let slot = self.slots[i];
+            if let Some(recorder) = self.cells[slot].detector.recorder_mut() {
                 out.append(&mut recorder.take_capsules());
             }
         }
@@ -387,21 +628,23 @@ impl FleetEngine {
     ///
     /// All robots run every tick — a failing robot never stalls its
     /// neighbours — and the error reported is the *first failing
-    /// robot's*, in slab order, regardless of thread interleaving.
-    /// Detection state is strictly per robot: a failing robot's report
-    /// holds a partial verdict and its filter state is unchanged
-    /// (exactly as a standalone [`RoboAds::step_into`] failure), while
-    /// every robot whose [`FleetEngine::result`] is `Ok` has a fully
-    /// valid, committed report — a neighbour's failure never taints it.
+    /// robot's*, in fleet (robot-index) order, regardless of thread
+    /// interleaving or grouping. Detection state is strictly per robot:
+    /// a failing robot's report holds a partial verdict and its filter
+    /// state is unchanged (exactly as a standalone
+    /// [`RoboAds::step_into`] failure), while every robot whose
+    /// [`FleetEngine::result`] is `Ok` has a fully valid, committed
+    /// report — a neighbour's failure never taints it.
     ///
     /// A warmed-up sequential fleet (`threads == 1`) performs zero heap
-    /// allocations per batch; a parallel fleet allocates only the pool's
-    /// per-job boxes — O(workers), independent of fleet size.
+    /// allocations per batch — grouped or not; a parallel fleet
+    /// allocates only the pool's per-job boxes — O(workers), independent
+    /// of fleet size.
     ///
     /// # Errors
     ///
     /// [`CoreError::BadReadings`] when `inputs.len() != self.len()`,
-    /// else the first robot failure in slab order.
+    /// else the first robot failure in fleet order.
     pub fn step_batch(&mut self, inputs: &[RobotInput<'_>]) -> Result<()> {
         self.step_batch_inner(Inputs::Dense(inputs))
     }
@@ -420,7 +663,7 @@ impl FleetEngine {
     /// # Errors
     ///
     /// [`CoreError::BadReadings`] when `inputs.len() != self.len()`,
-    /// else the first robot failure in slab order (a missed deadline
+    /// else the first robot failure in fleet order (a missed deadline
     /// counts as a failure).
     pub fn step_batch_masked(&mut self, inputs: &[Option<RobotInput<'_>>]) -> Result<()> {
         self.step_batch_inner(Inputs::Masked(inputs))
@@ -442,52 +685,80 @@ impl FleetEngine {
         // misses this tick can never be recorded under a stale stamp.
         let stamp = self.pending_stamp.take().unwrap_or(self.tick);
         self.tick = stamp + 1;
-        let cells = &mut self.cells;
+        let cells = &mut self.cells[..];
         let pool = &self.pool;
-        match &mut self.slab {
-            SlabState::K4(jobs) => step_batch_slab::<4>(cells, pool.as_ref(), jobs, inputs, stamp),
-            SlabState::K8(jobs) => step_batch_slab::<8>(cells, pool.as_ref(), jobs, inputs, stamp),
-            SlabState::Ineligible | SlabState::Unknown => {
-                let step_robot = |i: usize, cell: &mut RobotCell| {
-                    // RAII reset: `step_into` runs inside a pool job
-                    // whose panics are caught by the worker, so a manual
-                    // `set_robot(0)` after it would be skipped on unwind
-                    // and leak this robot's id into every later span the
-                    // worker closes.
-                    let _robot = roboads_obs::robot_scope(i as u32 + 1);
-                    cell.result = match inputs.get(i) {
-                        Some(input) => {
-                            cell.detector
-                                .step_into(input.u_prev, input.readings, &mut cell.report)
+        let SlabState::Grouped(groups) = &mut self.slab else {
+            unreachable!("resolve_slab always leaves the fleet partitioned");
+        };
+        match pool {
+            // Sequential: walk the group-major slab group by group.
+            None => {
+                let mut rest = cells;
+                for group in groups.iter_mut() {
+                    let (slice, tail) = rest.split_at_mut(group.len);
+                    rest = tail;
+                    match &mut group.kind {
+                        GroupKind::Scalar => {
+                            for cell in slice {
+                                step_robot(cell, inputs, stamp);
+                            }
                         }
-                        // Missed the tick boundary: skip the iteration,
-                        // leaving detector state and report untouched.
-                        None => Err(CoreError::MissedDeadline { robot: i }),
-                    };
-                    if cell.result.is_ok() {
-                        let input = inputs.get(i).expect("ok result implies input");
-                        cell.detector.record_tick(
-                            stamp,
-                            input.u_prev,
-                            input.readings,
-                            &cell.report,
-                        );
-                    }
-                };
-                match pool {
-                    None => {
-                        for (i, cell) in cells.iter_mut().enumerate() {
-                            step_robot(i, cell);
-                        }
-                    }
-                    Some(pool) => {
-                        pool.chunked_for_each(cells, MIN_ROBOTS_PER_JOB, step_robot);
+                        GroupKind::K4(jobs) => step_range_slab(&mut jobs[0], slice, inputs, stamp),
+                        GroupKind::K8(jobs) => step_range_slab(&mut jobs[0], slice, inputs, stamp),
                     }
                 }
             }
+            // Parallel: one scope for the whole tick; every group
+            // contributes its own jobs, sliced within the group so no
+            // lane tile (and no slab scratch) ever straddles groups.
+            Some(pool) => {
+                pool.scoped(|scope| {
+                    let mut rest = cells;
+                    for group in groups.iter_mut() {
+                        let (slice, tail) = rest.split_at_mut(group.len);
+                        rest = tail;
+                        match &mut group.kind {
+                            GroupKind::Scalar => {
+                                let chunk = pool.chunk_size(slice.len(), MIN_ROBOTS_PER_JOB);
+                                for cell_chunk in slice.chunks_mut(chunk) {
+                                    scope.execute(move || {
+                                        for cell in cell_chunk {
+                                            step_robot(cell, inputs, stamp);
+                                        }
+                                    });
+                                }
+                            }
+                            GroupKind::K4(jobs) => {
+                                let chunk =
+                                    pool.chunk_size_aligned(slice.len(), MIN_ROBOTS_PER_JOB, 4);
+                                for (cell_chunk, job) in
+                                    slice.chunks_mut(chunk).zip(jobs.iter_mut())
+                                {
+                                    scope.execute(move || {
+                                        step_range_slab(job, cell_chunk, inputs, stamp)
+                                    });
+                                }
+                            }
+                            GroupKind::K8(jobs) => {
+                                let chunk =
+                                    pool.chunk_size_aligned(slice.len(), MIN_ROBOTS_PER_JOB, 8);
+                                for (cell_chunk, job) in
+                                    slice.chunks_mut(chunk).zip(jobs.iter_mut())
+                                {
+                                    scope.execute(move || {
+                                        step_range_slab(job, cell_chunk, inputs, stamp)
+                                    });
+                                }
+                            }
+                        }
+                    }
+                });
+            }
         }
-        for cell in &self.cells {
-            if let Err(e) = &cell.result {
+        // First failure in fleet (robot-index) order, independent of
+        // the internal group-major cell order.
+        for &slot in &self.slots {
+            if let Err(e) = &self.cells[slot].result {
                 return Err(e.clone());
             }
         }
@@ -496,7 +767,7 @@ impl FleetEngine {
 
     /// Robot `i`'s detector (its filter state, iteration counter, …).
     pub fn detector(&self, i: usize) -> &RoboAds {
-        &self.cells[i].detector
+        &self.cells[self.slots[i]].detector
     }
 
     /// Robot `i`'s report from the last [`FleetEngine::step_batch`].
@@ -510,78 +781,77 @@ impl FleetEngine {
     /// [`CoreError::MissedDeadline`] it is the previous tick's report,
     /// untouched).
     pub fn report(&self, i: usize) -> &DetectionReport {
-        &self.cells[i].report
+        &self.cells[self.slots[i]].report
     }
 
     /// Robot `i`'s outcome from the last batch.
     pub fn result(&self, i: usize) -> &Result<()> {
-        &self.cells[i].result
+        &self.cells[self.slots[i]].result
     }
 
-    /// Iterates over the fleet's `(detector, report)` pairs in slab
-    /// order.
+    /// Iterates over the fleet's `(detector, report)` pairs in fleet
+    /// (robot-index) order.
     pub fn iter(&self) -> impl Iterator<Item = (&RoboAds, &DetectionReport)> {
-        self.cells.iter().map(|c| (&c.detector, &c.report))
+        self.slots.iter().map(|&slot| {
+            let cell = &self.cells[slot];
+            (&cell.detector, &cell.report)
+        })
     }
 }
 
-/// Steps the whole fleet through the lane-batched slab path: one job on
-/// the sequential path, else one pool job per lane-aligned contiguous
-/// robot chunk ([`roboads_pool::Pool::chunk_size_aligned`], so no
-/// K-lane tile ever straddles two jobs and each job reuses its own
-/// [`SlabJob`] scratch).
-fn step_batch_slab<const K: usize>(
-    cells: &mut [RobotCell],
-    pool: Option<&Arc<Pool>>,
-    jobs: &mut [SlabJob<K>],
-    inputs: Inputs<'_, '_>,
-    stamp: u64,
-) {
-    match pool {
-        None => step_range_slab(&mut jobs[0], cells, 0, inputs, stamp),
-        Some(pool) => {
-            let chunk = pool.chunk_size_aligned(cells.len(), MIN_ROBOTS_PER_JOB, K);
-            pool.scoped(|scope| {
-                for (chunk_idx, (cell_chunk, job)) in
-                    cells.chunks_mut(chunk).zip(jobs.iter_mut()).enumerate()
-                {
-                    let base = chunk_idx * chunk;
-                    scope.execute(move || step_range_slab(job, cell_chunk, base, inputs, stamp));
-                }
-            });
-        }
+/// Steps one robot through the per-robot scalar path (scalar groups and
+/// the masked-hole case), recording the tick on success.
+fn step_robot(cell: &mut RobotCell, inputs: Inputs<'_, '_>, stamp: u64) {
+    // RAII reset: `step_into` runs inside a pool job whose panics are
+    // caught by the worker, so a manual `set_robot(0)` after it would be
+    // skipped on unwind and leak this robot's id into every later span
+    // the worker closes.
+    let _robot = roboads_obs::robot_scope(cell.fleet as u32 + 1);
+    cell.result = match inputs.get(cell.fleet) {
+        Some(input) => cell
+            .detector
+            .step_into(input.u_prev, input.readings, &mut cell.report),
+        // Missed the tick boundary: skip the iteration, leaving
+        // detector state and report untouched.
+        None => Err(CoreError::MissedDeadline { robot: cell.fleet }),
+    };
+    if cell.result.is_ok() {
+        let input = inputs.get(cell.fleet).expect("ok result implies input");
+        cell.detector
+            .record_tick(stamp, input.u_prev, input.readings, &cell.report);
     }
 }
 
-/// Steps one job's contiguous robot range tile by tile. `base` is the
-/// global index of `cells[0]` (for input lookup and robot telemetry
-/// ids). The final tile of the final job may be partial; it runs with
-/// the surplus lanes masked off.
+/// Steps one job's contiguous robot range (all cells of one signature
+/// group, or one lane-aligned chunk of it) tile by tile. The final tile
+/// of the group's final job may be partial; it runs with the surplus
+/// lanes masked off.
 fn step_range_slab<const K: usize>(
     job: &mut SlabJob<K>,
     cells: &mut [RobotCell],
-    base: usize,
     inputs: Inputs<'_, '_>,
     stamp: u64,
 ) {
-    for (t, tile) in cells.chunks_mut(K).enumerate() {
-        step_tile(&mut job.bank, tile, base + t * K, inputs, stamp);
+    for tile in cells.chunks_mut(K) {
+        step_tile(&mut job.bank, tile, inputs, stamp);
     }
 }
 
 /// Steps one ≤K-robot tile: loads each robot's per-mode inputs into the
 /// slab lanes, runs every mode's lane-batched NUISE pass, scatters the
 /// per-mode outputs back into each robot's engine, and commits each
-/// robot's selection/decision tail. A lane that fails anywhere (bad
-/// readings at load, numeric failure inside a batched kernel) is masked
-/// out of the remaining slab work and its robot re-runs the *scalar*
-/// detector step from its untouched filter state — reproducing the
-/// exact per-robot result and error, since engine state only mutates at
-/// commit time.
+/// robot's selection/decision tail. Tiles never span signature groups,
+/// so every lane of a tile shares the representative cell's models,
+/// mode bank and thresholds; each lane's input lookup, span id, record
+/// stamp and error index map back through its cell's fleet index. A
+/// lane that fails anywhere (bad readings at load, numeric failure
+/// inside a batched kernel) is masked out of the remaining slab work
+/// and its robot re-runs the *scalar* detector step from its untouched
+/// filter state — reproducing the exact per-robot result and error,
+/// since engine state only mutates at commit time.
 fn step_tile<const K: usize>(
     bank: &mut [NuiseSlabWorkspace<K>],
     cells: &mut [RobotCell],
-    base: usize,
     inputs: Inputs<'_, '_>,
     stamp: u64,
 ) {
@@ -592,21 +862,16 @@ fn step_tile<const K: usize>(
     // does not happen.
     let mut present = [false; K];
     let mut lane_ok = [false; K];
-    for (l, (p, flag)) in present
-        .iter_mut()
-        .zip(lane_ok.iter_mut())
-        .enumerate()
-        .take(cells.len())
-    {
-        *p = inputs.get(base + l).is_some();
-        *flag = *p;
+    for (l, cell) in cells.iter().enumerate() {
+        present[l] = inputs.get(cell.fleet).is_some();
+        lane_ok[l] = present[l];
     }
     for (m, ws) in bank.iter_mut().enumerate() {
         for (l, cell) in cells.iter().enumerate() {
             if !lane_ok[l] {
                 continue;
             }
-            let input = inputs.get(base + l).expect("ok lane is present");
+            let input = inputs.get(cell.fleet).expect("ok lane is present");
             let eng = cell.detector.engine();
             let (x_m, p_m) = eng.mode_state(m);
             if ws
@@ -636,22 +901,22 @@ fn step_tile<const K: usize>(
         // RAII reset (not a manual set/clear pair): the scalar fallback
         // below runs inside a pool job that catches panics, and a leaked
         // robot id would mislabel every later span on the worker.
-        let _robot = roboads_obs::robot_scope((base + l) as u32 + 1);
+        let _robot = roboads_obs::robot_scope(cell.fleet as u32 + 1);
         cell.result = if lane_ok[l] {
             cell.detector
                 .commit_slab_step(bank.iter().map(|ws| ws.count(l)), &mut cell.report)
         } else if present[l] {
-            let input = inputs.get(base + l).expect("failed lane is present");
+            let input = inputs.get(cell.fleet).expect("failed lane is present");
             cell.detector
                 .step_into(input.u_prev, input.readings, &mut cell.report)
         } else {
-            Err(CoreError::MissedDeadline { robot: base + l })
+            Err(CoreError::MissedDeadline { robot: cell.fleet })
         };
         // Record on either completed path (slab commit or scalar
         // fallback) — the slab path bypasses `step_into`, so recording
         // must hang off the fleet, not the detector's step.
         if cell.result.is_ok() {
-            let input = inputs.get(base + l).expect("ok result implies input");
+            let input = inputs.get(cell.fleet).expect("ok result implies input");
             cell.detector
                 .record_tick(stamp, input.u_prev, input.readings, &cell.report);
         }
@@ -669,6 +934,18 @@ mod tests {
         let system = presets::khepera_system();
         let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
         RoboAds::with_defaults(system, x0).unwrap()
+    }
+
+    fn detector_for(system: &RobotSystem, lanes: usize) -> RoboAds {
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let modes = ModeSet::one_reference_per_sensor(system);
+        RoboAds::new(
+            system.clone(),
+            RoboAdsConfig::paper_defaults().with_slab_lanes(lanes),
+            x0,
+            modes,
+        )
+        .unwrap()
     }
 
     fn clean_readings(system: &RobotSystem, x: &Vector) -> Vec<Vector> {
@@ -845,5 +1122,179 @@ mod tests {
         )
         .unwrap();
         FleetEngine::new(vec![d], 1);
+    }
+
+    /// Steps `fleet` once with clean inputs so the partition resolves.
+    fn step_once(fleet: &mut FleetEngine, system: &RobotSystem) {
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let x1 = system.dynamics().step(&x0, &u);
+        let readings = clean_readings(system, &x1);
+        let inputs = vec![
+            RobotInput {
+                u_prev: &u,
+                readings: &readings,
+            };
+            fleet.len()
+        ];
+        fleet.step_batch(&inputs).unwrap();
+    }
+
+    #[test]
+    fn one_odd_robot_no_longer_collapses_the_fleet_to_scalar() {
+        // 8 robots share one system; the 9th is a separately
+        // instantiated (pointer-distinct) Khepera. Pre-grouping, that
+        // single odd robot dropped all 8 neighbours to the scalar path;
+        // now the homogeneous group keeps its 8-lane slab and only the
+        // odd robot runs scalar.
+        let shared = presets::khepera_system();
+        let odd = presets::khepera_system();
+        let mut detectors: Vec<RoboAds> = (0..8).map(|_| detector_for(&shared, 8)).collect();
+        detectors.push(detector_for(&odd, 8));
+        let mut fleet = FleetEngine::new(detectors, 1);
+        assert_eq!(fleet.slab_groups(), 0, "partition is lazy");
+        step_once(&mut fleet, &shared);
+        assert_eq!(fleet.slab_groups(), 1);
+        assert_eq!(fleet.slab_robots(), 8);
+        assert_eq!(fleet.scalar_robots(), 1);
+    }
+
+    #[test]
+    fn small_fleet_rule_is_per_group() {
+        // A 40-robot fleet of five signatures, interleaved so the
+        // groups are scattered across fleet order. Group sizes {8, 7,
+        // 7, 9, 9} at 8 lanes: the three groups that fill a tile slab;
+        // the two 7-robot groups stay scalar — the threshold is each
+        // group's own size, never the fleet total.
+        let sizes = [8usize, 7, 7, 9, 9];
+        let systems: Vec<RobotSystem> = sizes.iter().map(|_| presets::khepera_system()).collect();
+        let mut remaining = sizes;
+        let mut detectors = Vec::new();
+        loop {
+            let mut dealt = false;
+            for (g, left) in remaining.iter_mut().enumerate() {
+                if *left > 0 {
+                    *left -= 1;
+                    dealt = true;
+                    detectors.push(detector_for(&systems[g], 8));
+                }
+            }
+            if !dealt {
+                break;
+            }
+        }
+        assert_eq!(detectors.len(), 40);
+        let mut fleet = FleetEngine::new(detectors, 1);
+        step_once(&mut fleet, &systems[0]);
+        assert_eq!(fleet.slab_groups(), 3);
+        assert_eq!(fleet.slab_robots(), 8 + 9 + 9);
+        assert_eq!(fleet.scalar_robots(), 7 + 7);
+    }
+
+    #[test]
+    fn differing_config_discriminants_split_groups() {
+        // Same system `Arc`s but different mode banks / compensation
+        // must not share a slab: the kernels specialize on those.
+        let system = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut detectors: Vec<RoboAds> = (0..8).map(|_| detector_for(&system, 8)).collect();
+        for _ in 0..8 {
+            detectors.push(
+                RoboAds::new(
+                    system.clone(),
+                    RoboAdsConfig::paper_defaults().with_slab_lanes(8),
+                    x0.clone(),
+                    ModeSet::complete(&system),
+                )
+                .unwrap(),
+            );
+        }
+        let mut fleet = FleetEngine::new(detectors, 1);
+        step_once(&mut fleet, &system);
+        assert_eq!(fleet.slab_groups(), 2);
+        assert_eq!(fleet.slab_robots(), 16);
+        assert_eq!(fleet.scalar_robots(), 0);
+    }
+
+    #[test]
+    fn membership_change_emits_regroup_and_refreshes_gauges() {
+        use roboads_obs::RingBufferSink;
+        let ring = Arc::new(RingBufferSink::new(1024));
+        let telemetry = Telemetry::new(ring.clone());
+        let system = presets::khepera_system();
+        let mut fleet = FleetEngine::new((0..8).map(|_| detector_for(&system, 8)).collect(), 1);
+        fleet.set_telemetry(telemetry.clone());
+        step_once(&mut fleet, &system);
+        let m = telemetry.metrics();
+        assert_eq!(m.counter_value("fleet.regroups"), Some(0));
+        assert_eq!(m.gauge("fleet.slab_robots").get(), 8.0);
+
+        // Pushing a robot invalidates the partition; the next batch
+        // re-partitions, bumps the regroup counter, emits the event and
+        // refreshes the gauges.
+        fleet.push(detector_for(&system, 8));
+        assert_eq!(fleet.slab_groups(), 0, "invalidated until the next batch");
+        step_once(&mut fleet, &system);
+        assert_eq!(m.counter_value("fleet.regroups"), Some(1));
+        assert_eq!(m.gauge("fleet.slab_robots").get(), 9.0);
+        assert_eq!(m.gauge("fleet.slab_groups").get(), 1.0);
+        assert_eq!(m.gauge("fleet.scalar_robots").get(), 0.0);
+        assert!(
+            ring.events().iter().any(|e| e.name == "fleet.regroup"),
+            "regroup event not emitted"
+        );
+    }
+
+    #[test]
+    fn grouped_fleet_accessors_stay_in_fleet_order() {
+        // Interleave two signatures so the group-major reorder permutes
+        // the cells, then check every fleet-index accessor still
+        // addresses the robot the caller pushed at that index.
+        let a = presets::khepera_system();
+        let b = presets::khepera_system();
+        let systems = [&a, &b, &a, &a, &b, &a, &a, &a, &a, &b, &a, &a];
+        let mut fleet = FleetEngine::new(systems.iter().map(|s| detector_for(s, 4)).collect(), 1);
+        fleet.attach_recorder(RecorderConfig::default());
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        let mut twins: Vec<RoboAds> = systems.iter().map(|s| detector_for(s, 1)).collect();
+        for k in 0..6 {
+            x_true = a.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&a, &x_true);
+            if k >= 3 {
+                readings[0][0] += 0.07;
+            }
+            // Give robot 5 its own distinct readings so a permuted
+            // accessor (or input lookup) cannot go unnoticed.
+            let mut special = readings.clone();
+            special[1][0] += 0.002;
+            let inputs: Vec<RobotInput> = (0..systems.len())
+                .map(|i| RobotInput {
+                    u_prev: &u,
+                    readings: if i == 5 { &special } else { &readings },
+                })
+                .collect();
+            fleet.step_batch(&inputs).unwrap();
+            for (i, twin) in twins.iter_mut().enumerate() {
+                let expected = twin
+                    .step(&u, if i == 5 { &special } else { &readings })
+                    .unwrap();
+                assert_eq!(fleet.report(i), &expected, "robot {i} report at step {k}");
+                assert_eq!(fleet.detector(i).iteration(), expected.iteration);
+            }
+        }
+        // Group a (9 robots ≥ 4 lanes) slabs; group b (3 < 4) is scalar.
+        assert_eq!(fleet.slab_groups(), 1);
+        assert_eq!(fleet.slab_robots(), 9);
+        assert_eq!(fleet.scalar_robots(), 3);
+        // iter() yields fleet order.
+        for (i, (d, _)) in fleet.iter().enumerate() {
+            assert_eq!(d.iteration(), twins[i].iteration());
+        }
+        // Recorders carry the fleet index, not the cell position.
+        for i in 0..systems.len() {
+            assert_eq!(fleet.recorder(i).unwrap().robot(), i as u32);
+        }
     }
 }

@@ -54,6 +54,14 @@ pub struct RobotHealth {
 pub struct FleetHealth {
     robots: Vec<RobotHealth>,
     ticks: u64,
+    /// Signature groups on the slab path (see
+    /// [`FleetEngine::slab_groups`]); refreshed from the fleet at every
+    /// [`FleetHealth::observe`].
+    slab_groups: u64,
+    /// Robots stepped through slab tiles.
+    slab_robots: u64,
+    /// Robots stepped per-robot.
+    scalar_robots: u64,
     telemetry: Option<Telemetry>,
 }
 
@@ -63,6 +71,9 @@ impl FleetHealth {
         FleetHealth {
             robots: vec![RobotHealth::default(); robots],
             ticks: 0,
+            slab_groups: 0,
+            slab_robots: 0,
+            scalar_robots: 0,
             telemetry: None,
         }
     }
@@ -99,6 +110,9 @@ impl FleetHealth {
             fleet.len()
         );
         self.ticks += 1;
+        self.slab_groups = fleet.slab_groups() as u64;
+        self.slab_robots = fleet.slab_robots() as u64;
+        self.scalar_robots = fleet.scalar_robots() as u64;
         for (i, robot) in self.robots.iter_mut().enumerate() {
             match fleet.result(i) {
                 Ok(()) => {
@@ -155,6 +169,21 @@ impl FleetHealth {
         self.robots.iter().map(|r| r.capsules).sum()
     }
 
+    /// Signature groups on the slab path at the last observed tick.
+    pub fn slab_groups(&self) -> u64 {
+        self.slab_groups
+    }
+
+    /// Robots stepped through slab tiles at the last observed tick.
+    pub fn slab_robots(&self) -> u64 {
+        self.slab_robots
+    }
+
+    /// Robots stepped per-robot at the last observed tick.
+    pub fn scalar_robots(&self) -> u64 {
+        self.scalar_robots
+    }
+
     /// JSON snapshot: fleet aggregates plus one object per robot.
     pub fn to_json(&self) -> String {
         let mut o = JsonObject::new();
@@ -163,6 +192,9 @@ impl FleetHealth {
         o.field_u64("alarmed", self.alarmed() as u64);
         o.field_u64("missed_deadlines", self.missed_deadlines());
         o.field_u64("capsules", self.capsules());
+        o.field_u64("slab_groups", self.slab_groups);
+        o.field_u64("slab_robots", self.slab_robots);
+        o.field_u64("scalar_robots", self.scalar_robots);
         let rows: Vec<String> = self
             .robots
             .iter()
@@ -212,6 +244,25 @@ impl FleetHealth {
         p.help("roboads_fleet_capsules", "Incident capsules sealed");
         p.type_("roboads_fleet_capsules", "gauge");
         p.sample("roboads_fleet_capsules", &[], self.capsules() as f64);
+        p.help(
+            "roboads_fleet_slab_groups",
+            "Signature groups on the SIMD slab path",
+        );
+        p.type_("roboads_fleet_slab_groups", "gauge");
+        p.sample("roboads_fleet_slab_groups", &[], self.slab_groups as f64);
+        p.help(
+            "roboads_fleet_slab_robots",
+            "Robots stepped through slab tiles",
+        );
+        p.type_("roboads_fleet_slab_robots", "gauge");
+        p.sample("roboads_fleet_slab_robots", &[], self.slab_robots as f64);
+        p.help("roboads_fleet_scalar_robots", "Robots stepped per-robot");
+        p.type_("roboads_fleet_scalar_robots", "gauge");
+        p.sample(
+            "roboads_fleet_scalar_robots",
+            &[],
+            self.scalar_robots as f64,
+        );
 
         type RobotGauge = (&'static str, &'static str, fn(&RobotHealth) -> f64);
         let gauges: [RobotGauge; 9] = [

@@ -17,7 +17,7 @@ use crate::{CoreError, Result};
 /// assert!(mode.is_testing(0));
 /// assert!(!mode.is_testing(1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Mode {
     reference: Vec<usize>,
@@ -76,7 +76,7 @@ impl Mode {
 /// grows linearly in `p`; the complete set of `2^p − 1` hypotheses is
 /// also available for designers who accept the exponential cost, as is
 /// grouping for partial-state sensors.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ModeSet {
     modes: Vec<Mode>,

@@ -701,6 +701,11 @@ impl FlightRecorder {
         self.robot = robot;
     }
 
+    /// The fleet robot index stamped into capsules (0 standalone).
+    pub fn robot(&self) -> u32 {
+        self.robot
+    }
+
     /// Attaches the telemetry context whose histograms enrich capsules.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;

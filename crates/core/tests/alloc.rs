@@ -193,6 +193,96 @@ fn warmed_up_sequential_fleet_batch_is_allocation_free() {
 }
 
 #[test]
+fn warmed_up_grouped_fleet_batch_is_allocation_free() {
+    // The heterogeneous partition must not smuggle allocation back into
+    // the warm path: once `resolve_slab` has reordered the cells
+    // group-major and sized each group's slab bank, a mixed-signature
+    // batch walks the groups with `split_at_mut` and reuses the per-job
+    // scratch — zero heap traffic, exactly like the homogeneous fleet.
+    // Two pointer-distinct Khepera instances interleaved 11 + 9: at 4/8
+    // lanes both groups slab (with masked remainder tiles); at 1 both
+    // run scalar.
+    for lanes in [1, 4, 8] {
+        let system_a = presets::khepera_system();
+        let system_b = presets::khepera_system();
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        const ROBOTS: usize = 20;
+        let detector_for = |system: &roboads_models::RobotSystem| {
+            RoboAds::new(
+                system.clone(),
+                RoboAdsConfig::paper_defaults().with_slab_lanes(lanes),
+                x0.clone(),
+                ModeSet::one_reference_per_sensor(system),
+            )
+            .unwrap()
+        };
+        // Interleaved: robots 0,2,4,… group a (11 robots), 1,3,5,…,17
+        // group b (9 robots) — the reorder genuinely permutes cells.
+        let mut fleet = FleetEngine::new(
+            (0..ROBOTS)
+                .map(|i| {
+                    detector_for(if i % 2 == 0 || i >= 18 {
+                        &system_a
+                    } else {
+                        &system_b
+                    })
+                })
+                .collect(),
+            1,
+        );
+        let mut x_true = x0.clone();
+
+        for k in 0..6 {
+            x_true = system_a.dynamics().step(&x_true, &u);
+            let mut readings: Vec<Vector> = (0..system_a.sensor_count())
+                .map(|i| system_a.sensor(i).unwrap().measure(&x_true))
+                .collect();
+            if k >= 3 {
+                readings[0][0] += 0.07;
+            }
+            let inputs = vec![
+                RobotInput {
+                    u_prev: &u,
+                    readings: &readings,
+                };
+                ROBOTS
+            ];
+            fleet.step_batch(&inputs).unwrap();
+        }
+        if lanes > 1 {
+            assert_eq!(fleet.slab_groups(), 2);
+            assert_eq!(fleet.slab_robots(), ROBOTS);
+        } else {
+            assert_eq!(fleet.scalar_robots(), ROBOTS);
+        }
+
+        x_true = system_a.dynamics().step(&x_true, &u);
+        let mut readings: Vec<Vector> = (0..system_a.sensor_count())
+            .map(|i| system_a.sensor(i).unwrap().measure(&x_true))
+            .collect();
+        readings[0][0] += 0.07;
+        let inputs = vec![
+            RobotInput {
+                u_prev: &u,
+                readings: &readings,
+            };
+            ROBOTS
+        ];
+        let steady_allocs = allocations_during(|| {
+            for _ in 0..3 {
+                fleet.step_batch(&inputs).unwrap();
+            }
+        });
+        assert_eq!(
+            steady_allocs, 0,
+            "warmed-up grouped fleet step_batch (slab_lanes = {lanes}) \
+             allocated {steady_allocs} times"
+        );
+    }
+}
+
+#[test]
 fn warmed_up_flight_recorder_tick_is_allocation_free() {
     // The flight recorder rides the control loop's hot path: on a clean
     // tick, `record_tick` must refill a pre-sized ring slot in place and

@@ -256,3 +256,207 @@ fn slab_lane_failure_falls_back_to_scalar_per_robot() {
     assert!(!scalar[5][3].0);
     assert_eq!(scalar[7][3].1, 7);
 }
+
+// ---------------------------------------------------------------------
+// Heterogeneous (multi-signature) fleets: the per-group slab partition
+// must be just as bitwise-invisible as the homogeneous slab. Each group
+// uses a separately instantiated preset system — numerically identical
+// but pointer-distinct, so the fleet partitions it into its own group —
+// and groups are *dealt round-robin* across fleet order so the
+// group-major cell reorder genuinely permutes robots.
+// ---------------------------------------------------------------------
+
+/// Deals `sizes[g]` robots of signature group `g` round-robin across
+/// fleet order; returns each fleet index's group id.
+fn deal_groups(sizes: &[usize]) -> Vec<usize> {
+    let mut remaining = sizes.to_vec();
+    let mut layout = Vec::new();
+    loop {
+        let mut dealt = false;
+        for (g, left) in remaining.iter_mut().enumerate() {
+            if *left > 0 {
+                *left -= 1;
+                layout.push(g);
+                dealt = true;
+            }
+        }
+        if !dealt {
+            break;
+        }
+    }
+    layout
+}
+
+fn detector_for(system: &RobotSystem, lanes: usize) -> RoboAds {
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let modes = ModeSet::one_reference_per_sensor(system);
+    RoboAds::new(
+        system.clone(),
+        RoboAdsConfig::paper_defaults().with_slab_lanes(lanes),
+        x0,
+        modes,
+    )
+    .unwrap()
+}
+
+/// Per-robot report sequences from a mixed fleet: robot `i` belongs to
+/// signature group `layout[i]` (its own `RobotSystem` instance).
+fn mixed_fleet_run(
+    layout: &[usize],
+    systems: &[RobotSystem],
+    threads: usize,
+    lanes: usize,
+) -> Vec<Vec<DetectionReport>> {
+    let physics = &systems[0]; // presets are bitwise-identical constants
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let mut fleet = FleetEngine::new(
+        layout
+            .iter()
+            .map(|&g| detector_for(&systems[g], lanes))
+            .collect(),
+        threads,
+    );
+    let mut x_true = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let mut sequences: Vec<Vec<DetectionReport>> = vec![Vec::with_capacity(STEPS); layout.len()];
+    for k in 0..STEPS {
+        x_true = physics.dynamics().step(&x_true, &u);
+        let all_readings: Vec<Vec<Vector>> = (0..layout.len())
+            .map(|robot| robot_readings(physics, &x_true, robot, k))
+            .collect();
+        let inputs: Vec<RobotInput> = all_readings
+            .iter()
+            .map(|readings| RobotInput {
+                u_prev: &u,
+                readings,
+            })
+            .collect();
+        fleet.step_batch(&inputs).unwrap();
+        for (robot, seq) in sequences.iter_mut().enumerate() {
+            seq.push(fleet.report(robot).clone());
+        }
+    }
+    sequences
+}
+
+/// Every robot of a mixed fleet — group sizes spanning a lone robot, a
+/// sub-tile group, exactly one tile, and many tiles — must be bitwise
+/// identical to its standalone twin at every thread count and lane
+/// width. Sub-tile groups run scalar (per-group small-fleet rule), the
+/// rest slab; neither may perturb a bit.
+#[test]
+fn mixed_fleet_robots_match_their_standalone_twins() {
+    for sizes in [&[8usize, 1, 7][..], &[67, 8][..]] {
+        let layout = deal_groups(sizes);
+        let systems: Vec<RobotSystem> = sizes.iter().map(|_| presets::khepera_system()).collect();
+        // A standalone twin per robot, built from its group's system.
+        let expected: Vec<Vec<DetectionReport>> = {
+            let physics = &systems[0];
+            let u = Vector::from_slice(&[0.06, 0.05]);
+            layout
+                .iter()
+                .enumerate()
+                .map(|(robot, &g)| {
+                    let mut ads = detector_for(&systems[g], 1);
+                    let mut x_true = Vector::from_slice(&[0.5, 0.5, 0.2]);
+                    let mut reports = Vec::with_capacity(STEPS);
+                    for k in 0..STEPS {
+                        x_true = physics.dynamics().step(&x_true, &u);
+                        let readings = robot_readings(physics, &x_true, robot, k);
+                        reports.push(ads.step(&u, &readings).unwrap());
+                    }
+                    reports
+                })
+                .collect()
+        };
+        for threads in [1, 2, 4] {
+            for lanes in [4, 8] {
+                let got = mixed_fleet_run(&layout, &systems, threads, lanes);
+                for (robot, (a, b)) in expected.iter().zip(&got).enumerate() {
+                    for (k, (ra, rb)) in a.iter().zip(b).enumerate() {
+                        assert_eq!(
+                            ra, rb,
+                            "sizes={sizes:?} threads={threads} lanes={lanes} \
+                             robot={robot} diverged at step {k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A NaN divergence inside one signature group's tile must fall only
+/// that robot back to scalar; lanes of *other groups* — stepped through
+/// entirely separate slab scratch — stay bitwise untouched.
+#[test]
+fn nan_in_one_group_leaves_other_groups_lanes_untouched() {
+    let sizes = [8usize, 8];
+    let layout = deal_groups(&sizes);
+    let poisoned = layout.iter().position(|&g| g == 0).unwrap(); // a group-0 robot
+    let run = |lanes: usize| {
+        let systems: Vec<RobotSystem> = sizes.iter().map(|_| presets::khepera_system()).collect();
+        let physics = systems[0].clone();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut fleet = FleetEngine::new(
+            layout
+                .iter()
+                .map(|&g| detector_for(&systems[g], lanes))
+                .collect(),
+            1,
+        );
+        let mut x_true = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let mut outcomes = Vec::new();
+        for k in 0..8 {
+            x_true = physics.dynamics().step(&x_true, &u);
+            let all_readings: Vec<Vec<Vector>> = (0..layout.len())
+                .map(|robot| {
+                    let mut readings = robot_readings(&physics, &x_true, robot, k);
+                    if robot == poisoned && k == 5 {
+                        readings[0][0] = f64::NAN;
+                    }
+                    readings
+                })
+                .collect();
+            let inputs: Vec<RobotInput> = all_readings
+                .iter()
+                .map(|readings| RobotInput {
+                    u_prev: &u,
+                    readings,
+                })
+                .collect();
+            let batch = fleet.step_batch(&inputs);
+            assert_eq!(batch.is_err(), k == 5, "lanes={lanes} step {k}");
+            outcomes.push(
+                (0..layout.len())
+                    .map(|r| {
+                        (
+                            fleet.result(r).is_ok(),
+                            fleet.detector(r).iteration(),
+                            fleet.report(r).clone(),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        outcomes
+    };
+    let scalar = run(1);
+    let slab = run(8);
+    for (k, (sc, sl)) in scalar.iter().zip(&slab).enumerate() {
+        for (r, (a, b)) in sc.iter().zip(sl).enumerate() {
+            assert_eq!(a.0, b.0, "result mismatch robot {r} step {k}");
+            assert_eq!(a.1, b.1, "iteration mismatch robot {r} step {k}");
+            if a.0 {
+                assert_eq!(a.2, b.2, "report mismatch robot {r} step {k}");
+            }
+        }
+    }
+    // The poisoned robot failed exactly once; every group-1 robot (the
+    // *other* slab group) completed all 8 iterations.
+    assert!(!scalar[5][poisoned].0 && !slab[5][poisoned].0);
+    for (r, &g) in layout.iter().enumerate() {
+        if g == 1 {
+            assert_eq!(slab[7][r].1, 8, "group-1 robot {r} lost an iteration");
+        }
+    }
+}

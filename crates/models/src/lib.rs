@@ -61,7 +61,7 @@ pub use environment::{Aabb, Arena, RaycastHit};
 pub use jacobian::{numeric_jacobian, numeric_jacobian_wrt};
 pub use pose::Pose2;
 pub use sensors::SensorModel;
-pub use system::{RobotSystem, SensorSlice};
+pub use system::{ModelSignature, RobotSystem, SensorSlice};
 
 use std::error::Error;
 use std::fmt;

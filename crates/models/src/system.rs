@@ -6,6 +6,36 @@ use crate::dynamics::DynamicsModel;
 use crate::sensors::SensorModel;
 use crate::{ModelError, Result};
 
+/// A cheap, hashable identity of a system's model set: the pointer
+/// identities of the shared dynamics and sensor `Arc`s plus the exact
+/// bit pattern of the process-noise covariance `Q`.
+///
+/// Two systems with equal signatures evaluate every `f`/`h`/Jacobian
+/// and every noise covariance **bitwise identically** — the
+/// precondition for batching their detectors lane-wise. This is the
+/// grouping key the fleet engine partitions heterogeneous fleets by
+/// (combined with its own config discriminants: mode bank,
+/// compensation, linearization policy, lane width); it subsumes
+/// [`RobotSystem::shares_models`], which is exactly signature equality.
+///
+/// The signature is identity-based on purpose: two *separately
+/// constructed* but numerically identical model sets get distinct
+/// signatures. That costs a duplicated slab group (correct, merely less
+/// batched), whereas value-based comparison of opaque `dyn` models is
+/// impossible in general. Fleets built by cloning one
+/// [`RobotSystem`] — the normal construction path — share `Arc`s and
+/// therefore signatures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelSignature {
+    /// Address of the shared dynamics model.
+    dynamics: usize,
+    /// Bit patterns of `Q` in row-major order (bitwise equality, so two
+    /// systems in one group run identical covariance propagation).
+    process_noise: Vec<u64>,
+    /// Addresses of the shared sensor models, in suite order.
+    sensors: Vec<usize>,
+}
+
 /// Location of one sensor's components inside a stacked reading vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SensorSlice {
@@ -117,19 +147,49 @@ impl RobotSystem {
 
     /// Whether `self` and `other` are built from the *same* model
     /// objects: pointer-identical dynamics and sensor suite (the shared
-    /// `Arc`s of a fleet built by cloning one system) and an equal
-    /// process-noise matrix. Two systems sharing models evaluate every
-    /// `f`/`h`/Jacobian bitwise identically, which is the precondition
-    /// for batching their detectors lane-wise.
+    /// `Arc`s of a fleet built by cloning one system) and a
+    /// bitwise-equal process-noise matrix. Two systems sharing models
+    /// evaluate every `f`/`h`/Jacobian bitwise identically, which is
+    /// the precondition for batching their detectors lane-wise.
+    ///
+    /// Equivalent to `self.signature() == other.signature()` without
+    /// materializing either signature.
     pub fn shares_models(&self, other: &RobotSystem) -> bool {
         Arc::ptr_eq(&self.dynamics, &other.dynamics)
-            && self.process_noise == other.process_noise
+            && self.process_noise.shape() == other.process_noise.shape()
+            && self
+                .process_noise
+                .as_slice()
+                .iter()
+                .zip(other.process_noise.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
             && self.sensors.len() == other.sensors.len()
             && self
                 .sensors
                 .iter()
                 .zip(&other.sensors)
                 .all(|(a, b)| Arc::ptr_eq(a, b))
+    }
+
+    /// This system's [`ModelSignature`]: the hashable grouping key for
+    /// lane-batched fleets. Allocates two small `Vec`s, so callers that
+    /// group many robots should compute each robot's signature once
+    /// (the fleet engine does this only at partition time).
+    pub fn signature(&self) -> ModelSignature {
+        ModelSignature {
+            dynamics: Arc::as_ptr(&self.dynamics) as *const () as usize,
+            process_noise: self
+                .process_noise
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect(),
+            sensors: self
+                .sensors
+                .iter()
+                .map(|s| Arc::as_ptr(s) as *const () as usize)
+                .collect(),
+        }
     }
 
     /// Process-noise covariance `Q`.
@@ -469,6 +529,40 @@ mod tests {
             sys.sensor(7),
             Err(ModelError::UnknownSensor { index: 7, count: 3 })
         ));
+    }
+
+    #[test]
+    fn signatures_group_by_model_identity() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let sys = presets::khepera_system();
+        // Clones share `Arc`s: one group.
+        let clone = sys.clone();
+        assert!(sys.shares_models(&clone));
+        assert_eq!(sys.signature(), clone.signature());
+        let hash = |sig: &ModelSignature| {
+            let mut h = DefaultHasher::new();
+            sig.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&sys.signature()), hash(&clone.signature()));
+
+        // A separately instantiated (numerically identical) system is a
+        // distinct identity: different signature, no shared models.
+        let other = presets::khepera_system();
+        assert!(!sys.shares_models(&other));
+        assert_ne!(sys.signature(), other.signature());
+
+        // Same model `Arc`s but a retuned Q: distinct signature.
+        let retuned = RobotSystem::new(
+            sys.dynamics.clone(),
+            sys.process_noise().clone() * 2.0,
+            sys.sensors.clone(),
+        )
+        .unwrap();
+        assert!(!sys.shares_models(&retuned));
+        assert_ne!(sys.signature(), retuned.signature());
     }
 
     #[test]

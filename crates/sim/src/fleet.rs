@@ -100,6 +100,7 @@ pub struct FleetSimulationBuilder {
     phase: usize,
     seed: u64,
     threads: usize,
+    signature_groups: usize,
     duration: Option<usize>,
     config: RoboAdsConfig,
     telemetry: Option<Telemetry>,
@@ -177,6 +178,7 @@ impl FleetSimulationBuilder {
             phase: 0,
             seed: 0,
             threads: 1,
+            signature_groups: 1,
             duration: None,
             config: RoboAdsConfig::paper_defaults(),
             telemetry: None,
@@ -223,6 +225,21 @@ impl FleetSimulationBuilder {
     /// Results are bitwise independent of this choice.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Splits the fleet across `groups` **model-signature groups**
+    /// (default 1, fully homogeneous): robot `i`'s detector is built
+    /// from signature group `i % groups`'s own, separately instantiated
+    /// copy of the platform's preset system. The copies are numerically
+    /// identical — every robot's physics, readings and reports are
+    /// bitwise unchanged — but pointer-distinct, so the fleet engine
+    /// partitions them into separate slab groups: this is the
+    /// mixed-fleet shape (per-robot firmware builds, per-unit model
+    /// provisioning) the heterogeneous slab grouping exists for.
+    /// Results are bitwise independent of this choice.
+    pub fn signature_groups(mut self, groups: usize) -> Self {
+        self.signature_groups = groups.max(1);
         self
     }
 
@@ -323,6 +340,22 @@ impl FleetSimulationBuilder {
 
         let duration = self.duration.unwrap_or_else(|| self.scenario.duration());
         let dt = presets::CONTROL_PERIOD;
+        // One system instance per signature group. Group 0 reuses the
+        // worlds' system; further groups get fresh (pointer-distinct,
+        // numerically identical) preset instantiations, which is exactly
+        // what makes the fleet engine partition them apart.
+        let detector_systems: Vec<_> = (0..self.signature_groups)
+            .map(|g| {
+                if g == 0 {
+                    system.clone()
+                } else {
+                    match self.kind {
+                        RobotKind::Khepera => presets::khepera_system(),
+                        RobotKind::Tamiya => presets::tamiya_system(),
+                    }
+                }
+            })
+            .collect();
         let mut worlds = Vec::with_capacity(self.robots);
         let mut detectors = Vec::with_capacity(self.robots);
         for robot in 0..self.robots {
@@ -349,11 +382,12 @@ impl FleetSimulationBuilder {
                     presets::CONTROL_PERIOD,
                 )?),
             };
+            let group_system = &detector_systems[robot % detector_systems.len()];
             detectors.push(RoboAds::new(
-                system.clone(),
+                group_system.clone(),
                 config.clone(),
                 x0.clone(),
-                ModeSet::one_reference_per_sensor(&system),
+                ModeSet::one_reference_per_sensor(group_system),
             )?);
             worlds.push(RobotWorld {
                 tracker,
@@ -739,6 +773,45 @@ mod tests {
             records[15].report.iteration,
             records[14].report.iteration + 1
         );
+    }
+
+    /// A mixed-signature fleet (per-robot system instances dealt across
+    /// groups) must produce bitwise the same traces as the homogeneous
+    /// fleet — the per-group slab partition is invisible — while the
+    /// health board shows the fleet actually split into slab groups.
+    #[test]
+    fn signature_groups_are_bitwise_invisible_and_visible_on_the_board() {
+        let run = |groups| {
+            FleetSimulationBuilder::khepera()
+                .scenario(Scenario::ips_spoofing())
+                .robots(16)
+                .phase(3)
+                .seed(9)
+                .duration(40)
+                .signature_groups(groups)
+                .health(true)
+                .run()
+                .unwrap()
+        };
+        let homogeneous = run(1);
+        let mixed = run(2);
+        for robot in 0..16 {
+            for (a, b) in homogeneous.traces[robot]
+                .records()
+                .iter()
+                .zip(mixed.traces[robot].records())
+            {
+                assert_eq!(a.report, b.report, "robot {robot} step {}", a.k);
+            }
+        }
+        // 16 robots in two 8-robot groups: both fill an 8-lane tile.
+        let board = mixed.health.as_ref().unwrap();
+        assert_eq!(board.slab_groups(), 2);
+        assert_eq!(board.slab_robots(), 16);
+        assert_eq!(board.scalar_robots(), 0);
+        let solo = homogeneous.health.as_ref().unwrap();
+        assert_eq!(solo.slab_groups(), 1);
+        assert_eq!(solo.slab_robots(), 16);
     }
 
     #[test]
