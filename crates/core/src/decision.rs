@@ -261,10 +261,17 @@ impl DecisionMaker {
         // consistency (its reference explains the data) — not by its
         // parsimony-weighted probability, which deliberately biases
         // *against* modes that can see a real input anomaly.
+        //
+        // Modes the activation schedule parked this iteration carry
+        // stale outputs: dormant ≠ inconsistent, but a stale estimate
+        // must neither source the actuator statistic nor veto a live
+        // one, so only active modes qualify. The engine guarantees the
+        // most actuator-precise mode stays active while the bank
+        // sleeps, so the source choice matches the full bank's.
         const CONSISTENT_FLOOR: f64 = 1e-4;
         self.qualifying.clear();
         for m in 0..modes.len() {
-            if engine_out.modes[m].consistency >= CONSISTENT_FLOOR {
+            if engine_out.is_active(m) && engine_out.modes[m].consistency >= CONSISTENT_FLOOR {
                 self.qualifying.push(m);
             }
         }
@@ -437,7 +444,10 @@ impl DecisionMaker {
     /// Writes the per-sensor anomaly view for one sensor into
     /// `per_sensor[write]` (pushing a slot when the vector is still
     /// growing): taken from the selected mode when the sensor is in its
-    /// testing set, otherwise from the most probable mode that tests it.
+    /// testing set, otherwise from the most probable mode that tests it,
+    /// preferring modes that actually ran this iteration (a dormant
+    /// mode's view is stale; it is used only when no active mode tests
+    /// the sensor, so the report keeps covering the whole suite).
     /// Returns `false` without writing for a sensor no mode ever tests
     /// (it can never be identified — the mode set designer opted it out).
     fn per_sensor_view_into(
@@ -450,16 +460,21 @@ impl DecisionMaker {
         write: usize,
     ) -> Result<bool> {
         let selected = engine_out.selected;
-        let source_mode = if modes.modes()[selected].is_testing(sensor) {
-            Some(selected)
-        } else {
+        let most_probable_tester = |active_only: bool| {
             (0..modes.len())
-                .filter(|&m| modes.modes()[m].is_testing(sensor))
+                .filter(|&m| {
+                    modes.modes()[m].is_testing(sensor) && (!active_only || engine_out.is_active(m))
+                })
                 .max_by(|&a, &b| {
                     engine_out.probabilities[a]
                         .partial_cmp(&engine_out.probabilities[b])
                         .expect("probabilities are finite")
                 })
+        };
+        let source_mode = if modes.modes()[selected].is_testing(sensor) {
+            Some(selected)
+        } else {
+            most_probable_tester(true).or_else(|| most_probable_tester(false))
         };
         let Some(m) = source_mode else {
             return Ok(false);
@@ -506,6 +521,15 @@ impl DecisionMaker {
         slot.statistic = stat;
         slot.exceeds = test.exceeds(stat);
         Ok(true)
+    }
+
+    /// Whether either sliding window currently holds a positive — i.e.
+    /// a χ² decision window is open and counting toward (or holding) a
+    /// confirmed alarm. The engine's activation scheduler treats this
+    /// as external activity: the mode bank must stay fully awake while
+    /// any hypothesis is in contention (see `DESIGN.md` §17).
+    pub(crate) fn windows_active(&self) -> bool {
+        self.sensor_window.positives() > 0 || self.actuator_window.positives() > 0
     }
 
     /// The configured sensor significance level.
@@ -671,6 +695,7 @@ mod tests {
         EngineOutput {
             modes: outputs,
             probabilities: vec![1.0 / 3.0; 3],
+            active: vec![true; 3],
             selected: 0,
         }
     }

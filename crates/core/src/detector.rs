@@ -3,7 +3,7 @@ use roboads_models::RobotSystem;
 
 use crate::config::RoboAdsConfig;
 use crate::decision::DecisionMaker;
-use crate::engine::MultiModeEngine;
+use crate::engine::{MultiModeEngine, SlabCommit};
 use crate::mode::ModeSet;
 use crate::recorder::{FlightRecorder, RecorderConfig};
 use crate::report::DetectionReport;
@@ -206,6 +206,11 @@ impl RoboAds {
             self.engine.last_output(),
             report,
         )?;
+        // Feed the decision windows back to the activation scheduler:
+        // while a χ² window holds a positive, some hypothesis is in
+        // contention and the bank must stay (or come) fully awake.
+        self.engine
+            .note_decision_activity(self.decision.windows_active());
         self.iteration += 1;
         let out = self.engine.last_output();
         report.iteration = self.iteration;
@@ -228,6 +233,13 @@ impl RoboAds {
     /// Given bitwise-identical mode outputs and counts, the resulting
     /// detector state and report are bitwise identical to `step_into`'s.
     ///
+    /// Returns [`SlabCommit::NeedsScalar`] — with the detector
+    /// completely untouched — when a sleeping bank's fresh results trip
+    /// a wake trigger: the dormant modes must run within this same
+    /// iteration, so the fleet re-runs the robot through
+    /// [`RoboAds::step_into`] (bitwise identical for the modes the slab
+    /// already computed).
+    ///
     /// # Errors
     ///
     /// As [`RoboAds::step_into`].
@@ -235,14 +247,18 @@ impl RoboAds {
         &mut self,
         counts: I,
         report: &mut DetectionReport,
-    ) -> Result<()> {
-        self.engine.commit_slab_step(counts)?;
+    ) -> Result<SlabCommit> {
+        if self.engine.commit_slab_step(counts)? == SlabCommit::NeedsScalar {
+            return Ok(SlabCommit::NeedsScalar);
+        }
         self.decision.assess_report(
             self.engine.system(),
             self.engine.modes(),
             self.engine.last_output(),
             report,
         )?;
+        self.engine
+            .note_decision_activity(self.decision.windows_active());
         self.iteration += 1;
         let out = self.engine.last_output();
         report.iteration = self.iteration;
@@ -254,7 +270,20 @@ impl RoboAds {
         report
             .state_estimate
             .assign(&out.selected_output().state_estimate);
-        Ok(())
+        Ok(SlabCommit::Committed)
+    }
+
+    /// Number of currently active (non-dormant) estimator modes — the
+    /// bank size under [`crate::ActivationPolicy::AlwaysFull`], fewer
+    /// while a lazy bank is parked (see `DESIGN.md` §17).
+    pub fn active_modes(&self) -> usize {
+        self.engine.active_modes()
+    }
+
+    /// Whether the full mode bank is running this robot (always `true`
+    /// under [`crate::ActivationPolicy::AlwaysFull`]).
+    pub fn bank_awake(&self) -> bool {
+        self.engine.bank_awake()
     }
 
     /// The underlying engine (fleet slab path).

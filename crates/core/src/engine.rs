@@ -5,7 +5,7 @@ use roboads_models::{RobotSystem, SensorSlice};
 use roboads_obs::{Counter, Gauge, Histogram, Telemetry, Value};
 use roboads_pool::Pool;
 
-use crate::config::{Linearization, RoboAdsConfig};
+use crate::config::{ActivationPolicy, Linearization, RoboAdsConfig};
 use crate::mode::ModeSet;
 use crate::nuise::{nuise_step_into, NuiseInput, NuiseOutput, NuiseWorkspace};
 use crate::selector::ModeSelector;
@@ -20,6 +20,13 @@ pub struct EngineOutput {
     pub probabilities: Vec<f64>,
     /// Index of the selected (most likely) mode `M_k`.
     pub selected: usize,
+    /// Per-mode activation flags (DESIGN.md §17): `false` marks a mode
+    /// the lazy [`ActivationPolicy::TopK`] schedule parked this
+    /// iteration, so its slot in `modes` is **stale** — the decision
+    /// maker must treat it as *dormant* (no information), not as
+    /// *inconsistent*. Always all-`true` under
+    /// [`ActivationPolicy::AlwaysFull`].
+    pub active: Vec<bool>,
 }
 
 impl EngineOutput {
@@ -27,6 +34,31 @@ impl EngineOutput {
     pub fn selected_output(&self) -> &NuiseOutput {
         &self.modes[self.selected]
     }
+
+    /// Whether mode `m` advanced this iteration (its output is live).
+    pub fn is_active(&self, m: usize) -> bool {
+        self.active.get(m).copied().unwrap_or(true)
+    }
+
+    /// Number of modes that advanced this iteration.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+}
+
+/// Verdict of [`MultiModeEngine::commit_slab_step`]: whether the
+/// lane-batched iteration could be committed, or must be replayed on
+/// the scalar path because a sleeping bank tripped a wake trigger and
+/// its dormant modes have to run within the same iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlabCommit {
+    /// The iteration was committed; engine state advanced.
+    Committed,
+    /// Nothing was committed; the caller must re-run the iteration via
+    /// the scalar [`MultiModeEngine::step_in_place`] path, which wakes
+    /// the bank mid-step and produces bitwise-identical results for
+    /// the modes the slab had already evaluated.
+    NeedsScalar,
 }
 
 /// The multi-mode estimation engine (Algorithm 1 lines 4–9): a bank of
@@ -123,6 +155,46 @@ pub struct MultiModeEngine {
     /// path a [`crate::FleetEngine`] may run this engine's bank through
     /// (`1` disables it). Unused by single-robot stepping.
     slab_lanes: usize,
+    /// Mode-bank activation schedule (DESIGN.md §17).
+    activation: ActivationPolicy,
+    /// Per-mode activation flags: `false` parks a hypothesis (its filter
+    /// does not advance and its stale output carries no weight). All
+    /// `true` while the bank is awake.
+    active: Vec<bool>,
+    /// Modes advanced *this* iteration: the active set plus, on audit
+    /// ticks, one round-robin dormant mode probing for a regime change.
+    run_mask: Vec<bool>,
+    /// Whether the full bank is running. The bank starts awake and only
+    /// [`ActivationPolicy::TopK`] ever puts it to sleep.
+    awake: bool,
+    /// Latch: [`MultiModeEngine::plan_step`] ran for the current
+    /// iteration and the commit has not consumed it yet. Makes planning
+    /// idempotent so the fleet slab path's scalar fallback re-runs the
+    /// same schedule instead of advancing the audit twice.
+    planned: bool,
+    /// `true` for modes whose filter state missed the previous
+    /// iteration: they must be re-anchored to the shared estimate
+    /// before running again (wake or audit).
+    mode_stale: Vec<bool>,
+    /// Round-robin cursor over dormant modes for the audit schedule.
+    audit_cursor: usize,
+    /// Quiescent ticks since the last dormant audit.
+    audit_countdown: usize,
+    /// The dormant mode audited this iteration, if any.
+    audit_mode: Option<usize>,
+    /// Consecutive quiescent iterations observed while awake.
+    quiescent_streak: usize,
+    /// Decision-layer feedback: the χ² sliding windows held a positive
+    /// after the last iteration (reported by the detector; standalone
+    /// engines self-govern on consistency alone).
+    external_activity: bool,
+    /// Wake scheduled for the next plan, with its reason label.
+    pending_wake: Option<&'static str>,
+    /// Cached count of `true` flags in `active`.
+    active_count: usize,
+    /// Committed iterations, used to sample the per-mode histogram
+    /// instruments at 1-in-[`HIST_SAMPLE_PERIOD`].
+    commits: u64,
 }
 
 /// Pre-registered metric handles for the engine hot path.
@@ -152,6 +224,14 @@ struct EngineInstruments {
     cholesky_failures: Counter,
     /// `engine.selected_mode` — index of the winning hypothesis.
     selected_mode: Gauge,
+    /// `engine.active_modes` — modes advanced per iteration (the full
+    /// bank size when awake, `k` + audits when dormant scheduling is
+    /// engaged).
+    active_modes: Gauge,
+    /// `engine.bank_wake.count` — full-bank re-activations.
+    bank_wakes: Counter,
+    /// `engine.bank_sleep.count` — transitions into lazy scheduling.
+    bank_sleeps: Counter,
     /// `engine.mode{m}.probability` — posterior per mode.
     mode_probability: Vec<Histogram>,
     /// `engine.mode{m}.consistency` — innovation-consistency p-value per
@@ -170,6 +250,9 @@ impl EngineInstruments {
             all_modes_floored: m.counter("engine.all_modes_floored"),
             cholesky_failures: m.counter("engine.cholesky_failures"),
             selected_mode: m.gauge("engine.selected_mode"),
+            active_modes: m.gauge("engine.active_modes"),
+            bank_wakes: m.counter("engine.bank_wake.count"),
+            bank_sleeps: m.counter("engine.bank_sleep.count"),
             mode_probability: (0..mode_count)
                 .map(|i| m.histogram(&format!("engine.mode{i}.probability")))
                 .collect(),
@@ -192,6 +275,28 @@ const REANCHOR_FRACTION: f64 = 0.25;
 /// considered lost (its own reference no longer explains its filter
 /// state) and re-anchored.
 const REANCHOR_CONSISTENCY: f64 = 1e-4;
+
+/// Consecutive quiescent iterations (χ² windows idle, selected-mode
+/// consistency healthy) before a [`ActivationPolicy::TopK`] bank parks
+/// its dormant modes. Longer than both decision windows, so the bank
+/// never sleeps while a window could still confirm an alarm.
+const SLEEP_AFTER_QUIESCENT: usize = 12;
+
+/// Active-mode consistency p-value below which the lazy bank wakes
+/// mid-step ("residual growth"): a calibrated filter's p-values are
+/// roughly uniform on clean data, so a false wake costs ~0.1 % per
+/// active mode per tick, while any Table II attack magnitude drives the
+/// affected mode's consistency many orders of magnitude below this in
+/// its first anomalous iteration.
+const WAKE_CONSISTENCY: f64 = 1e-3;
+
+/// Per-mode probability/consistency histograms are recorded once every
+/// this many commits. Recording them every step (2 CAS-loop f64
+/// histogram ops × modes) dominated the live-sink telemetry overhead
+/// (~10.6 % of a detector step in PR 7's `BENCH_perf.json` against the
+/// ~4 % measured when the instruments were introduced); sampling keeps
+/// the distributions while restoring the advertised budget.
+const HIST_SAMPLE_PERIOD: u64 = 16;
 
 /// χ² critical value for the parsimony significance checks. Evaluated
 /// only at construction — the engine caches the results per mode
@@ -415,6 +520,7 @@ impl MultiModeEngine {
             modes: workspaces.iter().map(NuiseWorkspace::new_output).collect(),
             probabilities: vec![0.0; modes.len()],
             selected: 0,
+            active: vec![true; modes.len()],
         };
         let mode_count = modes.len();
         Ok(MultiModeEngine {
@@ -439,6 +545,20 @@ impl MultiModeEngine {
             weights: Vec::with_capacity(mode_count),
             pool_results: (0..mode_count).map(|_| Ok(0)).collect(),
             slab_lanes: config.slab_lanes.unwrap_or(DEFAULT_SLAB_LANES),
+            activation: config.activation,
+            active: vec![true; mode_count],
+            run_mask: vec![true; mode_count],
+            awake: true,
+            planned: false,
+            mode_stale: vec![false; mode_count],
+            audit_cursor: 0,
+            audit_countdown: 0,
+            audit_mode: None,
+            quiescent_streak: 0,
+            external_activity: false,
+            pending_wake: None,
+            active_count: mode_count,
+            commits: 0,
         })
     }
 
@@ -496,6 +616,260 @@ impl MultiModeEngine {
     pub fn mode_state(&self, m: usize) -> (&Vector, &Matrix) {
         let (x, p) = &self.mode_states[m];
         (x, p)
+    }
+
+    /// Number of currently active (non-dormant) modes. Equals the bank
+    /// size under [`ActivationPolicy::AlwaysFull`] or while the lazy
+    /// bank is awake.
+    pub fn active_modes(&self) -> usize {
+        self.active_count
+    }
+
+    /// Whether the full bank is running (`true` until a
+    /// [`ActivationPolicy::TopK`] schedule observes enough quiescence
+    /// to park its dormant modes).
+    pub fn bank_awake(&self) -> bool {
+        self.awake
+    }
+
+    /// The configured activation policy.
+    pub fn activation(&self) -> ActivationPolicy {
+        self.activation
+    }
+
+    /// Per-mode activation flags (index-aligned with the mode set).
+    pub(crate) fn active_mask(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Whether mode `m` advances this iteration (fleet slab lane
+    /// masking; valid after [`MultiModeEngine::plan_step`]).
+    pub(crate) fn runs_mode(&self, m: usize) -> bool {
+        self.run_mask[m]
+    }
+
+    /// Decision-layer feedback closing the χ²-window wake trigger: the
+    /// detector reports after each verdict whether either sliding
+    /// window currently holds a positive. Any activity vetoes
+    /// quiescence immediately and schedules a full-bank wake for the
+    /// next iteration if the bank is asleep. Standalone engines that
+    /// never call this self-govern on consistency alone.
+    pub(crate) fn note_decision_activity(&mut self, windows_active: bool) {
+        self.external_activity = windows_active;
+        if windows_active {
+            self.quiescent_streak = 0;
+            if !self.awake && self.pending_wake.is_none() {
+                self.pending_wake = Some("chi2_window");
+            }
+        }
+    }
+
+    /// Decides which modes advance this iteration (DESIGN.md §17).
+    /// Idempotent until the iteration commits, so the fleet may call it
+    /// before loading slab lanes and the scalar fallback re-runs the
+    /// identical schedule. While the bank is asleep this (a) consumes a
+    /// pending χ²-window wake, or (b) advances the audit countdown and,
+    /// on audit ticks, re-anchors the next dormant mode (round-robin)
+    /// to the shared estimate so it can probe the current readings from
+    /// a live prior.
+    pub(crate) fn plan_step(&mut self) {
+        if self.planned {
+            return;
+        }
+        self.planned = true;
+        self.audit_mode = None;
+        if self.awake {
+            return;
+        }
+        if let Some(reason) = self.pending_wake.take() {
+            self.wake(reason);
+            self.run_mask.fill(true);
+            return;
+        }
+        for (r, &a) in self.run_mask.iter_mut().zip(&self.active) {
+            *r = a;
+        }
+        let ActivationPolicy::TopK { audit_period, .. } = self.activation else {
+            return;
+        };
+        self.audit_countdown += 1;
+        if self.audit_countdown < audit_period {
+            return;
+        }
+        self.audit_countdown = 0;
+        // Round-robin over dormant modes, starting after the last
+        // audited index so every hypothesis gets its turn.
+        let n = self.modes.len();
+        for offset in 1..=n {
+            let m = (self.audit_cursor + offset) % n;
+            if self.active[m] {
+                continue;
+            }
+            self.audit_cursor = m;
+            self.audit_mode = Some(m);
+            self.run_mask[m] = true;
+            if self.mode_stale[m] {
+                // Re-sync: the dormant filter last ran ticks ago; audit
+                // from the selected mode's current estimate instead.
+                self.mode_states[m].0.copy_from(&self.state_estimate);
+                self.mode_states[m].1.copy_from(&self.state_covariance);
+                self.mode_stale[m] = false;
+            }
+            break;
+        }
+    }
+
+    /// Re-activates the full bank: every dormant mode whose filter
+    /// state went stale is re-anchored to the shared (selected-mode)
+    /// estimate — the same machinery floor-collapsed hypotheses use —
+    /// and its probability stays at the selector floor until its first
+    /// live update. Does not touch `run_mask`; callers decide whether
+    /// the newly woken modes still run within the current iteration.
+    fn wake(&mut self, reason: &'static str) {
+        for m in 0..self.active.len() {
+            if !self.active[m] {
+                self.active[m] = true;
+                if self.mode_stale[m] {
+                    self.mode_states[m].0.copy_from(&self.state_estimate);
+                    self.mode_states[m].1.copy_from(&self.state_covariance);
+                    self.mode_stale[m] = false;
+                }
+            }
+        }
+        self.awake = true;
+        self.active_count = self.active.len();
+        self.quiescent_streak = 0;
+        self.audit_countdown = 0;
+        self.instruments.bank_wakes.incr();
+        self.instruments.active_modes.set(self.active_count as f64);
+        self.telemetry.event("engine.bank_wake", || {
+            vec![("reason", Value::Text(reason.to_string()))]
+        });
+    }
+
+    /// Parks every hypothesis outside the retained set: the top-`k`
+    /// most probable modes, the selected mode, and the most precise
+    /// actuator source (smallest actuator-anomaly covariance trace) —
+    /// the mode the decision maker would source the actuator test from,
+    /// kept live so that test is identical to the full bank's while
+    /// quiescent.
+    fn sleep(&mut self) {
+        let ActivationPolicy::TopK { k, .. } = self.activation else {
+            return;
+        };
+        let n = self.modes.len();
+        if k >= n {
+            return;
+        }
+        self.active.fill(false);
+        self.active[self.output.selected] = true;
+        let precise = self
+            .output
+            .modes
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let ta = a.actuator_covariance.trace();
+                let tb = b.actuator_covariance.trace();
+                ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(m, _)| m)
+            .unwrap_or(self.output.selected);
+        self.active[precise] = true;
+        let mut count = self.active.iter().filter(|&&a| a).count();
+        while count < k {
+            let next = self
+                .output
+                .probabilities
+                .iter()
+                .enumerate()
+                .filter(|(m, _)| !self.active[*m])
+                .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(m, _)| m);
+            match next {
+                Some(m) => self.active[m] = true,
+                None => break,
+            }
+            count += 1;
+        }
+        self.awake = false;
+        self.active_count = count;
+        self.quiescent_streak = 0;
+        self.audit_countdown = 0;
+        self.instruments.bank_sleeps.incr();
+        self.instruments.active_modes.set(count as f64);
+        let active_count = count as u64;
+        self.telemetry.event("engine.bank_sleep", || {
+            vec![
+                ("reason", Value::Text("quiescent".to_string())),
+                ("active", Value::U64(active_count)),
+            ]
+        });
+    }
+
+    /// Edge-triggered wake conditions evaluated on the current
+    /// iteration's live outputs (weights already computed): residual
+    /// growth on any active mode, or an audited dormant mode beating
+    /// the selected mode's parsimony weight by the configured margin.
+    fn lazy_wake_reason(&self) -> Option<&'static str> {
+        let ActivationPolicy::TopK { wake_margin, .. } = self.activation else {
+            return None;
+        };
+        for (m, out) in self.output.modes.iter().enumerate() {
+            if self.active[m] && out.consistency < WAKE_CONSISTENCY {
+                return Some("consistency");
+            }
+        }
+        if let Some(a) = self.audit_mode {
+            if self.weights[a] > wake_margin * self.weights[self.selector.selected()] {
+                return Some("audit");
+            }
+        }
+        None
+    }
+
+    /// Parsimony weighting of the modes that ran this iteration
+    /// (dormant modes weigh zero; the selector pins them at the floor).
+    fn compute_weights(&mut self) {
+        self.weights.clear();
+        let _parsimony_span = self.telemetry.span("engine.parsimony");
+        for (m, (out, count)) in self.output.modes.iter().zip(&self.counts).enumerate() {
+            let w = if self.run_mask[m] {
+                out.consistency * self.parsimony_rho.powi(*count as i32)
+            } else {
+                0.0
+            };
+            self.weights.push(w);
+        }
+    }
+
+    /// Activation bookkeeping after a successful commit: consume the
+    /// plan, mark skipped filters stale, and fold this iteration into
+    /// the quiescence streak (sleeping once it is long enough). Pooled
+    /// engines never sleep — the fan-out already assumes a heavy bank
+    /// where every mode is in contention.
+    fn update_activation_after_commit(&mut self) {
+        self.planned = false;
+        if matches!(self.activation, ActivationPolicy::AlwaysFull) || self.pool.is_some() {
+            return;
+        }
+        for (stale, &ran) in self.mode_stale.iter_mut().zip(&self.run_mask) {
+            *stale = !ran;
+        }
+        if !self.awake {
+            return;
+        }
+        let quiescent = !self.external_activity
+            && !self.selector.all_floored()
+            && self.output.modes[self.output.selected].consistency >= WAKE_CONSISTENCY;
+        if quiescent {
+            self.quiescent_streak += 1;
+            if self.quiescent_streak >= SLEEP_AFTER_QUIESCENT {
+                self.sleep();
+            }
+        } else {
+            self.quiescent_streak = 0;
+        }
     }
 
     /// Runs one control iteration: NUISE under every mode from its own
@@ -561,6 +935,7 @@ impl MultiModeEngine {
 
     fn step_inner(&mut self, u_prev: &Vector, readings: &[Vector]) -> Result<()> {
         let mode_count = self.modes.len();
+        self.plan_step();
 
         // NUISE fan-out. Each mode writes into its own pre-assigned
         // workspace and output slot (persistent across steps), so the
@@ -616,14 +991,22 @@ impl MultiModeEngine {
             match &self.pool {
                 None => {
                     // Sequential path: iterate in mode order with the
-                    // seed's short-circuit on the first failure.
+                    // seed's short-circuit on the first failure. Modes
+                    // the activation schedule parked are skipped (their
+                    // count slot is a placeholder the zero weight makes
+                    // irrelevant); under `AlwaysFull` every mode runs.
+                    let run_mask = &self.run_mask;
                     for (m, ((ws, scratch), out)) in workspaces
                         .iter_mut()
                         .zip(scratches.iter_mut())
                         .zip(outputs.iter_mut())
                         .enumerate()
                     {
-                        counts.push(run_mode(m, ws, scratch, out)?);
+                        if run_mask[m] {
+                            counts.push(run_mode(m, ws, scratch, out)?);
+                        } else {
+                            counts.push(0);
+                        }
                     }
                 }
                 Some(pool) => {
@@ -671,48 +1054,93 @@ impl MultiModeEngine {
             }
         };
 
+        self.compute_weights();
+        if !self.awake {
+            if let Some(reason) = self.lazy_wake_reason() {
+                // Wake *within* this iteration: the dormant modes
+                // re-anchor to the shared estimate from the previous
+                // tick — still pre-anomaly — and run against the same
+                // readings, so the full bank weighs in on the very
+                // iteration that triggered the wake.
+                self.wake(reason);
+                for m in 0..mode_count {
+                    if self.run_mask[m] {
+                        continue;
+                    }
+                    self.run_mask[m] = true;
+                    let (x_m, p_m) = &self.mode_states[m];
+                    let out = &mut self.output.modes[m];
+                    {
+                        let _mode_span = self.telemetry.span("engine.nuise_mode");
+                        nuise_step_into(
+                            NuiseInput {
+                                system: &self.system,
+                                mode: &self.modes.modes()[m],
+                                x_prev: x_m,
+                                p_prev: p_m,
+                                u_prev,
+                                readings,
+                                linearization: &self.linearization,
+                                compensate: self.compensate,
+                            },
+                            &mut self.workspaces[m],
+                            out,
+                        )?;
+                    }
+                    self.counts[m] = implied_anomaly_count(
+                        out,
+                        self.actuator_threshold,
+                        self.workspaces[m].testing_slices(),
+                        &self.testing_thresholds[m],
+                        &mut self.parsimony_scratch[m],
+                    )?;
+                }
+                self.compute_weights();
+            }
+        }
         self.select_and_commit()
     }
 
     /// The tail of a control iteration, shared by the per-robot path
     /// ([`MultiModeEngine::step_inner`]) and the fleet's lane-batched
-    /// slab path ([`MultiModeEngine::commit_slab_step`]): parsimony
-    /// weighting of the per-mode outputs already sitting in
-    /// `self.output.modes` (with implied-anomaly counts in
-    /// `self.counts`), mode selection, reporting-state refresh, and
-    /// re-anchoring. Both producers deliver bitwise-identical outputs
-    /// and counts, so everything downstream of here is
-    /// producer-independent.
+    /// slab path ([`MultiModeEngine::commit_slab_step`]): mode
+    /// selection from the parsimony weights
+    /// ([`MultiModeEngine::compute_weights`] must have run) over the
+    /// per-mode outputs already sitting in `self.output.modes`,
+    /// reporting-state refresh, and re-anchoring. Both producers
+    /// deliver bitwise-identical outputs and counts, so everything
+    /// downstream of here is producer-independent.
+    ///
+    /// Mode probabilities are updated with the dimension-free
+    /// consistency p-values, not the raw densities: densities of
+    /// innovations with different dimensionality are not comparable
+    /// and would permanently lock the selector onto whichever mode
+    /// has the largest density constant (see `nuise::mode_likelihood`).
+    ///
+    /// Each consistency is further weighted by a *parsimony prior*
+    /// ρ^(implied anomaly count). A sensor corruption lying in
+    /// range(C₂·G) of its own reference mode is absorbed by NUISE
+    /// step 1 as a phantom actuator anomaly, leaving that mode's
+    /// innovation clean — the classic sensor/actuator ambiguity. But
+    /// such a mode *implies more active misbehaviors* (the dragged
+    /// state estimate makes every clean testing sensor look corrupted
+    /// too, plus the phantom input), and the paper's threat model
+    /// (§II-B) holds coordinated multi-workflow attacks to be hard.
+    /// Weighting each hypothesis by ρ per implied anomaly encodes that
+    /// prior; a genuine actuator attack costs every mode the same ρ¹,
+    /// leaving their ranking untouched.
     fn select_and_commit(&mut self) -> Result<()> {
-        // Mode probabilities are updated with the dimension-free
-        // consistency p-values, not the raw densities: densities of
-        // innovations with different dimensionality are not comparable
-        // and would permanently lock the selector onto whichever mode
-        // has the largest density constant (see `nuise::mode_likelihood`).
-        //
-        // Each consistency is further weighted by a *parsimony prior*
-        // ρ^(implied anomaly count). A sensor corruption lying in
-        // range(C₂·G) of its own reference mode is absorbed by NUISE
-        // step 1 as a phantom actuator anomaly, leaving that mode's
-        // innovation clean — the classic sensor/actuator ambiguity. But
-        // such a mode *implies more active misbehaviors* (the dragged
-        // state estimate makes every clean testing sensor look corrupted
-        // too, plus the phantom input), and the paper's threat model
-        // (§II-B) holds coordinated multi-workflow attacks to be hard.
-        // Weighting each hypothesis by ρ per implied anomaly encodes that
-        // prior; a genuine actuator attack costs every mode the same ρ¹,
-        // leaving their ranking untouched.
-        self.weights.clear();
-        {
-            let _parsimony_span = self.telemetry.span("engine.parsimony");
-            for (out, count) in self.output.modes.iter().zip(&self.counts) {
-                self.weights
-                    .push(out.consistency * self.parsimony_rho.powi(*count as i32));
-            }
-        }
         let selected = {
             let _select_span = self.telemetry.span("engine.select");
-            self.selector.update(&self.weights)?
+            if self.awake {
+                self.selector.update(&self.weights)?
+            } else {
+                // Dormant modes carry no information this iteration:
+                // the partial update pins them at the floor instead of
+                // letting the mixing prior leak mass back into
+                // hypotheses nobody evaluated.
+                self.selector.update_partial(&self.weights, &self.active)?
+            }
         };
         if self.selector.all_floored() {
             // No hypothesis explains this iteration at all (every
@@ -740,6 +1168,8 @@ impl MultiModeEngine {
         self.output
             .probabilities
             .extend_from_slice(self.selector.probabilities());
+        self.output.active.clear();
+        self.output.active.extend_from_slice(&self.active);
         self.output.selected = selected;
         let _reanchor_span = self.telemetry.span("engine.reanchor");
         for (m, state) in self.mode_states.iter_mut().enumerate() {
@@ -748,7 +1178,13 @@ impl MultiModeEngine {
             // explains their reference readings (e.g. the reference was
             // being spoofed), so they restart from the winner. A
             // consistent-but-disfavored mode keeps its own (typically
-            // tighter) filter state.
+            // tighter) filter state. Modes the activation schedule
+            // skipped this iteration have stale outputs and parked
+            // filters: they are left untouched (dormant ≠ inconsistent)
+            // and re-sync through the wake/audit re-anchor instead.
+            if !self.run_mask[m] {
+                continue;
+            }
             let probability = self.output.probabilities[m];
             let consistency = self.output.modes[m].consistency;
             if m != selected && probability < reanchor_below && consistency < REANCHOR_CONSISTENCY {
@@ -770,10 +1206,24 @@ impl MultiModeEngine {
         drop(_reanchor_span);
 
         self.instruments.selected_mode.set(selected as f64);
-        for (m, out) in self.output.modes.iter().enumerate() {
-            self.instruments.mode_probability[m].record(self.output.probabilities[m]);
-            self.instruments.mode_consistency[m].record(out.consistency);
+        // Per-mode distribution instruments are *sampled*: recording 2
+        // histogram values per mode per step was the dominant term in
+        // the live-sink telemetry overhead (see `HIST_SAMPLE_PERIOD`).
+        // Gauges and counters (plain atomic stores) stay per-step. The
+        // phase puts a sample on the *first* commit, so any stepped
+        // engine's histograms are non-empty (an all-NaN empty summary
+        // would poison incident-capsule equality).
+        self.commits = self.commits.wrapping_add(1);
+        if self.commits % HIST_SAMPLE_PERIOD == 1 {
+            for (m, out) in self.output.modes.iter().enumerate() {
+                if !self.run_mask[m] {
+                    continue;
+                }
+                self.instruments.mode_probability[m].record(self.output.probabilities[m]);
+                self.instruments.mode_consistency[m].record(out.consistency);
+            }
         }
+        self.update_activation_after_commit();
 
         Ok(())
     }
@@ -788,15 +1238,34 @@ impl MultiModeEngine {
     /// outputs. The per-mode NUISE spans are absent on this path (the
     /// batched kernels cross robot boundaries); the `engine.step` span
     /// and all counters are preserved.
+    ///
+    /// A sleeping engine whose fresh active-mode results trip a wake
+    /// trigger cannot be completed here: the dormant modes must run
+    /// *this* iteration (the scalar path's mid-step wake), and the slab
+    /// has already consumed the inputs. In that case nothing is
+    /// committed — the filter states, selector, and activation state
+    /// are exactly as they were before the call — and
+    /// [`SlabCommit::NeedsScalar`] tells the fleet to re-run the whole
+    /// iteration through [`MultiModeEngine::step_in_place`]. Because
+    /// the slab kernels are bitwise-pinned to the scalar kernels, the
+    /// re-run reproduces the active modes' outputs exactly and then
+    /// wakes the rest of the bank, so the committed state matches a
+    /// robot that was never batched.
     pub(crate) fn commit_slab_step<I: IntoIterator<Item = usize>>(
         &mut self,
         counts: I,
-    ) -> Result<()> {
+    ) -> Result<SlabCommit> {
         let _step_span = self.telemetry.owned_span("engine.step");
         let health_before = roboads_linalg::health::snapshot();
         self.counts.clear();
         self.counts.extend(counts);
         debug_assert_eq!(self.counts.len(), self.modes.len());
+        self.compute_weights();
+        if !self.awake && self.lazy_wake_reason().is_some() {
+            // Abort before mutating anything: the scalar fallback
+            // replays the full iteration from the pre-step state.
+            return Ok(SlabCommit::NeedsScalar);
+        }
         let result = self.select_and_commit();
         let breakdowns = roboads_linalg::health::snapshot()
             .since(&health_before)
@@ -815,7 +1284,7 @@ impl MultiModeEngine {
             }
             Err(_) => {}
         }
-        result
+        result.map(|()| SlabCommit::Committed)
     }
 
     /// Whether NUISE step 2 compensates the predicted state with the
@@ -1126,5 +1595,192 @@ mod tests {
         }
         assert_eq!(seq.state_estimate(), par.state_estimate());
         assert_eq!(seq.probabilities(), par.probabilities());
+    }
+
+    /// A lazy-activation engine over either the paper's 3-mode
+    /// one-reference-per-sensor set or the complete 7-mode bank.
+    fn lazy_engine(complete: bool) -> (RobotSystem, MultiModeEngine, Vector) {
+        let system = presets::khepera_system();
+        let modes = if complete {
+            ModeSet::complete(&system)
+        } else {
+            ModeSet::one_reference_per_sensor(&system)
+        };
+        let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+        let engine = MultiModeEngine::new(
+            system.clone(),
+            modes,
+            x0.clone(),
+            &RoboAdsConfig::paper_defaults().with_activation(ActivationPolicy::lazy_defaults()),
+        )
+        .unwrap();
+        (system, engine, x0)
+    }
+
+    /// Drives `engine` with clean readings until the bank sleeps,
+    /// returning the true state at the end. Panics if it never sleeps.
+    fn drive_to_sleep(
+        system: &RobotSystem,
+        engine: &mut MultiModeEngine,
+        x0: &Vector,
+        u: &Vector,
+    ) -> Vector {
+        let mut x_true = x0.clone();
+        for _ in 0..40 {
+            x_true = system.dynamics().step(&x_true, u);
+            engine.step(u, &clean_readings(system, &x_true)).unwrap();
+            if !engine.bank_awake() {
+                return x_true;
+            }
+        }
+        panic!("bank never slept under sustained quiescence");
+    }
+
+    #[test]
+    fn lazy_bank_sleeps_after_sustained_quiescence() {
+        let (system, mut engine, x0) = lazy_engine(false);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = drive_to_sleep(&system, &mut engine, &x0, &u);
+        assert_eq!(engine.active_modes(), 2, "TopK{{k:2}} keeps two modes");
+        // Dormancy is visible in the output and the estimate stays live.
+        x_true = system.dynamics().step(&x_true, &u);
+        let out = engine
+            .step(&u, &clean_readings(&system, &x_true))
+            .unwrap()
+            .clone();
+        assert_eq!(out.active_count(), 2, "active flags: {:?}", out.active);
+        assert!(out.active[out.selected], "selected mode must stay active");
+        assert!((engine.state_estimate() - &x_true).max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn lazy_bank_wakes_when_decision_windows_go_active() {
+        let (system, mut engine, x0) = lazy_engine(false);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = drive_to_sleep(&system, &mut engine, &x0, &u);
+        // Decision feedback (a χ² window holding a positive) schedules a
+        // full-bank wake consumed by the next iteration's plan.
+        engine.note_decision_activity(true);
+        x_true = system.dynamics().step(&x_true, &u);
+        let out = engine
+            .step(&u, &clean_readings(&system, &x_true))
+            .unwrap()
+            .clone();
+        assert!(engine.bank_awake());
+        assert_eq!(out.active_count(), 3, "full bank on the wake tick");
+        assert!(out.modes.iter().all(|m| m.consistency > 0.0));
+    }
+
+    #[test]
+    fn lazy_bank_wakes_same_tick_on_consistency_collapse() {
+        let (system, mut engine, x0) = lazy_engine(false);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = drive_to_sleep(&system, &mut engine, &x0, &u);
+        // Mutually inconsistent corruption on every sensor: no state
+        // explains the readings, so every active mode's consistency
+        // collapses and the bank must re-activate the dormant
+        // hypotheses *within the same iteration* — detection latency is
+        // unchanged versus the always-full bank.
+        for k in 0..3 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            readings[0][0] += 0.6;
+            readings[1][0] -= 0.5;
+            readings[2][0] += 0.4;
+            let out = engine.step(&u, &readings).unwrap();
+            if engine.bank_awake() {
+                assert_eq!(
+                    out.active_count(),
+                    3,
+                    "dormant modes must run on the wake tick itself (tick {k})"
+                );
+                return;
+            }
+        }
+        panic!("bank never woke on inconsistent readings");
+    }
+
+    #[test]
+    fn lazy_audit_round_robins_over_every_dormant_mode() {
+        let (system, mut engine, x0) = lazy_engine(true);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = drive_to_sleep(&system, &mut engine, &x0, &u);
+        let dormant: Vec<usize> = (0..engine.modes.len())
+            .filter(|&m| !engine.active[m])
+            .collect();
+        assert_eq!(dormant.len(), engine.modes.len() - 2);
+        // One dormant mode is probed every `audit_period` ticks,
+        // round-robin, so the whole complement is covered in
+        // `audit_period * dormant` ticks (with slack for wake flaps).
+        let mut audited = std::collections::BTreeSet::new();
+        for _ in 0..4 * dormant.len() + 8 {
+            x_true = system.dynamics().step(&x_true, &u);
+            engine.step(&u, &clean_readings(&system, &x_true)).unwrap();
+            if let Some(m) = engine.audit_mode {
+                audited.insert(m);
+            }
+        }
+        for m in &dormant {
+            assert!(audited.contains(m), "mode {m} never audited: {audited:?}");
+        }
+    }
+
+    #[test]
+    fn dormant_modes_hold_the_floor_without_flooring_the_bank() {
+        // Satellite regression: with k=2 of 7 modes dormant hypotheses
+        // are pinned at the selector floor ε — they neither absorb
+        // probability mass nor trip the all-modes-floored fallback.
+        let (system, mut engine, x0) = lazy_engine(true);
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = drive_to_sleep(&system, &mut engine, &x0, &u);
+        // The sleep tick itself still committed a full-bank update;
+        // partial selection starts on the next iteration.
+        for _ in 0..2 {
+            x_true = system.dynamics().step(&x_true, &u);
+            engine.step(&u, &clean_readings(&system, &x_true)).unwrap();
+        }
+        assert!(!engine.bank_awake(), "clean data must not wake the bank");
+        assert_eq!(engine.active_modes(), 2);
+        let floor = RoboAdsConfig::paper_defaults().mode_floor;
+        let p = engine.probabilities();
+        let mut active_mass = 0.0;
+        for (m, &prob) in p.iter().enumerate() {
+            if engine.active[m] {
+                active_mass += prob;
+            } else {
+                assert_eq!(prob, floor, "dormant mode {m} off the floor");
+            }
+        }
+        let dormant = p.len() - engine.active_modes();
+        assert!((active_mass - (1.0 - dormant as f64 * floor)).abs() < 1e-9);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(!engine.selector.all_floored(), "dormancy is not flooring");
+        assert!(p[engine.output.selected] > floor);
+    }
+
+    #[test]
+    fn always_full_policy_matches_the_default_engine_bitwise() {
+        let (system, mut default_engine, x0) = engine();
+        let mut explicit = MultiModeEngine::new(
+            system.clone(),
+            ModeSet::one_reference_per_sensor(&system),
+            x0.clone(),
+            &RoboAdsConfig::paper_defaults().with_activation(ActivationPolicy::AlwaysFull),
+        )
+        .unwrap();
+        let u = Vector::from_slice(&[0.06, 0.05]);
+        let mut x_true = x0;
+        for k in 0..25 {
+            x_true = system.dynamics().step(&x_true, &u);
+            let mut readings = clean_readings(&system, &x_true);
+            if k > 10 {
+                readings[0][0] += 0.08;
+            }
+            let a = default_engine.step(&u, &readings).unwrap().clone();
+            let b = explicit.step(&u, &readings).unwrap().clone();
+            assert_eq!(a, b, "divergence at step {k}");
+            assert_eq!(a.active_count(), 3, "AlwaysFull never parks a mode");
+        }
+        assert!(default_engine.bank_awake() && explicit.bank_awake());
     }
 }

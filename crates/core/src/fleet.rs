@@ -37,8 +37,9 @@ use roboads_models::ModelSignature;
 use roboads_obs::{Counter, Gauge, Telemetry, Value};
 use roboads_pool::Pool;
 
-use crate::config::Linearization;
+use crate::config::{ActivationPolicy, Linearization};
 use crate::detector::RoboAds;
+use crate::engine::SlabCommit;
 use crate::mode::ModeSet;
 use crate::nuise_slab::NuiseSlabWorkspace;
 use crate::recorder::RecorderConfig;
@@ -116,6 +117,36 @@ struct SlabJob<const K: usize> {
     bank: Vec<NuiseSlabWorkspace<K>>,
 }
 
+/// Hashable image of an engine's [`ActivationPolicy`] for the group
+/// key (the policy itself carries an `f64` margin, so it cannot derive
+/// `Eq`/`Hash`; the bit pattern can).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ActivationKey {
+    AlwaysFull,
+    TopK {
+        k: usize,
+        audit_period: usize,
+        wake_margin_bits: u64,
+    },
+}
+
+impl From<ActivationPolicy> for ActivationKey {
+    fn from(p: ActivationPolicy) -> Self {
+        match p {
+            ActivationPolicy::AlwaysFull => ActivationKey::AlwaysFull,
+            ActivationPolicy::TopK {
+                k,
+                audit_period,
+                wake_margin,
+            } => ActivationKey::TopK {
+                k,
+                audit_period,
+                wake_margin_bits: wake_margin.to_bits(),
+            },
+        }
+    }
+}
+
 /// The grouping key of the heterogeneous-fleet partition: robots whose
 /// keys are equal run bitwise-identical per-mode arithmetic and may
 /// share a slab. The model half is [`ModelSignature`]; the rest are the
@@ -131,6 +162,15 @@ struct GroupKey {
     /// robots still group (scalar groups step contiguously) but never
     /// slab.
     per_iteration: bool,
+    /// Activation policy and the *current* active-mode set. Robots in
+    /// one slab group step the same active set, so a fully-dormant mode
+    /// skips its tile outright; drift (a robot waking or sleeping) is
+    /// detected per tick and forces a re-partition (see
+    /// [`FleetEngine::activation_drifted`]). The per-tick audit mode is
+    /// deliberately *not* part of the key — it varies round-robin and
+    /// is handled by per-mode lane masks instead of partition churn.
+    activation: ActivationKey,
+    active: Vec<bool>,
 }
 
 /// How one signature group executes its robots each tick.
@@ -157,6 +197,12 @@ struct SlabGroup {
     /// group-major order; `start` is the running prefix sum).
     len: usize,
     kind: GroupKind,
+    /// The group's active-mode set at partition time (equal across
+    /// members — it is part of the [`GroupKey`]). Slab groups compare
+    /// it against every member each tick: a wake or sleep invalidates
+    /// the partition, since the tiles' mode-skip schedule no longer
+    /// matches. Scalar groups step per robot and tolerate drift.
+    active: Vec<bool>,
 }
 
 /// Resolved state of the fleet's SIMD-batched slab path. Resolution is
@@ -356,6 +402,8 @@ impl FleetEngine {
             compensate: e.compensate(),
             lanes: e.slab_lanes(),
             per_iteration: matches!(e.linearization(), Linearization::PerIteration),
+            activation: e.activation().into(),
+            active: e.active_mask().to_vec(),
         }
     }
 
@@ -453,7 +501,8 @@ impl FleetEngine {
                     _ => GroupKind::K8(self.build_group_jobs(start, len)),
                 }
             };
-            grouped.push(SlabGroup { len, kind });
+            let active = self.cells[start].detector.engine().active_mask().to_vec();
+            grouped.push(SlabGroup { len, kind, active });
         }
 
         let scalar_robots = self.cells.len() - slab_robots;
@@ -476,6 +525,31 @@ impl FleetEngine {
         }
         self.partitions += 1;
         self.slab = SlabState::Grouped(grouped);
+    }
+
+    /// Whether any slab-group member's active-mode set changed since
+    /// the partition resolved (a lazy bank went to sleep or woke up).
+    /// Walked per tick; pure boolean compares, no allocation. Scalar
+    /// groups are exempt — they step per robot, so drift there is a
+    /// per-robot scheduling detail, not a tiling hazard.
+    fn activation_drifted(&self) -> bool {
+        let SlabState::Grouped(groups) = &self.slab else {
+            return false;
+        };
+        let mut start = 0;
+        for group in groups {
+            let cells = &self.cells[start..start + group.len];
+            start += group.len;
+            if matches!(group.kind, GroupKind::Scalar) {
+                continue;
+            }
+            for cell in cells {
+                if cell.detector.engine().active_mask() != group.active.as_slice() {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// `(slab groups, slab robots, scalar robots)` of the resolved
@@ -680,6 +754,14 @@ impl FleetEngine {
             });
         }
         self.resolve_slab();
+        if self.activation_drifted() {
+            // A lazy bank slept or woke since the last partition: the
+            // tiles' mode-skip schedule is stale, so re-group. One
+            // re-partition per fleet-wide transition — audit rotation
+            // never trips this (it leaves the active set unchanged).
+            self.slab = SlabState::Unknown;
+            self.resolve_slab();
+        }
         // One stamp per batch: the ingest's published tick when set,
         // else the engine's own counter. Taken by value so a robot that
         // misses this tick can never be recorded under a stale stamp.
@@ -862,13 +944,31 @@ fn step_tile<const K: usize>(
     // does not happen.
     let mut present = [false; K];
     let mut lane_ok = [false; K];
-    for (l, cell) in cells.iter().enumerate() {
+    for (l, cell) in cells.iter_mut().enumerate() {
         present[l] = inputs.get(cell.fleet).is_some();
         lane_ok[l] = present[l];
+        // Fix each robot's activation schedule before lane loading, so
+        // the per-mode lane masks below and any scalar fallback re-run
+        // see the identical plan (the plan is latched until commit).
+        cell.detector.engine_mut().plan_step();
     }
     for (m, ws) in bank.iter_mut().enumerate() {
+        // Lanes advancing mode `m` this tick: the group shares one
+        // active set (it is in the group key), but a sleeping robot's
+        // round-robin audit adds one dormant mode per audit tick, and
+        // cursors may disagree across lanes — mask per mode rather
+        // than splinter the partition. A mode no lane runs skips its
+        // whole tile; that skip is where the quiescent fleet win
+        // comes from.
+        let mut mode_lanes = [false; K];
         for (l, cell) in cells.iter().enumerate() {
-            if !lane_ok[l] {
+            mode_lanes[l] = lane_ok[l] && cell.detector.engine().runs_mode(m);
+        }
+        if !mode_lanes.iter().any(|&r| r) {
+            continue;
+        }
+        for (l, cell) in cells.iter().enumerate() {
+            if !mode_lanes[l] {
                 continue;
             }
             let input = inputs.get(cell.fleet).expect("ok lane is present");
@@ -879,21 +979,27 @@ fn step_tile<const K: usize>(
                 .is_err()
             {
                 lane_ok[l] = false;
+                mode_lanes[l] = false;
             }
         }
-        lane_ok = {
+        let ran = {
             let eng = cells[0].detector.engine();
             ws.run(
                 eng.system(),
                 eng.compensate(),
                 eng.actuator_threshold(),
                 eng.testing_thresholds(m),
-                &lane_ok,
+                &mode_lanes,
             )
         };
         for (l, cell) in cells.iter_mut().enumerate() {
-            if lane_ok[l] {
+            if ran[l] {
                 ws.scatter_lane(l, cell.detector.engine_mut().mode_output_mut(m));
+            } else if mode_lanes[l] {
+                // Numeric failure inside the batched kernel: mask the
+                // robot out of the remaining slab work; it re-runs
+                // scalar below.
+                lane_ok[l] = false;
             }
         }
     }
@@ -903,8 +1009,27 @@ fn step_tile<const K: usize>(
         // robot id would mislabel every later span on the worker.
         let _robot = roboads_obs::robot_scope(cell.fleet as u32 + 1);
         cell.result = if lane_ok[l] {
-            cell.detector
+            // Stale counts of skipped modes are harmless: the engine
+            // zero-weights every mode outside its run mask before they
+            // are read.
+            match cell
+                .detector
                 .commit_slab_step(bank.iter().map(|ws| ws.count(l)), &mut cell.report)
+            {
+                Ok(SlabCommit::Committed) => Ok(()),
+                // The fresh active-mode results tripped a wake: the
+                // dormant modes must run *this* iteration, and only the
+                // scalar path still has the inputs. Nothing was
+                // committed, so the re-run from the untouched filter
+                // state reproduces the slab's arithmetic exactly and
+                // then wakes the bank mid-step.
+                Ok(SlabCommit::NeedsScalar) => {
+                    let input = inputs.get(cell.fleet).expect("ok lane is present");
+                    cell.detector
+                        .step_into(input.u_prev, input.readings, &mut cell.report)
+                }
+                Err(e) => Err(e),
+            }
         } else if present[l] {
             let input = inputs.get(cell.fleet).expect("failed lane is present");
             cell.detector

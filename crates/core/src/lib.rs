@@ -80,7 +80,7 @@ mod nuise_slab;
 mod report;
 mod selector;
 
-pub use config::{Linearization, RoboAdsConfig, WindowConfig};
+pub use config::{ActivationPolicy, Linearization, RoboAdsConfig, WindowConfig};
 pub use decision::DecisionMaker;
 pub use detector::RoboAds;
 pub use engine::{EngineOutput, MultiModeEngine};

@@ -13,7 +13,9 @@
 //! robots are genuinely distinct mid-run: a cross-robot state leak or
 //! an off-by-one in the chunked scheduler shows up as a mismatch.
 
-use roboads_core::{DetectionReport, FleetEngine, ModeSet, RoboAds, RoboAdsConfig, RobotInput};
+use roboads_core::{
+    ActivationPolicy, DetectionReport, FleetEngine, ModeSet, RoboAds, RoboAdsConfig, RobotInput,
+};
 use roboads_linalg::Vector;
 use roboads_models::{presets, RobotSystem};
 
@@ -457,6 +459,120 @@ fn nan_in_one_group_leaves_other_groups_lanes_untouched() {
     for (r, &g) in layout.iter().enumerate() {
         if g == 1 {
             assert_eq!(slab[7][r].1, 8, "group-1 robot {r} lost an iteration");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lazy activation (DESIGN.md §17): fleets of TopK robots sleep, wake and
+// re-sleep at *different* ticks (phase-offset attacks), which exercises
+// the activation-keyed slab repartition, per-mode lane masks and the
+// wake-tick scalar fallback. All of it must stay bitwise invisible.
+// ---------------------------------------------------------------------
+
+const LAZY_STEPS: usize = 45;
+
+fn lazy_detector(lanes: usize) -> RoboAds {
+    let system = presets::khepera_system();
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let modes = ModeSet::one_reference_per_sensor(&system);
+    RoboAds::new(
+        system,
+        RoboAdsConfig::paper_defaults()
+            .with_slab_lanes(lanes)
+            .with_activation(ActivationPolicy::lazy_defaults()),
+        x0,
+        modes,
+    )
+    .unwrap()
+}
+
+/// Clean long enough for every bank to sleep (~tick 12), then a
+/// phase-offset IPS spoof burst that wakes robots at different ticks,
+/// then clean recovery so they re-sleep at different ticks too.
+fn lazy_robot_readings(system: &RobotSystem, x: &Vector, robot: usize, k: usize) -> Vec<Vector> {
+    let mut readings = clean_readings(system, x);
+    let phase = robot % 5;
+    if (20 + phase..28 + phase).contains(&k) {
+        readings[0][0] += 0.07;
+    }
+    readings
+}
+
+/// Per-robot lazy report sequences, standalone (`None`) or fleet-stepped
+/// with the given thread count and lane width. Also returns the minimum
+/// `active_modes` observed across the run, to prove dormancy happened.
+fn lazy_run(
+    robots: usize,
+    fleet_shape: Option<(usize, usize)>,
+) -> (Vec<Vec<DetectionReport>>, usize) {
+    let system = presets::khepera_system();
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let mut min_active = usize::MAX;
+    let mut sequences: Vec<Vec<DetectionReport>> = vec![Vec::with_capacity(LAZY_STEPS); robots];
+    match fleet_shape {
+        None => {
+            for (robot, seq) in sequences.iter_mut().enumerate() {
+                let mut ads = lazy_detector(1);
+                let mut x_true = Vector::from_slice(&[0.5, 0.5, 0.2]);
+                for k in 0..LAZY_STEPS {
+                    x_true = system.dynamics().step(&x_true, &u);
+                    let readings = lazy_robot_readings(&system, &x_true, robot, k);
+                    seq.push(ads.step(&u, &readings).unwrap());
+                    min_active = min_active.min(ads.active_modes());
+                }
+            }
+        }
+        Some((threads, lanes)) => {
+            let mut fleet =
+                FleetEngine::new((0..robots).map(|_| lazy_detector(lanes)).collect(), threads);
+            let mut x_true = Vector::from_slice(&[0.5, 0.5, 0.2]);
+            for k in 0..LAZY_STEPS {
+                x_true = system.dynamics().step(&x_true, &u);
+                let all_readings: Vec<Vec<Vector>> = (0..robots)
+                    .map(|robot| lazy_robot_readings(&system, &x_true, robot, k))
+                    .collect();
+                let inputs: Vec<RobotInput> = all_readings
+                    .iter()
+                    .map(|readings| RobotInput {
+                        u_prev: &u,
+                        readings,
+                    })
+                    .collect();
+                fleet.step_batch(&inputs).unwrap();
+                for (robot, seq) in sequences.iter_mut().enumerate() {
+                    seq.push(fleet.report(robot).clone());
+                    min_active = min_active.min(fleet.detector(robot).active_modes());
+                }
+            }
+        }
+    }
+    (sequences, min_active)
+}
+
+/// A lazy fleet — slab or scalar, any thread count — must be bitwise
+/// identical to standalone lazy detectors through the whole
+/// sleep → wake → re-sleep cycle, and the run must genuinely visit the
+/// dormant state (k = 2 of 3 modes) on both sides of the comparison.
+#[test]
+fn lazy_fleet_matches_standalone_lazy_detectors_bitwise() {
+    for robots in [1, 8, 19] {
+        let (expected, standalone_min) = lazy_run(robots, None);
+        assert_eq!(standalone_min, 2, "standalone banks never slept");
+        for threads in [1, 2] {
+            for lanes in [1, 4, 8] {
+                let (got, fleet_min) = lazy_run(robots, Some((threads, lanes)));
+                assert_eq!(fleet_min, 2, "fleet banks never slept");
+                for (robot, (a, b)) in expected.iter().zip(&got).enumerate() {
+                    for (k, (ra, rb)) in a.iter().zip(b).enumerate() {
+                        assert_eq!(
+                            ra, rb,
+                            "robots={robots} threads={threads} lanes={lanes} \
+                             robot={robot} diverged at step {k}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

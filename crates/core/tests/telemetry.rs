@@ -90,16 +90,21 @@ fn clean_run_emits_the_expected_span_and_counter_set() {
     assert_eq!(metrics.counter_value("engine.numeric_failures"), Some(0));
     assert_eq!(metrics.counter_value("decision.sensor_alarms"), Some(0));
     assert_eq!(metrics.counter_value("decision.actuator_alarms"), Some(0));
+    // Per-mode distribution histograms are sampled 1-in-16 commits
+    // (first sample on the first commit) — recording them per step was
+    // the dominant term of the live-sink telemetry overhead. 30
+    // iterations sample commits 1 and 17.
+    let hist_samples = 1 + (ITERATIONS as u64 - 1) / 16;
     for m in 0..3 {
         let p = metrics
             .histogram_summary(&format!("engine.mode{m}.probability"))
             .unwrap();
-        assert_eq!(p.count, ITERATIONS as u64);
+        assert_eq!(p.count, hist_samples);
         assert!(p.nonfinite == 0, "mode probabilities must stay finite");
         let c = metrics
             .histogram_summary(&format!("engine.mode{m}.consistency"))
             .unwrap();
-        assert_eq!(c.count, ITERATIONS as u64);
+        assert_eq!(c.count, hist_samples);
         assert!(c.p50 > 1e-4, "clean run must stay innovation-consistent");
     }
     assert_eq!(ads.iteration(), ITERATIONS as u64);

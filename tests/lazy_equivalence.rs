@@ -1,0 +1,121 @@
+//! Detection equivalence of the lazy mode-bank schedule (DESIGN.md
+//! §17): on every Table II scenario, a detector running
+//! [`ActivationPolicy::TopK`] must raise the same alarms, identify the
+//! same sensor sets, and do so on the same ticks as the always-full
+//! bank. Dormancy is a cost optimization, never a detection-behavior
+//! change.
+
+use roboads::core::{ActivationPolicy, ModeSet, RoboAdsConfig};
+use roboads::models::presets;
+use roboads::sim::{Scenario, SimOutcome, SimulationBuilder};
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::clean(),
+        Scenario::wheel_logic_bomb(),
+        Scenario::wheel_jamming(),
+        Scenario::ips_logic_bomb(),
+        Scenario::ips_spoofing(),
+        Scenario::encoder_logic_bomb(),
+        Scenario::lidar_dos(),
+        Scenario::lidar_blocking(),
+        Scenario::wheel_and_ips_logic_bomb(),
+        Scenario::lidar_dos_and_encoder_logic_bomb(),
+        Scenario::ips_spoofing_and_lidar_dos(),
+        Scenario::ips_and_encoder_logic_bomb(),
+    ]
+}
+
+fn run(scenario: Scenario, config: RoboAdsConfig, complete_bank: bool) -> SimOutcome {
+    let mut b = SimulationBuilder::khepera()
+        .scenario(scenario)
+        .seed(11)
+        .config(config);
+    if complete_bank {
+        b = b.mode_set(ModeSet::complete(&presets::khepera_system()));
+    }
+    b.run().unwrap()
+}
+
+/// Asserts tick-for-tick decision equivalence between a full-bank and a
+/// lazy-bank outcome of the same scenario.
+fn assert_equivalent(name: &str, full: &SimOutcome, lazy: &SimOutcome) {
+    let full_recs = full.trace.records();
+    let lazy_recs = lazy.trace.records();
+    assert_eq!(full_recs.len(), lazy_recs.len(), "{name}: run length");
+    for (f, l) in full_recs.iter().zip(lazy_recs) {
+        let k = f.k;
+        assert_eq!(
+            f.report.sensor_alarm, l.report.sensor_alarm,
+            "{name}: sensor alarm diverged at tick {k}"
+        );
+        assert_eq!(
+            f.report.actuator_alarm, l.report.actuator_alarm,
+            "{name}: actuator alarm diverged at tick {k}"
+        );
+        assert_eq!(
+            f.report.misbehaving_sensors, l.report.misbehaving_sensors,
+            "{name}: identified sensors diverged at tick {k}"
+        );
+    }
+    assert_eq!(
+        full.report.misbehaving_sensors, lazy.report.misbehaving_sensors,
+        "{name}: final identification"
+    );
+    assert_eq!(
+        full.report.actuator_alarm, lazy.report.actuator_alarm,
+        "{name}: final actuator state"
+    );
+}
+
+#[test]
+fn lazy_bank_matches_full_bank_on_every_table2_scenario() {
+    for scenario in scenarios() {
+        let name = scenario.name().to_string();
+        let full = run(scenario.clone(), RoboAdsConfig::paper_defaults(), false);
+        let lazy = run(
+            scenario,
+            RoboAdsConfig::paper_defaults().with_activation(ActivationPolicy::lazy_defaults()),
+            false,
+        );
+        assert_equivalent(&name, &full, &lazy);
+    }
+}
+
+#[test]
+fn lazy_bank_matches_full_bank_on_the_complete_7_mode_bank() {
+    // The adaptive schedule's target workload: 2^p − 1 = 7 modes with
+    // only k = 2 live in steady state. Detection must not notice.
+    for scenario in [
+        Scenario::clean(),
+        Scenario::ips_spoofing(),
+        Scenario::wheel_jamming(),
+        Scenario::lidar_dos_and_encoder_logic_bomb(),
+    ] {
+        let name = format!("{}[complete]", scenario.name());
+        let full = run(scenario.clone(), RoboAdsConfig::paper_defaults(), true);
+        let lazy = run(
+            scenario,
+            RoboAdsConfig::paper_defaults().with_activation(ActivationPolicy::lazy_defaults()),
+            true,
+        );
+        assert_equivalent(&name, &full, &lazy);
+    }
+}
+
+#[test]
+fn explicit_always_full_is_bitwise_identical_to_the_default() {
+    let base = run(
+        Scenario::ips_spoofing(),
+        RoboAdsConfig::paper_defaults(),
+        false,
+    );
+    let explicit = run(
+        Scenario::ips_spoofing(),
+        RoboAdsConfig::paper_defaults().with_activation(ActivationPolicy::AlwaysFull),
+        false,
+    );
+    for (a, b) in base.trace.records().iter().zip(explicit.trace.records()) {
+        assert_eq!(a.report, b.report, "tick {}", a.k);
+    }
+}
