@@ -32,7 +32,7 @@ use roboads_core::obs::{json::JsonObject, RingBufferSink, Telemetry};
 use roboads_core::{
     nuise_step, nuise_step_into, ActivationPolicy, DetectionReport, FleetEngine, FleetIngest,
     Linearization, Mode, ModeSet, MultiModeEngine, NuiseInput, NuiseWorkspace, RecorderConfig,
-    RoboAds, RoboAdsConfig, RobotInput,
+    RoboAds, RoboAdsConfig, RobotFactory, RobotInput, ShardConfig, ShardedFleet,
 };
 use roboads_linalg::{Matrix, Vector};
 use roboads_models::presets;
@@ -452,6 +452,238 @@ fn bench_ingest_throughput(fast: bool) -> Vec<IngestRow> {
         });
     }
     rows
+}
+
+/// One sharded-fleet throughput sample: 64 robots hash-partitioned over
+/// `requested` shards (each shard stepped on its own worker), driven
+/// through the stamped-offer front door with journaling and periodic
+/// snapshots on — the full service-path cost.
+struct ShardRow {
+    robots: usize,
+    requested: usize,
+    effective: usize,
+    /// Per-robot-step seconds through the sharded service path.
+    seconds: f64,
+    /// Cost added over the plain `FleetIngest`-driven engine, percent
+    /// (the shard layer's routing + journal + snapshot amortization).
+    overhead_vs_engine_pct: f64,
+}
+
+/// One crash-recovery sample: rebuilding a killed 64-robot shard from
+/// its last snapshot plus a stamped-frame journal replay.
+struct ShardRecoveryRow {
+    robots: usize,
+    backlog_ticks: usize,
+    /// Wall-clock cost of the live stepping that produced the backlog.
+    live_seconds: f64,
+    /// Wall-clock cost of `recover_shard` (twin rebuild + snapshot
+    /// restore + journal replay + catch-up).
+    recovery_seconds: f64,
+    /// `recovery_seconds / live_seconds` — recovery replays the same
+    /// detector work the live run did, so this ratio is host-speed
+    /// independent.
+    ratio: f64,
+}
+
+/// Recovery may cost at most this multiple of the live stepping it
+/// replays (the slack covers the 64 factory constructions and the
+/// snapshot decode on top of the replayed detector work).
+const SHARD_RECOVERY_BUDGET_RATIO: f64 = 3.0;
+
+/// Shard-layer overhead budget at 1 shard, percent: the service path
+/// (routing + journal + periodic snapshots) on top of the plain
+/// ingest-driven engine it wraps.
+const SHARD_OVERHEAD_BUDGET_PCT: f64 = 10.0;
+
+/// Sharded-fleet service throughput and crash recovery. The baseline
+/// (a plain `FleetIngest`-driven engine doing the identical per-frame
+/// offers) runs back to back with the shard legs so host drift cancels
+/// out of the overhead ratio; the recovery ratio is self-normalizing
+/// by construction.
+fn bench_shard_scaling(fast: bool) -> (Vec<ShardRow>, ShardRecoveryRow) {
+    let system = presets::khepera_system();
+    let x0 = Vector::from_slice(&[0.5, 0.5, 0.2]);
+    let u = Vector::from_slice(&[0.06, 0.05]);
+    let x1 = system.dynamics().step(&x0, &u);
+    let readings = clean_readings(&system, &x1);
+    let robots = 64usize;
+    let factory: RobotFactory = {
+        let system = system.clone();
+        let x0 = x0.clone();
+        Arc::new(move |_id| RoboAds::with_defaults(system.clone(), x0.clone()))
+    };
+    let ids: Vec<u64> = (0..robots as u64).collect();
+    // One call = one fleet tick; windows span several ticks.
+    let (batches, per_batch) = if fast { (3, 4) } else { (10, 16) };
+
+    // Baseline: the same stamped frame-by-frame offers through a plain
+    // engine + ingest pair, no shard layer.
+    let mut engine = FleetEngine::new((0..robots).map(|i| factory(i as u64).unwrap()).collect(), 1);
+    let mut ingest = FleetIngest::for_fleet(&engine);
+    let baseline = time_median(batches, per_batch, || {
+        let k = ingest.tick();
+        for robot in 0..robots {
+            ingest.offer_input_stamped(robot, &u, k).unwrap();
+            for (s, reading) in readings.iter().enumerate() {
+                ingest.offer_stamped(robot, s, reading, k).unwrap();
+            }
+        }
+        ingest.step(&mut engine).unwrap();
+    }) / robots as f64;
+    report(
+        &format!("shard_service/robots={robots} engine baseline"),
+        baseline,
+    );
+
+    let mut rows: Vec<ShardRow> = Vec::new();
+    for (requested, effective) in clamped_thread_grid() {
+        let seconds = match rows.iter().find(|r| r.effective == effective) {
+            Some(prior) => prior.seconds,
+            None => {
+                let mut fleet = ShardedFleet::new(
+                    &ids,
+                    factory.clone(),
+                    ShardConfig {
+                        shards: effective,
+                        threads_per_shard: 1,
+                        snapshot_period: 64,
+                        steal_margin: 0,
+                    },
+                )
+                .unwrap();
+                time_median(batches, per_batch, || {
+                    let k = fleet.tick();
+                    for &id in &ids {
+                        fleet.offer_input(id, &u, k).unwrap();
+                        for (s, reading) in readings.iter().enumerate() {
+                            fleet.offer(id, s, reading, k).unwrap();
+                        }
+                    }
+                    fleet.step().unwrap();
+                }) / robots as f64
+            }
+        };
+        let overhead_vs_engine_pct = (seconds / baseline - 1.0) * 100.0;
+        report(
+            &format!(
+                "shard_service/robots={robots} shards={requested}{}",
+                clamp_mark(requested, effective)
+            ),
+            seconds,
+        );
+        println!(
+            "{:<44} {:>9.2} %",
+            format!(
+                "shard overhead shards={requested}{} vs engine",
+                clamp_mark(requested, effective)
+            ),
+            overhead_vs_engine_pct
+        );
+        rows.push(ShardRow {
+            robots,
+            requested,
+            effective,
+            seconds,
+            overhead_vs_engine_pct,
+        });
+    }
+
+    // Crash recovery: snapshot a 64-robot single-shard fleet, march 100
+    // ticks of journal backlog, kill and recover, and compare the
+    // recovery wall time with the live stepping it replays.
+    let backlog_ticks = 100usize;
+    let mut fleet = ShardedFleet::new(
+        &ids,
+        factory.clone(),
+        ShardConfig {
+            shards: 1,
+            threads_per_shard: 1,
+            snapshot_period: 0, // manual snapshots: fix the backlog exactly
+            steal_margin: 0,
+        },
+    )
+    .unwrap();
+    let tick = |fleet: &mut ShardedFleet| {
+        let k = fleet.tick();
+        for &id in &ids {
+            fleet.offer_input(id, &u, k).unwrap();
+            for (s, reading) in readings.iter().enumerate() {
+                fleet.offer(id, s, reading, k).unwrap();
+            }
+        }
+        fleet.step().unwrap();
+    };
+    for _ in 0..8 {
+        tick(&mut fleet); // warm the detectors off their cold start
+    }
+    fleet.snapshot_all();
+    let start = Instant::now();
+    for _ in 0..backlog_ticks {
+        tick(&mut fleet);
+    }
+    let live_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    fleet.recover_shard(0).unwrap();
+    let recovery_seconds = start.elapsed().as_secs_f64();
+    let ratio = recovery_seconds / live_seconds;
+    println!(
+        "{:<44} {:>10.1} ms  ({:.2}x the live stepping, budget {:.1}x)",
+        format!("shard_recovery/robots={robots} backlog={backlog_ticks}"),
+        recovery_seconds * 1e3,
+        ratio,
+        SHARD_RECOVERY_BUDGET_RATIO
+    );
+    let recovery = ShardRecoveryRow {
+        robots,
+        backlog_ticks,
+        live_seconds,
+        recovery_seconds,
+        ratio,
+    };
+    (rows, recovery)
+}
+
+/// `ROBOADS_FLEET_GATE=1` leg for the fleet service: the shard layer at
+/// 1 shard may cost at most [`SHARD_OVERHEAD_BUDGET_PCT`] over the
+/// plain ingest-driven engine (per-shard throughput within 10 % of a
+/// standalone `FleetEngine`), and recovering a killed 64-robot shard
+/// with a 100-tick backlog must land under
+/// [`SHARD_RECOVERY_BUDGET_RATIO`]× the live stepping it replays.
+fn check_shard_gate(rows: &[ShardRow], recovery: &ShardRecoveryRow) {
+    if std::env::var_os("ROBOADS_FLEET_GATE").is_none_or(|v| v == "0") {
+        return;
+    }
+    let single = rows
+        .iter()
+        .find(|r| r.effective == 1)
+        .expect("shard gate requires the 1-shard row");
+    println!(
+        "shard gate: {:.2} % service overhead at 1 shard (budget {:.1} %)",
+        single.overhead_vs_engine_pct, SHARD_OVERHEAD_BUDGET_PCT
+    );
+    assert!(
+        single.overhead_vs_engine_pct <= SHARD_OVERHEAD_BUDGET_PCT,
+        "shard service regression: routing + journaling + snapshots cost {:.2} % over the \
+         plain ingest-driven engine at 1 shard (budget {:.1} %) — per-shard throughput is \
+         no longer within 10 % of a standalone FleetEngine",
+        single.overhead_vs_engine_pct,
+        SHARD_OVERHEAD_BUDGET_PCT
+    );
+    println!(
+        "recovery gate: {:.2}x the live stepping for a {}-robot shard, {}-tick backlog \
+         (budget {:.1}x)",
+        recovery.ratio, recovery.robots, recovery.backlog_ticks, SHARD_RECOVERY_BUDGET_RATIO
+    );
+    assert!(
+        recovery.ratio <= SHARD_RECOVERY_BUDGET_RATIO,
+        "shard recovery regression: rebuilding a {}-robot shard from snapshot + {}-tick \
+         journal replay costs {:.2}x the live stepping it replays (budget {:.1}x) — twin \
+         construction or snapshot decode is no longer amortized by the replay",
+        recovery.robots,
+        recovery.backlog_ticks,
+        recovery.ratio,
+        SHARD_RECOVERY_BUDGET_RATIO
+    );
 }
 
 /// One flight-recorder overhead sample: identical warm detectors
@@ -1184,6 +1416,8 @@ struct SectionRows<'a> {
     lazy_bank: &'a [LazyBankRow],
     ingest: &'a [IngestRow],
     recorder: &'a RecorderRow,
+    shard: &'a [ShardRow],
+    shard_recovery: &'a ShardRecoveryRow,
 }
 
 fn write_results(nuise: (f64, f64), detector: (f64, f64, f64), rows: &SectionRows, fast: bool) {
@@ -1195,6 +1429,8 @@ fn write_results(nuise: (f64, f64), detector: (f64, f64, f64), rows: &SectionRow
         lazy_bank,
         ingest,
         recorder,
+        shard,
+        shard_recovery,
     } = rows;
     let mut o = JsonObject::new();
     o.field_str("bench", "perf");
@@ -1281,6 +1517,26 @@ fn write_results(nuise: (f64, f64), detector: (f64, f64, f64), rows: &SectionRow
     rec.field_f64("overhead_pct", recorder.overhead_pct);
     rec.field_f64("budget_pct", RECORDER_BUDGET_PCT);
     o.field_raw("recorder_overhead", &rec.finish());
+    let shard_rows = roboads_core::obs::json::array_of(shard.iter().map(|r| {
+        let mut row = JsonObject::new();
+        row.field_u64("robots", r.robots as u64);
+        row.field_u64("shards", r.requested as u64);
+        row.field_u64("effective_shards", r.effective as u64);
+        row.field_bool("clamped", r.effective < r.requested);
+        row.field_f64("robot_step_us", r.seconds * 1e6);
+        row.field_f64("robot_steps_per_sec", 1.0 / r.seconds);
+        row.field_f64("overhead_vs_engine_pct", r.overhead_vs_engine_pct);
+        row.finish()
+    }));
+    o.field_raw("shard_scaling", &shard_rows);
+    let mut recov = JsonObject::new();
+    recov.field_u64("robots", shard_recovery.robots as u64);
+    recov.field_u64("backlog_ticks", shard_recovery.backlog_ticks as u64);
+    recov.field_f64("live_ms", shard_recovery.live_seconds * 1e3);
+    recov.field_f64("recovery_ms", shard_recovery.recovery_seconds * 1e3);
+    recov.field_f64("ratio_vs_live", shard_recovery.ratio);
+    recov.field_f64("budget_ratio", SHARD_RECOVERY_BUDGET_RATIO);
+    o.field_raw("shard_recovery", &recov.finish());
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
     match std::fs::write(path, o.finish() + "\n") {
         Ok(()) => println!("\nwrote {path}"),
@@ -1317,6 +1573,11 @@ fn main() {
     let recorder = bench_recorder_overhead(fast);
     check_recorder_gate(&recorder);
     let ingest = bench_ingest_throughput(fast);
+    // The shard section carries its engine baseline inside itself (back
+    // to back), and the recovery ratio normalizes against the live
+    // stepping measured in the same run — both drift-safe.
+    let (shard, shard_recovery) = bench_shard_scaling(fast);
+    check_shard_gate(&shard, &shard_recovery);
     let scaling = bench_scaling(fast);
     bench_substrates(fast);
     bench_simulation(fast);
@@ -1331,6 +1592,8 @@ fn main() {
             lazy_bank: &lazy_bank,
             ingest: &ingest,
             recorder: &recorder,
+            shard: &shard,
+            shard_recovery: &shard_recovery,
         },
         fast,
     );

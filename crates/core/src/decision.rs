@@ -2,6 +2,7 @@ use std::collections::HashMap;
 
 use roboads_linalg::{Matrix, Vector};
 use roboads_models::{RobotSystem, SensorSlice};
+use roboads_obs::wire;
 use roboads_obs::{Counter, Gauge, Telemetry, Value};
 use roboads_stats::{ChiSquareTest, SlidingWindow, StatWorkspace};
 
@@ -530,6 +531,31 @@ impl DecisionMaker {
     /// any hypothesis is in contention (see `DESIGN.md` §17).
     pub(crate) fn windows_active(&self) -> bool {
         self.sensor_window.positives() > 0 || self.actuator_window.positives() > 0
+    }
+
+    /// Appends the decision maker's mutable state to a snapshot buffer
+    /// (DESIGN.md §18): both sliding-window histories and the previous
+    /// edge-trigger alarms. The χ²-test and workspace caches are
+    /// deterministic lazy builds and are left to the restore twin.
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        let sensor: Vec<bool> = self.sensor_window.history().collect();
+        let actuator: Vec<bool> = self.actuator_window.history().collect();
+        wire::put_bool_slice(out, &sensor);
+        wire::put_bool_slice(out, &actuator);
+        wire::put_bool(out, self.prev_sensor_alarm);
+        wire::put_bool(out, self.prev_actuator_alarm);
+    }
+
+    /// Restores the decision maker's mutable state from a snapshot
+    /// buffer.
+    pub(crate) fn snap_read(&mut self, rd: &mut wire::ByteReader<'_>) -> Result<()> {
+        let sensor = rd.bool_vec()?;
+        let actuator = rd.bool_vec()?;
+        self.sensor_window.restore_history(&sensor)?;
+        self.actuator_window.restore_history(&actuator)?;
+        self.prev_sensor_alarm = rd.bool()?;
+        self.prev_actuator_alarm = rd.bool()?;
+        Ok(())
     }
 
     /// The configured sensor significance level.

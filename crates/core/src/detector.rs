@@ -326,6 +326,24 @@ impl RoboAds {
     pub fn engine_threads(&self) -> usize {
         self.engine.threads()
     }
+
+    /// Appends the detector's mutable state (iteration, engine,
+    /// decision maker) to a snapshot buffer. The flight recorder is not
+    /// snapshotted — reattach one after restore if needed; its contents
+    /// never influence future step outputs.
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        roboads_obs::wire::put_u64(out, self.iteration);
+        self.engine.snap_write(out);
+        self.decision.snap_write(out);
+    }
+
+    /// Restores the detector's mutable state from a snapshot buffer onto
+    /// an identically-constructed twin.
+    pub(crate) fn snap_read(&mut self, rd: &mut roboads_obs::wire::ByteReader<'_>) -> Result<()> {
+        self.iteration = rd.u64()?;
+        self.engine.snap_read(rd)?;
+        self.decision.snap_read(rd)
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@ use std::sync::Arc;
 
 use roboads_linalg::{EigenWorkspace, Matrix, Vector};
 use roboads_models::{RobotSystem, SensorSlice};
+use roboads_obs::wire;
 use roboads_obs::{Counter, Gauge, Histogram, Telemetry, Value};
 use roboads_pool::Pool;
 
@@ -1319,6 +1320,102 @@ impl MultiModeEngine {
     /// Resolved fleet slab lane width (see the field docs).
     pub(crate) fn slab_lanes(&self) -> usize {
         self.slab_lanes
+    }
+
+    /// Appends the engine's complete mutable state to a snapshot buffer
+    /// (DESIGN.md §18): selector, shared and per-mode filter states, the
+    /// last committed output (the sleep scheduler and wake triggers read
+    /// stale slots from it), and every activation-schedule field.
+    /// Workspaces, parsimony scratch/thresholds and the pool are
+    /// construction-derived and belong to the restore twin.
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        self.selector.snap_write(out);
+        crate::snapshot::put_vector(out, &self.state_estimate);
+        crate::snapshot::put_matrix(out, &self.state_covariance);
+        wire::put_u32(out, self.mode_states.len() as u32);
+        for (x, p) in &self.mode_states {
+            crate::snapshot::put_vector(out, x);
+            crate::snapshot::put_matrix(out, p);
+        }
+        for m in &self.output.modes {
+            crate::snapshot::put_nuise_output(out, m);
+        }
+        wire::put_f64_slice(out, &self.output.probabilities);
+        wire::put_u64(out, self.output.selected as u64);
+        wire::put_bool_slice(out, &self.output.active);
+        wire::put_bool_slice(out, &self.active);
+        wire::put_bool_slice(out, &self.run_mask);
+        wire::put_bool(out, self.awake);
+        wire::put_bool(out, self.planned);
+        wire::put_bool_slice(out, &self.mode_stale);
+        wire::put_u64(out, self.audit_cursor as u64);
+        wire::put_u64(out, self.audit_countdown as u64);
+        match self.audit_mode {
+            None => wire::put_bool(out, false),
+            Some(m) => {
+                wire::put_bool(out, true);
+                wire::put_u64(out, m as u64);
+            }
+        }
+        wire::put_u64(out, self.quiescent_streak as u64);
+        wire::put_bool(out, self.external_activity);
+        wire::put_u8(out, crate::snapshot::wake_reason_tag(self.pending_wake));
+        wire::put_u64(out, self.active_count as u64);
+        wire::put_u64(out, self.commits);
+    }
+
+    /// Restores the engine's mutable state from a snapshot buffer onto
+    /// an identically-constructed twin. Dimensions are validated against
+    /// the twin's; a mismatched snapshot returns
+    /// [`CoreError::Snapshot`] with the engine partially overwritten
+    /// (discard it).
+    pub(crate) fn snap_read(&mut self, rd: &mut wire::ByteReader<'_>) -> Result<()> {
+        self.selector.snap_read(rd)?;
+        crate::snapshot::read_vector(rd, &mut self.state_estimate)?;
+        crate::snapshot::read_matrix(rd, &mut self.state_covariance)?;
+        let mode_count = rd.u32()? as usize;
+        if mode_count != self.mode_states.len() {
+            return Err(CoreError::Snapshot {
+                reason: format!(
+                    "snapshot has {mode_count} modes, twin has {}",
+                    self.mode_states.len()
+                ),
+            });
+        }
+        for (x, p) in &mut self.mode_states {
+            crate::snapshot::read_vector(rd, x)?;
+            crate::snapshot::read_matrix(rd, p)?;
+        }
+        for m in &mut self.output.modes {
+            crate::snapshot::read_nuise_output(rd, m)?;
+        }
+        rd.f64_into(&mut self.output.probabilities)?;
+        let selected = rd.u64()? as usize;
+        if selected >= mode_count {
+            return Err(CoreError::Snapshot {
+                reason: format!("selected mode {selected} out of range"),
+            });
+        }
+        self.output.selected = selected;
+        crate::snapshot::read_bools(rd, &mut self.output.active, mode_count)?;
+        crate::snapshot::read_bools(rd, &mut self.active, mode_count)?;
+        crate::snapshot::read_bools(rd, &mut self.run_mask, mode_count)?;
+        self.awake = rd.bool()?;
+        self.planned = rd.bool()?;
+        crate::snapshot::read_bools(rd, &mut self.mode_stale, mode_count)?;
+        self.audit_cursor = rd.u64()? as usize;
+        self.audit_countdown = rd.u64()? as usize;
+        self.audit_mode = if rd.bool()? {
+            Some(rd.u64()? as usize)
+        } else {
+            None
+        };
+        self.quiescent_streak = rd.u64()? as usize;
+        self.external_activity = rd.bool()?;
+        self.pending_wake = crate::snapshot::wake_reason_from_tag(rd.u8()?)?;
+        self.active_count = rd.u64()? as usize;
+        self.commits = rd.u64()?;
+        Ok(())
     }
 }
 

@@ -847,6 +847,111 @@ impl FleetEngine {
         Ok(())
     }
 
+    /// Serializes the fleet's mutable state (tick counters plus every
+    /// robot's detector, in fleet order). Part of
+    /// [`crate::snapshot_fleet`]'s body; the partition and reports are
+    /// derived state and are not captured.
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        use roboads_obs::wire;
+        wire::put_u64(out, self.tick);
+        wire::put_bool(out, self.pending_stamp.is_some());
+        wire::put_u64(out, self.pending_stamp.unwrap_or(0));
+        wire::put_u32(out, self.slots.len() as u32);
+        for &slot in &self.slots {
+            self.cells[slot].detector.snap_write(out);
+        }
+    }
+
+    /// Restores [`FleetEngine::snap_write`] state onto this fleet,
+    /// which must hold identically-constructed twins of the
+    /// snapshotted robots (same count, systems, mode banks, configs).
+    /// Invalidates the signature partition: the restored activation
+    /// masks re-resolve it on the next batch.
+    pub(crate) fn snap_read(&mut self, rd: &mut roboads_obs::wire::ByteReader<'_>) -> Result<()> {
+        self.tick = rd.u64()?;
+        let has_stamp = rd.bool()?;
+        let stamp = rd.u64()?;
+        self.pending_stamp = has_stamp.then_some(stamp);
+        let count = rd.u32()? as usize;
+        if count != self.slots.len() {
+            return Err(crate::snapshot::snapshot_err(format!(
+                "fleet size mismatch: snapshot {count} robots, twin {}",
+                self.slots.len()
+            )));
+        }
+        for i in 0..self.slots.len() {
+            let slot = self.slots[i];
+            self.cells[slot].detector.snap_read(rd)?;
+        }
+        self.slab = SlabState::Unknown;
+        Ok(())
+    }
+
+    /// Fleet indices partitioned by signature [`GroupKey`]
+    /// (first-appearance order, fleet order within each group) — the
+    /// same partition [`FleetEngine::resolve_slab`] materializes, but
+    /// computed on demand without touching the resolved state. The
+    /// shard balancer steals at exactly this granularity so a migrated
+    /// group's slab tiles never split across shards (`DESIGN.md` §16,
+    /// §18).
+    pub(crate) fn signature_groups(&self) -> Vec<Vec<usize>> {
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut by_key: HashMap<GroupKey, usize> = HashMap::new();
+        for fleet in 0..self.slots.len() {
+            let key = Self::group_key(&self.cells[self.slots[fleet]]);
+            let g = *by_key.entry(key).or_insert_with(|| {
+                members.push(Vec::new());
+                members.len() - 1
+            });
+            members[g].push(fleet);
+        }
+        members
+    }
+
+    /// Removes the robots at the given **sorted ascending** fleet
+    /// indices and returns their detectors in that order. Remaining
+    /// robots are renumbered to close the gaps (fleet order preserved);
+    /// attached recorders are re-stamped with the new indices, and the
+    /// signature partition is invalidated. Used by the shard balancer
+    /// to migrate whole signature groups.
+    pub(crate) fn remove_robots(&mut self, indices: &[usize]) -> Vec<RoboAds> {
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "remove_robots requires sorted, deduplicated indices"
+        );
+        let n = self.cells.len();
+        let mut by_fleet: Vec<Option<RobotCell>> = (0..n).map(|_| None).collect();
+        for cell in std::mem::take(&mut self.cells) {
+            let fleet = cell.fleet;
+            by_fleet[fleet] = Some(cell);
+        }
+        let mut next = indices.iter().peekable();
+        let mut taken = Vec::with_capacity(indices.len());
+        let mut kept = Vec::with_capacity(n - indices.len());
+        for (fleet, cell) in by_fleet.into_iter().enumerate() {
+            let cell = cell.expect("every fleet index has exactly one cell");
+            if next.peek() == Some(&&fleet) {
+                next.next();
+                taken.push(cell.detector);
+            } else {
+                kept.push(cell);
+            }
+        }
+        assert!(next.peek().is_none(), "remove_robots index out of range");
+        self.slots.clear();
+        self.cells = Vec::with_capacity(kept.len());
+        for (fleet, mut cell) in kept.into_iter().enumerate() {
+            cell.fleet = fleet;
+            if let Some(recorder) = cell.detector.recorder_mut() {
+                recorder.set_robot(fleet as u32);
+            }
+            self.slots.push(self.cells.len());
+            self.cells.push(cell);
+        }
+        self.slab = SlabState::Unknown;
+        taken
+    }
+
     /// Robot `i`'s detector (its filter state, iteration counter, …).
     pub fn detector(&self, i: usize) -> &RoboAds {
         &self.cells[self.slots[i]].detector

@@ -18,6 +18,7 @@ use roboads_obs::Telemetry;
 
 use crate::fleet::FleetEngine;
 use crate::ingest::{FleetIngest, SlotState};
+use crate::shard::{ShardStatus, ShardedFleet};
 use crate::CoreError;
 
 /// Rolling per-robot health state.
@@ -66,6 +67,11 @@ pub struct FleetHealth {
     slab_robots: u64,
     /// Robots stepped per-robot.
     scalar_robots: u64,
+    /// Per-shard rows when the fleet runs as a sharded service
+    /// (`DESIGN.md` §18); empty for single-process fleets.
+    shards: Vec<ShardStatus>,
+    /// Whole-group migrations completed by the shard balancer.
+    steals: u64,
     telemetry: Option<Telemetry>,
 }
 
@@ -78,6 +84,8 @@ impl FleetHealth {
             slab_groups: 0,
             slab_robots: 0,
             scalar_robots: 0,
+            shards: Vec::new(),
+            steals: 0,
             telemetry: None,
         }
     }
@@ -156,6 +164,27 @@ impl FleetHealth {
         }
     }
 
+    /// Folds a sharded service's topology into the board: one row per
+    /// shard (robot count, tick, journal backlog, last snapshot) plus
+    /// the balancer's migration count. Call alongside
+    /// [`FleetHealth::observe`]-style per-tick observation, or at
+    /// whatever cadence the dashboard scrapes.
+    pub fn observe_shards(&mut self, fleet: &ShardedFleet) {
+        self.shards = fleet.status();
+        self.steals = fleet.steals();
+    }
+
+    /// Per-shard rows from the last [`FleetHealth::observe_shards`]
+    /// (empty for single-process fleets).
+    pub fn shards(&self) -> &[ShardStatus] {
+        &self.shards
+    }
+
+    /// Whole-group migrations completed by the shard balancer.
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
     /// Robots with any alarm currently raised.
     pub fn alarmed(&self) -> usize {
         self.robots
@@ -227,6 +256,26 @@ impl FleetHealth {
             })
             .collect();
         o.field_raw("per_robot", &format!("[{}]", rows.join(",")));
+        if !self.shards.is_empty() {
+            o.field_u64("steals", self.steals);
+            let rows: Vec<String> = self
+                .shards
+                .iter()
+                .map(|s| {
+                    let mut row = JsonObject::new();
+                    row.field_u64("shard", s.shard as u64);
+                    row.field_u64("robots", s.robots as u64);
+                    row.field_u64("tick", s.tick);
+                    row.field_u64("journal_frames", s.journal_frames as u64);
+                    match s.snapshot_tick {
+                        Some(t) => row.field_u64("snapshot_tick", t),
+                        None => row.field_raw("snapshot_tick", "null"),
+                    }
+                    row.finish()
+                })
+                .collect();
+            o.field_raw("shards", &format!("[{}]", rows.join(",")));
+        }
         if let Some(t) = &self.telemetry {
             o.field_raw("metrics", &t.metrics().snapshot().to_json());
         }
@@ -318,6 +367,43 @@ impl FleetHealth {
             p.type_(name, "gauge");
             for (i, robot) in self.robots.iter().enumerate() {
                 p.sample(name, &[("robot", &i.to_string())], get(robot));
+            }
+        }
+        if !self.shards.is_empty() {
+            p.help(
+                "roboads_fleet_steals",
+                "Whole-group migrations completed by the shard balancer",
+            );
+            p.type_("roboads_fleet_steals", "counter");
+            p.sample("roboads_fleet_steals", &[], self.steals as f64);
+            type ShardGauge = (&'static str, &'static str, fn(&ShardStatus) -> f64);
+            let gauges: [ShardGauge; 4] = [
+                ("roboads_shard_robots", "Robots homed on the shard", |s| {
+                    s.robots as f64
+                }),
+                ("roboads_shard_tick", "Shard staging tick", |s| {
+                    s.tick as f64
+                }),
+                (
+                    "roboads_shard_journal_frames",
+                    "Journaled frames since the last snapshot (replay backlog)",
+                    |s| s.journal_frames as f64,
+                ),
+                (
+                    "roboads_shard_snapshot_age",
+                    "Ticks since the shard's last snapshot (-1 before the first)",
+                    |s| match s.snapshot_tick {
+                        Some(t) => s.tick.saturating_sub(t) as f64,
+                        None => -1.0,
+                    },
+                ),
+            ];
+            for (name, help, get) in gauges {
+                p.help(name, help);
+                p.type_(name, "gauge");
+                for shard in &self.shards {
+                    p.sample(name, &[("shard", &shard.shard.to_string())], get(shard));
+                }
             }
         }
         let mut out = p.finish();

@@ -31,6 +31,7 @@
 //!   events so late/held/missing robots are observable per tick.
 
 use roboads_linalg::Vector;
+use roboads_obs::wire;
 use roboads_obs::{Counter, Telemetry, Value};
 
 use crate::fleet::{FleetEngine, RobotInput};
@@ -88,7 +89,7 @@ pub struct SwapSummary {
 /// two per arrived piece, so buffers are recycled tick after tick and
 /// the warm path performs no heap allocation.
 #[derive(Debug)]
-struct Slot {
+pub(crate) struct Slot {
     policy: DeadlinePolicy,
     staged_u: Vector,
     staged_u_arrived: bool,
@@ -119,6 +120,53 @@ impl Slot {
 
     fn complete(&self) -> bool {
         self.staged_u_arrived && self.arrived.iter().all(|&a| a)
+    }
+
+    fn snap_write(&self, out: &mut Vec<u8>) {
+        crate::snapshot::put_vector(out, &self.staged_u);
+        wire::put_bool(out, self.staged_u_arrived);
+        for v in &self.staged {
+            crate::snapshot::put_vector(out, v);
+        }
+        wire::put_bool_slice(out, &self.arrived);
+        crate::snapshot::put_vector(out, &self.published_u);
+        for v in &self.published {
+            crate::snapshot::put_vector(out, v);
+        }
+        wire::put_u8(
+            out,
+            match self.state {
+                SlotState::Fresh => 0,
+                SlotState::Held => 1,
+                SlotState::Missing => 2,
+            },
+        );
+        wire::put_bool(out, self.complete_history);
+    }
+
+    fn snap_read(&mut self, rd: &mut wire::ByteReader<'_>) -> Result<()> {
+        crate::snapshot::read_vector_flex(rd, &mut self.staged_u)?;
+        self.staged_u_arrived = rd.bool()?;
+        for v in &mut self.staged {
+            crate::snapshot::read_vector_flex(rd, v)?;
+        }
+        crate::snapshot::read_bools(rd, &mut self.arrived, self.staged.len())?;
+        crate::snapshot::read_vector_flex(rd, &mut self.published_u)?;
+        for v in &mut self.published {
+            crate::snapshot::read_vector_flex(rd, v)?;
+        }
+        self.state = match rd.u8()? {
+            0 => SlotState::Fresh,
+            1 => SlotState::Held,
+            2 => SlotState::Missing,
+            t => {
+                return Err(CoreError::Snapshot {
+                    reason: format!("unknown slot state tag {t}"),
+                })
+            }
+        };
+        self.complete_history = rd.bool()?;
+        Ok(())
     }
 }
 
@@ -470,6 +518,62 @@ impl FleetIngest {
             }),
             SlotState::Missing => None,
         }
+    }
+
+    /// Appends the ingest front-end's mutable state to a snapshot buffer:
+    /// the staging tick plus every slot's double-buffered staging and
+    /// published contents. Deadline policies are construction
+    /// configuration and belong to the restore twin.
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        wire::put_u64(out, self.tick);
+        wire::put_u32(out, self.slots.len() as u32);
+        for slot in &self.slots {
+            slot.snap_write(out);
+        }
+    }
+
+    /// Restores the ingest front-end's mutable state from a snapshot
+    /// buffer onto an identically-shaped twin.
+    pub(crate) fn snap_read(&mut self, rd: &mut wire::ByteReader<'_>) -> Result<()> {
+        self.tick = rd.u64()?;
+        let n = rd.u32()? as usize;
+        if n != self.slots.len() {
+            return Err(CoreError::Snapshot {
+                reason: format!(
+                    "snapshot has {n} ingest slots, twin has {}",
+                    self.slots.len()
+                ),
+            });
+        }
+        for slot in &mut self.slots {
+            slot.snap_read(rd)?;
+        }
+        Ok(())
+    }
+
+    /// Removes the slots at `indices` (strictly ascending) and returns
+    /// them in that order, preserving their staged/published contents —
+    /// the ingest half of moving robots between shards. Remaining slots
+    /// keep their relative order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or the list is not strictly
+    /// ascending.
+    pub(crate) fn remove_slots(&mut self, indices: &[usize]) -> Vec<Slot> {
+        assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        let mut taken = Vec::with_capacity(indices.len());
+        for &i in indices.iter().rev() {
+            taken.push(self.slots.remove(i));
+        }
+        taken.reverse();
+        taken
+    }
+
+    /// Appends slots previously taken with [`FleetIngest::remove_slots`]
+    /// (the receiving shard's robots gain the movers' staged state).
+    pub(crate) fn append_slots(&mut self, slots: Vec<Slot>) {
+        self.slots.extend(slots);
     }
 
     /// Convenience tick: [`FleetIngest::swap`] followed by

@@ -79,6 +79,8 @@ mod nuise;
 mod nuise_slab;
 mod report;
 mod selector;
+mod shard;
+mod snapshot;
 
 pub use config::{ActivationPolicy, Linearization, RoboAdsConfig, WindowConfig};
 pub use decision::DecisionMaker;
@@ -95,6 +97,10 @@ pub use recorder::{
 };
 pub use report::{AnomalyEstimate, DetectionReport, SensorAnomaly};
 pub use selector::{ModeSelector, MODE_MIXING, SELECTION_HYSTERESIS};
+pub use shard::{RobotFactory, ShardConfig, ShardStatus, ShardedFleet, StampedFrame};
+pub use snapshot::{
+    restore_detector, restore_fleet, snapshot_detector, snapshot_fleet, SNAPSHOT_VERSION,
+};
 
 /// Re-export of the observability layer the pipeline reports into, so
 /// detector users can build a [`roboads_obs::Telemetry`] for
@@ -145,6 +151,13 @@ pub enum CoreError {
         /// What was wrong.
         reason: String,
     },
+    /// A state snapshot could not be decoded or did not match the twin
+    /// detector it was restored onto (version, dimension, truncation or
+    /// corruption).
+    Snapshot {
+        /// What was wrong.
+        reason: String,
+    },
     /// An underlying numeric operation failed.
     Numeric(String),
 }
@@ -166,6 +179,7 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::Capsule { reason } => write!(f, "incident capsule error: {reason}"),
+            CoreError::Snapshot { reason } => write!(f, "snapshot error: {reason}"),
             CoreError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
         }
     }
@@ -182,6 +196,14 @@ impl From<roboads_linalg::LinalgError> for CoreError {
 impl From<roboads_stats::StatsError> for CoreError {
     fn from(e: roboads_stats::StatsError) -> Self {
         CoreError::Numeric(e.to_string())
+    }
+}
+
+impl From<roboads_obs::wire::ByteError> for CoreError {
+    fn from(e: roboads_obs::wire::ByteError) -> Self {
+        CoreError::Snapshot {
+            reason: e.to_string(),
+        }
     }
 }
 

@@ -40,6 +40,7 @@
 use roboads_linalg::Vector;
 use roboads_models::RobotSystem;
 use roboads_obs::json::{self, JsonObject, JsonValue};
+use roboads_obs::wire::{feq, lossless_array, lossless_field, refill, slice_feq, usize_array};
 use roboads_obs::{HistogramSummary, SlotRing, Telemetry};
 
 use crate::detector::RoboAds;
@@ -85,21 +86,6 @@ pub struct DecisionDigest {
     pub actuator_alarm: bool,
     /// Actuator anomaly-vector estimate `d̂^a`.
     pub actuator_estimate: Vec<f64>,
-}
-
-fn refill(dst: &mut Vec<f64>, src: &[f64]) {
-    dst.clear();
-    dst.extend_from_slice(src);
-}
-
-/// Bit-level equality for digest floats: exact bits, except that any
-/// NaN matches any NaN (NaN payloads are not meaningful here).
-fn feq(a: f64, b: f64) -> bool {
-    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
-}
-
-fn slice_feq(a: &[f64], b: &[f64]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| feq(*x, *y))
 }
 
 impl DecisionDigest {
@@ -505,36 +491,6 @@ fn field_usize_array(v: &JsonValue, key: &str) -> Result<Vec<usize>> {
                 })
         })
         .collect()
-}
-
-fn lossless_field(o: &mut JsonObject, key: &str, v: f64) {
-    let mut buf = String::new();
-    json::write_f64_lossless(&mut buf, v);
-    o.field_raw(key, &buf);
-}
-
-fn lossless_array(values: &[f64]) -> String {
-    let mut out = String::from("[");
-    for (i, v) in values.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        json::write_f64_lossless(&mut out, *v);
-    }
-    out.push(']');
-    out
-}
-
-fn usize_array(values: &[usize]) -> String {
-    let mut out = String::from("[");
-    for (i, v) in values.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&v.to_string());
-    }
-    out.push(']');
-    out
 }
 
 fn summary_json(s: &HistogramSummary) -> String {

@@ -1,3 +1,5 @@
+use roboads_obs::wire;
+
 use crate::{CoreError, Result};
 
 /// The mode selector of Algorithm 1 (lines 6–9): maintains normalized
@@ -296,6 +298,32 @@ impl ModeSelector {
         let uniform = 1.0 / self.probabilities.len() as f64;
         self.probabilities.fill(uniform);
         self.selected = 0;
+    }
+
+    /// Appends the selector's mutable state to a snapshot buffer
+    /// (DESIGN.md §18). `floor`/`mixing` are construction-time
+    /// configuration and belong to the restore twin, not the snapshot.
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        wire::put_f64_slice(out, &self.probabilities);
+        wire::put_u64(out, self.selected as u64);
+        wire::put_bool(out, self.all_floored);
+    }
+
+    /// Restores the selector's mutable state from a snapshot buffer.
+    pub(crate) fn snap_read(&mut self, rd: &mut wire::ByteReader<'_>) -> Result<()> {
+        rd.f64_into(&mut self.probabilities)?;
+        let selected = rd.u64()? as usize;
+        if selected >= self.probabilities.len() {
+            return Err(CoreError::Snapshot {
+                reason: format!(
+                    "selected mode {selected} out of range for {} modes",
+                    self.probabilities.len()
+                ),
+            });
+        }
+        self.selected = selected;
+        self.all_floored = rd.bool()?;
+        Ok(())
     }
 }
 

@@ -308,31 +308,30 @@ fn warmed_up_lazy_wake_sleep_cycle_is_allocation_free() {
     // burst (χ²/consistency wake, alarm, identification), then clean
     // recovery (windows drain, bank re-sleeps). Readings are built
     // outside the measured region; only `step_into` is counted.
-    let mut cycle =
-        |ads: &mut RoboAds, report: &mut DetectionReport, x: &mut Vector, measure: bool| {
-            let mut spoofed_while_asleep = false;
-            let mut step_allocs = 0;
-            for k in 0..60 {
-                *x = system.dynamics().step(x, &u);
-                let mut readings: Vec<Vector> = (0..system.sensor_count())
-                    .map(|i| system.sensor(i).unwrap().measure(x))
-                    .collect();
-                if (25..33).contains(&k) {
-                    if !ads.bank_awake() {
-                        spoofed_while_asleep = true;
-                    }
-                    readings[0][0] += 0.07;
+    let cycle = |ads: &mut RoboAds, report: &mut DetectionReport, x: &mut Vector, measure: bool| {
+        let mut spoofed_while_asleep = false;
+        let mut step_allocs = 0;
+        for k in 0..60 {
+            *x = system.dynamics().step(x, &u);
+            let mut readings: Vec<Vector> = (0..system.sensor_count())
+                .map(|i| system.sensor(i).unwrap().measure(x))
+                .collect();
+            if (25..33).contains(&k) {
+                if !ads.bank_awake() {
+                    spoofed_while_asleep = true;
                 }
-                if measure {
-                    step_allocs += allocations_during(|| {
-                        ads.step_into(&u, &readings, report).unwrap();
-                    });
-                } else {
-                    ads.step_into(&u, &readings, report).unwrap();
-                }
+                readings[0][0] += 0.07;
             }
-            (spoofed_while_asleep, step_allocs)
-        };
+            if measure {
+                step_allocs += allocations_during(|| {
+                    ads.step_into(&u, &readings, report).unwrap();
+                });
+            } else {
+                ads.step_into(&u, &readings, report).unwrap();
+            }
+        }
+        (spoofed_while_asleep, step_allocs)
+    };
 
     // Warm-up cycle: every buffer — including post-identification report
     // shapes and the woken bank's scratch — reaches steady state.

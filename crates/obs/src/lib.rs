@@ -41,6 +41,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod sink;
 pub mod telemetry;
+pub mod wire;
 
 pub use expose::{render_snapshot, PrometheusText};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};

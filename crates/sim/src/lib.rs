@@ -43,6 +43,7 @@ pub mod bus;
 
 mod eval;
 mod fleet;
+mod loadgen;
 mod misbehavior;
 mod platform;
 mod runner;
@@ -53,6 +54,7 @@ mod workflow;
 
 pub use eval::{evaluate, EvalResult, TransitionDelay};
 pub use fleet::{FleetOutcome, FleetSimulationBuilder, FrameFault};
+pub use loadgen::{serve_traces_uds, stream_traces};
 pub use misbehavior::{Corruption, Misbehavior, Target};
 pub use platform::RobotPlatform;
 pub use runner::{evaluation_detector, RobotKind, SimOutcome, SimulationBuilder};

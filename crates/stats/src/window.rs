@@ -90,6 +90,31 @@ impl SlidingWindow {
         self.history.clear();
         self.positives = 0;
     }
+
+    /// The window history oldest-first, for snapshotting.
+    pub fn history(&self) -> impl Iterator<Item = bool> + '_ {
+        self.history.iter().copied()
+    }
+
+    /// Replaces the window history (oldest-first), recomputing the
+    /// positive count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `history` is longer
+    /// than the window size.
+    pub fn restore_history(&mut self, history: &[bool]) -> Result<()> {
+        if history.len() > self.window {
+            return Err(StatsError::InvalidParameter {
+                name: "history",
+                value: format!("{} entries > window {}", history.len(), self.window),
+            });
+        }
+        self.history.clear();
+        self.history.extend(history.iter().copied());
+        self.positives = history.iter().filter(|&&p| p).count();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,205 @@
+//! Socket plumbing: a buffered frame writer for producers and the
+//! service-side pump that feeds a [`ShardedFleet`] from a byte stream.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+
+use roboads_core::ShardedFleet;
+
+use crate::codec::{encode_frame, FrameDecoder, WireError, WireFrame, WIRE_VERSION};
+
+/// Buffered frame writer: the producer half of the protocol. Frames
+/// accumulate in one buffer and hit the socket on [`FrameWriter::flush`]
+/// (or drop), so a tick's worth of frames usually travels as one write.
+#[derive(Debug)]
+pub struct FrameWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps a sink and queues the opening [`WireFrame::Hello`].
+    pub fn new(inner: W) -> Self {
+        let mut writer = FrameWriter {
+            inner,
+            buf: Vec::with_capacity(4096),
+        };
+        writer.send(&WireFrame::Hello {
+            version: WIRE_VERSION,
+        });
+        writer
+    }
+
+    /// Queues one frame (buffered; nothing touches the socket yet).
+    pub fn send(&mut self, frame: &WireFrame) {
+        encode_frame(frame, &mut self.buf);
+    }
+
+    /// Writes every queued frame to the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// The sink's I/O error; queued bytes are retained for retry.
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        self.inner.write_all(&self.buf)?;
+        self.buf.clear();
+        self.inner.flush()?;
+        Ok(())
+    }
+
+    /// Queues [`WireFrame::Bye`] and flushes.
+    ///
+    /// # Errors
+    ///
+    /// The sink's I/O error.
+    pub fn finish(mut self) -> Result<(), WireError> {
+        self.send(&WireFrame::Bye);
+        self.flush()
+    }
+}
+
+/// Outcome of one pumped connection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Data frames decoded (readings + inputs).
+    pub frames: u64,
+    /// Data frames accepted into a staging window.
+    pub accepted: u64,
+    /// Data frames rejected (stale stamp or unknown robot).
+    pub rejected: u64,
+    /// Tick boundaries crossed.
+    pub ticks: u64,
+    /// Ticks whose batch step reported a detection-level error (the
+    /// verdicts stay queryable per robot; the stream keeps flowing).
+    pub step_errors: u64,
+    /// Whether the producer closed with an orderly [`WireFrame::Bye`].
+    pub clean_shutdown: bool,
+}
+
+/// Pumps one byte stream into the fleet until `Bye` or EOF: data
+/// frames stage via [`ShardedFleet::offer_frame`], every
+/// [`WireFrame::TickEnd`] steps all shards. The stream must open with
+/// a matching [`WireFrame::Hello`].
+///
+/// Detection-level step errors (a missed deadline, a robot's numeric
+/// failure) are *not* protocol errors: they are counted in the summary
+/// and the pump continues, exactly as an in-process driver would keep
+/// ticking. Unknown robots and stale stamps count as rejected frames.
+///
+/// # Errors
+///
+/// [`WireError`] on protocol violations: bad version, malformed or
+/// oversized frames, data before `Hello`, or socket failures.
+pub fn pump<R: Read>(mut stream: R, fleet: &mut ShardedFleet) -> Result<ServeSummary, WireError> {
+    let mut decoder = FrameDecoder::new();
+    let mut summary = ServeSummary::default();
+    let mut greeted = false;
+    let mut chunk = [0u8; 8192];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(summary); // EOF without Bye: summary says so
+        }
+        decoder.feed(&chunk[..n])?;
+        while let Some(frame) = decoder.next_frame()? {
+            match frame {
+                WireFrame::Hello { version } => {
+                    if version != WIRE_VERSION {
+                        return Err(WireError::Version { found: version });
+                    }
+                    greeted = true;
+                }
+                WireFrame::Bye => {
+                    summary.clean_shutdown = true;
+                    return Ok(summary);
+                }
+                WireFrame::TickEnd { .. } => {
+                    if !greeted {
+                        return Err(WireError::Corrupt {
+                            at: 0,
+                            reason: "data frame before Hello",
+                        });
+                    }
+                    summary.ticks += 1;
+                    if fleet.step().is_err() {
+                        summary.step_errors += 1;
+                    }
+                }
+                data => {
+                    if !greeted {
+                        return Err(WireError::Corrupt {
+                            at: 0,
+                            reason: "data frame before Hello",
+                        });
+                    }
+                    let stamped = data.to_stamped().expect("reading/input is a data frame");
+                    summary.frames += 1;
+                    match fleet.offer_frame(&stamped) {
+                        Ok(true) => summary.accepted += 1,
+                        // A stale stamp or unknown robot drops the
+                        // frame, not the connection.
+                        Ok(false) | Err(_) => summary.rejected += 1,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accepts **one** connection on an already-bound TCP listener and
+/// pumps it to completion. The single-connection shape matches the
+/// deployment: one load generator (or bus bridge) per service process.
+///
+/// # Errors
+///
+/// Accept/socket failures or any [`pump`] protocol error.
+pub fn serve_tcp(
+    listener: &TcpListener,
+    fleet: &mut ShardedFleet,
+) -> Result<ServeSummary, WireError> {
+    let (stream, _addr) = listener.accept()?;
+    pump(stream, fleet)
+}
+
+/// Accepts **one** connection on an already-bound Unix-domain listener
+/// and pumps it to completion (see [`serve_tcp`]).
+///
+/// # Errors
+///
+/// Accept/socket failures or any [`pump`] protocol error.
+pub fn serve_uds(
+    listener: &UnixListener,
+    fleet: &mut ShardedFleet,
+) -> Result<ServeSummary, WireError> {
+    let (stream, _addr) = listener.accept()?;
+    pump(stream, fleet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_buffers_until_flush() {
+        let mut sink = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut sink);
+            writer.send(&WireFrame::TickEnd { tick: 0 });
+            writer.flush().unwrap();
+        }
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&sink).unwrap();
+        assert!(matches!(
+            decoder.next_frame().unwrap(),
+            Some(WireFrame::Hello {
+                version: WIRE_VERSION
+            })
+        ));
+        assert!(matches!(
+            decoder.next_frame().unwrap(),
+            Some(WireFrame::TickEnd { tick: 0 })
+        ));
+        assert!(decoder.next_frame().unwrap().is_none());
+    }
+}

@@ -23,7 +23,11 @@
 //! * [`obs`] — zero-dependency telemetry: spans, structured events,
 //!   counters/gauges/histograms, and the sinks (`NoopSink`,
 //!   `RingBufferSink`, JSONL `WriterSink`) the pipeline reports into
-//!   (see `examples/telemetry.rs` and the README's Telemetry section).
+//!   (see `examples/telemetry.rs` and the README's Telemetry section),
+//! * [`wire`] — the length-prefixed binary frame codec and TCP/UDS
+//!   front-end that feeds a [`core::ShardedFleet`] from a separate
+//!   load-generation process (see the README's "Fleet as a service"
+//!   section and `DESIGN.md` §18).
 //!
 //! # Quickstart
 //!
@@ -49,3 +53,4 @@ pub use roboads_models as models;
 pub use roboads_obs as obs;
 pub use roboads_sim as sim;
 pub use roboads_stats as stats;
+pub use roboads_wire as wire;
