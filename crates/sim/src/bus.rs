@@ -17,8 +17,25 @@
 
 use roboads_linalg::Vector;
 
+use crate::SimError;
+
 /// Fixed-point scale: payload integers are nano-units (1e-9).
 pub const PAYLOAD_SCALE: f64 = 1e-9;
+
+/// Converts one reading component to a payload word, saturating what
+/// the fixed-point range cannot express (see [`Frame::encode`]).
+fn saturating_word(v: f64) -> i64 {
+    let scaled = v / PAYLOAD_SCALE;
+    if scaled.is_nan() {
+        0
+    } else if scaled >= i64::MAX as f64 {
+        i64::MAX
+    } else if scaled <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        scaled.round() as i64
+    }
+}
 
 /// Arbitration-id base for sensing workflows: sensor `i` publishes with
 /// id `SENSOR_ID_BASE + i`.
@@ -53,24 +70,22 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Encodes a reading vector into a frame.
+    /// Encodes a reading vector into a frame, **saturating** values the
+    /// fixed-point range cannot express: ±∞ and out-of-range magnitudes
+    /// clamp to `i64::MAX`/`i64::MIN` words, NaN encodes as `0` (a CAN
+    /// transceiver has no NaN wire symbol — the corrupted producer puts
+    /// *some* word on the wire, and a deterministic one keeps campaign
+    /// trials reproducible).
     ///
-    /// # Panics
-    ///
-    /// Panics if a component exceeds the representable fixed-point range
-    /// (±9.2e9 units — unreachable for meter/radian-scale signals).
+    /// A corruption upstream of the encoder therefore yields an extreme
+    /// — and very detectable — reading instead of aborting the whole
+    /// simulation. Use [`Frame::try_encode`] to reject non-finite
+    /// values with a typed error instead.
     pub fn encode(id: u16, source: impl Into<String>, reading: &Vector) -> Frame {
         let payload = reading
             .as_slice()
             .iter()
-            .map(|&v| {
-                let scaled = v / PAYLOAD_SCALE;
-                assert!(
-                    scaled.abs() < i64::MAX as f64,
-                    "value {v} exceeds the bus fixed-point range"
-                );
-                scaled.round() as i64
-            })
+            .map(|&v| saturating_word(v))
             .collect();
         Frame {
             id,
@@ -79,6 +94,42 @@ impl Frame {
             tick: 0,
             seq: 0,
         }
+    }
+
+    /// Encodes a reading vector, returning a typed error for any
+    /// component the fixed-point payload cannot faithfully represent
+    /// (NaN, ±∞, or magnitude at/beyond ±`i64::MAX` nano-units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] naming the offending
+    /// component; no frame is constructed.
+    pub fn try_encode(
+        id: u16,
+        source: impl Into<String>,
+        reading: &Vector,
+    ) -> crate::Result<Frame> {
+        for (i, &v) in reading.as_slice().iter().enumerate() {
+            let scaled = v / PAYLOAD_SCALE;
+            if !scaled.is_finite() || scaled.abs() >= i64::MAX as f64 {
+                return Err(SimError::InvalidParameter {
+                    name: "frame_payload",
+                    value: format!("component {i} = {v} exceeds the bus fixed-point range"),
+                });
+            }
+        }
+        Ok(Frame::encode(id, source, reading))
+    }
+
+    /// Re-encodes `reading` into this frame's payload in place, with
+    /// the same saturation as [`Frame::encode`], leaving id, source and
+    /// stamps untouched — the man-in-the-middle rewrite primitive: to
+    /// the consumer the frame still looks exactly like the authentic
+    /// publisher's.
+    pub fn set_payload_from(&mut self, reading: &Vector) {
+        self.payload.clear();
+        self.payload
+            .extend(reading.as_slice().iter().map(|&v| saturating_word(v)));
     }
 
     /// Decodes the payload back to a reading vector.
@@ -114,6 +165,10 @@ pub struct Bus {
     /// Next publish sequence number; never reset, so frame identities
     /// stay unique across [`Bus::clear`] calls.
     next_seq: u64,
+    /// Frames whose requested stamp claimed a tick *fresher* than the
+    /// bus clock and were clamped to it (see [`Bus::publish_stamped`]).
+    /// Survives [`Bus::clear`], like the clock itself.
+    future_stamp_rejected: u64,
 }
 
 impl Bus {
@@ -147,11 +202,34 @@ impl Bus {
     /// `t` but delivered at tick `t+1` arrives stamped `t`, so a
     /// stamp-checking consumer rejects it as late instead of silently
     /// consuming last tick's data.
+    ///
+    /// A stamp claiming a tick *fresher* than the bus clock violates
+    /// [`Frame::tick`]'s invariant ("a frame can only claim an older
+    /// tick, never a fresher one") and is **clamped** to the current
+    /// tick: the frame is delivered as what it physically is — a frame
+    /// arriving now — and the forgery attempt is counted in
+    /// [`Bus::future_stamps_rejected`]. Before this clamp a
+    /// desynchronization attacker could pre-stamp tick `t + k` and have
+    /// the forged frame become `latest_fresh` at tick `t + k` — a
+    /// replay primitive — while [`Bus::staleness`]'s saturating
+    /// subtraction silently reported it fresh.
     pub fn publish_stamped(&mut self, mut frame: Frame, tick: u64) {
-        frame.tick = tick;
+        if tick > self.tick {
+            self.future_stamp_rejected += 1;
+            frame.tick = self.tick;
+        } else {
+            frame.tick = tick;
+        }
         frame.seq = self.next_seq;
         self.next_seq += 1;
         self.frames.push(frame);
+    }
+
+    /// Number of publish attempts whose stamp claimed a future tick and
+    /// was clamped to the bus clock (`bus.future_stamp_rejected` in
+    /// forensic terms). Monotonic across [`Bus::clear`].
+    pub fn future_stamps_rejected(&self) -> u64 {
+        self.future_stamp_rejected
     }
 
     /// The newest frame carrying the given arbitration id, **regardless
@@ -184,6 +262,21 @@ impl Bus {
     /// forensic bus log).
     pub fn log(&self) -> &[Frame] {
         &self.frames
+    }
+
+    /// Mutable access to the transmitted frames — the man-in-the-middle
+    /// surface: an attacker sitting on the wire rewrites payloads in
+    /// place, leaving ids, stamps and publish order untouched (see
+    /// [`crate::attacks`]).
+    pub fn frames_mut(&mut self) -> &mut [Frame] {
+        &mut self.frames
+    }
+
+    /// Drops every frame failing the predicate — the frame-trashing
+    /// surface: a jamming attacker destroys selected frames in flight,
+    /// so the consumer's fresh view for those ids goes empty this tick.
+    pub fn retain(&mut self, f: impl FnMut(&Frame) -> bool) {
+        self.frames.retain(f);
     }
 
     /// Number of frames transmitted.
@@ -334,6 +427,98 @@ mod tests {
         bus.clear();
         assert!(bus.is_empty());
         assert!(bus.latest(SENSOR_ID_BASE).is_none());
+    }
+
+    /// Regression for the non-finite-payload panic: `Frame::encode`
+    /// used to `assert!(scaled.abs() < i64::MAX as f64)`, which is
+    /// *false* for NaN and ±∞ — a corruption producing a non-finite
+    /// reading aborted the whole simulation instead of putting a frame
+    /// on the wire. Saturation keeps the trial running (and very
+    /// detectable); `try_encode` offers the strict typed-error path.
+    #[test]
+    fn non_finite_and_overflow_values_saturate_instead_of_panicking() {
+        let cases = [
+            (f64::NAN, 0i64),
+            (f64::INFINITY, i64::MAX),
+            (f64::NEG_INFINITY, i64::MIN),
+            (1e300, i64::MAX),  // finite overflow: +1e309 nano-units
+            (-1e300, i64::MIN), // finite overflow, negative
+        ];
+        for (v, word) in cases {
+            let frame = Frame::encode(SENSOR_ID_BASE, "ips", &Vector::from_slice(&[v, 1.0]));
+            assert_eq!(frame.payload[0], word, "value {v}");
+            assert_eq!(frame.payload[1], 1_000_000_000);
+            // The decoded reading is finite (extreme, but steppable).
+            assert!(frame.decode()[0].is_finite(), "value {v}");
+            assert!(Frame::try_encode(SENSOR_ID_BASE, "ips", &Vector::from_slice(&[v])).is_err());
+        }
+        let ok = Frame::try_encode(SENSOR_ID_BASE, "ips", &Vector::from_slice(&[1.0, -2.0]));
+        assert_eq!(ok.unwrap().payload, vec![1_000_000_000, -2_000_000_000]);
+    }
+
+    /// Regression for the future-stamp hole: `publish_stamped` accepted
+    /// stamps fresher than the bus clock, so a desync attacker could
+    /// pre-stamp tick `t + k` and the forged frame became `latest_fresh`
+    /// at tick `t + k` while `staleness` reported it fresh all along.
+    #[test]
+    fn future_stamps_are_clamped_to_the_bus_clock_and_counted() {
+        let mut bus = Bus::new();
+        bus.begin_tick(10);
+        bus.publish_stamped(
+            Frame::encode(SENSOR_ID_BASE, "attacker", &Vector::from_slice(&[9.0])),
+            15,
+        );
+        // The frame is delivered as what it is: a frame arriving *now*.
+        let f = bus.latest(SENSOR_ID_BASE).unwrap();
+        assert_eq!(f.tick, 10, "stamp clamped to the bus clock");
+        assert_eq!(bus.staleness(SENSOR_ID_BASE), Some(0));
+        assert_eq!(bus.future_stamps_rejected(), 1);
+
+        // Advancing to the forged tick must NOT resurrect it as fresh —
+        // the replay primitive this clamp kills.
+        bus.begin_tick(15);
+        assert!(bus.latest_fresh(SENSOR_ID_BASE).is_none());
+        assert_eq!(bus.staleness(SENSOR_ID_BASE), Some(5));
+
+        // Honest old stamps still pass through unclamped.
+        bus.publish_stamped(
+            Frame::encode(SENSOR_ID_BASE, "ips", &Vector::from_slice(&[1.0])),
+            12,
+        );
+        assert_eq!(bus.latest(SENSOR_ID_BASE).unwrap().tick, 12);
+        assert_eq!(bus.future_stamps_rejected(), 1, "no new clamp");
+        // The counter survives clear, like the clock and sequence.
+        bus.clear();
+        assert_eq!(bus.future_stamps_rejected(), 1);
+    }
+
+    /// When every id published this tick, the staleness-aware fresh view
+    /// and the legacy cache view agree frame-for-frame — the equality the
+    /// runner's `latest` → `latest_fresh` migration relies on.
+    #[test]
+    fn fresh_view_equals_cache_view_when_all_frames_arrive() {
+        let mut bus = Bus::new();
+        bus.begin_tick(3);
+        for i in 0..3u16 {
+            bus.publish(Frame::encode(
+                SENSOR_ID_BASE + i,
+                "wf",
+                &Vector::from_slice(&[i as f64]),
+            ));
+        }
+        bus.publish(Frame::encode(
+            COMMAND_ID,
+            "planner",
+            &Vector::from_slice(&[0.1, 0.2]),
+        ));
+        for id in [
+            SENSOR_ID_BASE,
+            SENSOR_ID_BASE + 1,
+            SENSOR_ID_BASE + 2,
+            COMMAND_ID,
+        ] {
+            assert_eq!(bus.latest(id), bus.latest_fresh(id));
+        }
     }
 
     #[test]

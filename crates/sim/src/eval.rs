@@ -357,6 +357,97 @@ mod tests {
         assert_eq!(eval.detected_actuator_sequence, vec!["A0", "A1"]);
     }
 
+    /// A misbehavior active from the very first iteration produces no
+    /// change point (change points are detected from k = 1), so no
+    /// transition-delay row exists — but the per-iteration confusion
+    /// counts still see every misbehaving iteration.
+    #[test]
+    fn misbehavior_active_at_k0_yields_no_transition_but_full_counts() {
+        let detected: Vec<(Vec<usize>, bool)> = (0..10)
+            .map(|k| (if k >= 2 { vec![0] } else { vec![] }, false))
+            .collect();
+        let trace = synthetic_trace(detected);
+        let gt = scenario_sensor0_from(0, 10).ground_truth();
+        let eval = evaluate(&trace, &gt);
+        assert!(eval.sensor_transitions.is_empty(), "no change point at k=0");
+        assert_eq!(eval.sensor_delay(), None);
+        assert!(!eval.missed_transition());
+        assert_eq!(eval.sensor_counts.false_negatives, 2); // k=0,1
+        assert_eq!(eval.sensor_counts.true_positives, 8);
+        assert_eq!(eval.sensor_counts.true_negatives, 0);
+    }
+
+    /// Back-to-back change points: each transition's search window ends
+    /// at the next change point, so a one-iteration condition gives the
+    /// detector exactly one iteration to match — anything slower is a
+    /// miss for that transition, not a late detection.
+    #[test]
+    fn back_to_back_change_points_have_zero_width_windows() {
+        // Truth: clean, sensor 0 only at k=4, clean again from k=5.
+        let s = Scenario::new(
+            0,
+            "blip",
+            "",
+            vec![Misbehavior::new(
+                "bias",
+                Target::Sensor(0),
+                Corruption::Bias(Vector::zeros(3)),
+                4,
+                Some(5),
+            )],
+            10,
+        );
+        // Detector matches the blip one step late — inside the *next*
+        // window, so the S1 transition is a miss and the S0 recovery is
+        // matched late.
+        let detected: Vec<(Vec<usize>, bool)> = (0..10)
+            .map(|k| (if k == 5 { vec![0] } else { vec![] }, false))
+            .collect();
+        let eval = evaluate(&synthetic_trace(detected), &s.ground_truth());
+        assert_eq!(eval.sensor_transitions.len(), 2);
+        assert_eq!(eval.sensor_transitions[0].condition, "S1");
+        assert_eq!(
+            eval.sensor_transitions[0].delay, None,
+            "window was k=4 only"
+        );
+        assert_eq!(eval.sensor_transitions[1].condition, "S0");
+        assert!((eval.sensor_transitions[1].delay.unwrap() - 0.1).abs() < 1e-12);
+        assert!(eval.missed_transition());
+        // An exact hit inside the one-iteration window is delay 0.
+        let detected: Vec<(Vec<usize>, bool)> = (0..10)
+            .map(|k| (if k == 4 { vec![0] } else { vec![] }, false))
+            .collect();
+        let eval = evaluate(&synthetic_trace(detected), &s.ground_truth());
+        assert_eq!(eval.sensor_transitions[0].delay, Some(0.0));
+        assert_eq!(eval.sensor_transitions[1].delay, Some(0.0));
+    }
+
+    /// `distinct_sequence` boundary semantics: runs shorter than
+    /// `SEQUENCE_PERSISTENCE` are dropped mid-stream but kept at the
+    /// very start and very end of the run, and adjacent kept runs with
+    /// the same label collapse.
+    #[test]
+    fn distinct_sequence_keeps_short_runs_only_at_the_boundaries() {
+        let label = |v: &i32| format!("V{v}");
+        // Short head (1), short mid blip (1, dropped), long mid (3),
+        // short tail (2, kept).
+        let stream = [7, 0, 0, 0, 9, 0, 0, 0, 8, 8];
+        assert_eq!(
+            distinct_sequence(&stream, label),
+            vec!["V7", "V0", "V8"],
+            "head and tail blips kept, mid blip dropped"
+        );
+        // The dropped mid blip must not split the surrounding run: the
+        // two V0 runs collapse into one entry.
+        let stream = [0, 0, 0, 9, 0, 0, 0];
+        assert_eq!(distinct_sequence(&stream, label), vec!["V0"]);
+        // A stream shorter than the persistence is entirely boundary.
+        let stream = [1, 2];
+        assert_eq!(distinct_sequence(&stream, label), vec!["V1", "V2"]);
+        let empty: [i32; 0] = [];
+        assert!(distinct_sequence(&empty, label).is_empty());
+    }
+
     #[test]
     fn recovery_transition_has_its_own_delay() {
         // Truth: sensor 2 misbehaves on k=3..6, then recovers.

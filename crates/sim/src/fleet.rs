@@ -23,6 +23,7 @@ use roboads_models::{presets, Pose2};
 use roboads_obs::Telemetry;
 use roboads_stats::{SeedableRng, StdRng};
 
+use crate::attacks::{build_attacks, AttackSpec, BusAttack};
 use crate::bus::{Bus, Frame, COMMAND_ID, SENSOR_ID_BASE};
 use crate::eval::{evaluate, EvalResult};
 use crate::misbehavior::Misbehavior;
@@ -106,6 +107,7 @@ pub struct FleetSimulationBuilder {
     telemetry: Option<Telemetry>,
     ingest: Option<DeadlinePolicy>,
     faults: Vec<(usize, std::ops::Range<usize>, FrameFault)>,
+    attacks: Vec<AttackSpec>,
     recorder: Option<RecorderConfig>,
     health: bool,
 }
@@ -128,6 +130,13 @@ struct RobotWorld {
     d_a_true: Vector,
     readings: Vec<Vector>,
     d_s_true: Vec<Vector>,
+    // Bus-level attacks on this robot's bus, with the attacker's own
+    // RNG stream, plus the monitor's hold-last fallback for frames the
+    // attacks destroyed.
+    attacks: Vec<Box<dyn BusAttack>>,
+    attack_rng: StdRng,
+    held_readings: Vec<Vector>,
+    held_command: Vector,
 }
 
 /// `scenario` with every misbehavior window shifted `offset` iterations
@@ -184,6 +193,7 @@ impl FleetSimulationBuilder {
             telemetry: None,
             ingest: None,
             faults: Vec::new(),
+            attacks: Vec::new(),
             recorder: None,
             health: false,
         }
@@ -294,6 +304,19 @@ impl FleetSimulationBuilder {
         self
     }
 
+    /// Registers a bus-level attack ([`crate::attacks`]) applied to
+    /// **every** robot's bus at the monitor seam — after its workflows
+    /// publish, before the monitor decodes. Robot `i`'s attacker draws
+    /// from a stream derived from seed `base + i`, so a fleet mid-run
+    /// holds robots at every stage of the attacked timeline without the
+    /// attacks coupling robots together. Frames an attack destroys fall
+    /// back to the last consumed value (hold-last), so a trashed robot
+    /// keeps stepping rather than panicking the run.
+    pub fn bus_attack(mut self, spec: AttackSpec) -> Self {
+        self.attacks.push(spec);
+        self
+    }
+
     /// Attaches a flight recorder to every robot's detector: confirmed
     /// alarms seal [`IncidentCapsule`]s collected (in robot order) into
     /// [`FleetOutcome::capsules`].
@@ -389,6 +412,10 @@ impl FleetSimulationBuilder {
                 x0.clone(),
                 ModeSet::one_reference_per_sensor(group_system),
             )?);
+            let (attacks, attack_rng) = build_attacks(&self.attacks, self.seed + robot as u64);
+            let held_readings: Vec<Vector> = (0..system.sensor_count())
+                .map(|i| Ok(Vector::zeros(system.sensor(i)?.dim())))
+                .collect::<Result<_>>()?;
             worlds.push(RobotWorld {
                 tracker,
                 sensing,
@@ -404,6 +431,10 @@ impl FleetSimulationBuilder {
                 d_a_true: Vector::zeros(system.input_dim()),
                 readings: Vec::new(),
                 d_s_true: Vec::new(),
+                attacks,
+                attack_rng,
+                held_readings,
+                held_command: Vector::zeros(system.input_dim()),
             });
         }
 
@@ -454,20 +485,25 @@ impl FleetSimulationBuilder {
                     ));
                     w.d_s_true.push(anomaly);
                 }
+                // Bus-level attacks perturb frames at the monitor seam,
+                // exactly as in the standalone runner.
+                for attack in &mut w.attacks {
+                    attack.apply(k, &mut w.bus, &mut w.attack_rng);
+                }
+                // The monitor consumes the staleness-aware fresh view;
+                // an id whose frame was trashed or replayed stale holds
+                // the last consumed value instead of panicking.
                 w.readings.clear();
                 for i in 0..system.sensor_count() {
-                    w.readings.push(
-                        w.bus
-                            .latest_fresh(SENSOR_ID_BASE + i as u16)
-                            .expect("every workflow published")
-                            .decode(),
-                    );
+                    if let Some(frame) = w.bus.latest_fresh(SENSOR_ID_BASE + i as u16) {
+                        w.held_readings[i] = frame.decode();
+                    }
+                    w.readings.push(w.held_readings[i].clone());
                 }
-                w.u_planned = w
-                    .bus
-                    .latest_fresh(COMMAND_ID)
-                    .expect("planner published")
-                    .decode();
+                if let Some(frame) = w.bus.latest_fresh(COMMAND_ID) {
+                    w.held_command = frame.decode();
+                }
+                w.u_planned = w.held_command.clone();
             }
 
             match &mut ingest {
@@ -812,6 +848,71 @@ mod tests {
         let solo = homogeneous.health.as_ref().unwrap();
         assert_eq!(solo.slab_groups(), 1);
         assert_eq!(solo.slab_robots(), 16);
+    }
+
+    /// Bus-level attacks work on the fleet builder too: every robot's
+    /// bus is attacked (with per-robot attacker streams), a trashed
+    /// fleet completes without panics, and every robot indicts the
+    /// frozen sensor.
+    #[test]
+    fn fleet_wide_frame_trash_holds_and_detects_per_robot() {
+        use crate::attacks::{AttackKind, AttackSpec};
+        let outcome = FleetSimulationBuilder::khepera()
+            .scenario(Scenario::clean())
+            .robots(3)
+            .seed(5)
+            .duration(120)
+            .bus_attack(AttackSpec::new(
+                AttackKind::FrameTrash,
+                0,
+                0.0,
+                60,
+                Some(40),
+            ))
+            .run()
+            .unwrap();
+        for (robot, trace) in outcome.traces.iter().enumerate() {
+            let records = trace.records();
+            assert_eq!(
+                records[80].readings[0], records[59].readings[0],
+                "robot {robot}: IPS not held"
+            );
+            assert!(
+                records[60..100]
+                    .iter()
+                    .any(|r| r.report.misbehaving_sensors.contains(&0)),
+                "robot {robot}: frozen IPS not identified"
+            );
+        }
+    }
+
+    /// Registering no attack leaves the fleet bitwise identical to the
+    /// pre-seam code path — and a MITM attack on the fleet perturbs
+    /// detection the same way the standalone seam does (robot 0 shares
+    /// the standalone run's seed and trajectory).
+    #[test]
+    fn fleet_mitm_matches_the_standalone_seam_bitwise() {
+        use crate::attacks::{AttackKind, AttackSpec};
+        let spec = AttackSpec::new(AttackKind::MitmRewrite, 0, 0.1, 50, Some(30));
+        let fleet = FleetSimulationBuilder::khepera()
+            .scenario(Scenario::clean())
+            .robots(2)
+            .seed(11)
+            .duration(90)
+            .bus_attack(spec.clone())
+            .run()
+            .unwrap();
+        let solo = SimulationBuilder::khepera()
+            .scenario(Scenario::clean())
+            .seed(11)
+            .duration(90)
+            .bus_attack(spec)
+            .run()
+            .unwrap();
+        for (a, b) in fleet.traces[0].records().iter().zip(solo.trace.records()) {
+            assert_eq!(a.readings, b.readings, "step {}", a.k);
+            assert_eq!(a.report, b.report, "step {}", a.k);
+        }
     }
 
     #[test]

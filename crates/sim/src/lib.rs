@@ -39,8 +39,10 @@
 //! # }
 //! ```
 
+pub mod attacks;
 pub mod bus;
 
+mod campaign;
 mod eval;
 mod fleet;
 mod loadgen;
@@ -52,12 +54,14 @@ mod telemetry;
 mod trace;
 mod workflow;
 
+pub use attacks::{AttackKind, AttackSpec, AttackWindow, BusAttack, FrameTarget};
+pub use campaign::{Campaign, CampaignCell, CampaignOutcome, CampaignPoint, PolicyChoice};
 pub use eval::{evaluate, EvalResult, TransitionDelay};
 pub use fleet::{FleetOutcome, FleetSimulationBuilder, FrameFault};
 pub use loadgen::{serve_traces_uds, stream_traces};
 pub use misbehavior::{Corruption, Misbehavior, Target};
 pub use platform::RobotPlatform;
-pub use runner::{evaluation_detector, RobotKind, SimOutcome, SimulationBuilder};
+pub use runner::{evaluation_detector, FramePolicy, RobotKind, SimOutcome, SimulationBuilder};
 pub use scenario::{GroundTruth, Scenario};
 pub use telemetry::{ModeTelemetry, TelemetrySummary};
 pub use trace::{Trace, TraceRecord};

@@ -13,6 +13,7 @@ use roboads_models::{presets, Pose2, RobotSystem};
 
 use roboads_obs::Telemetry;
 
+use crate::attacks::{build_attacks, AttackSpec};
 use crate::bus::{Bus, Frame, COMMAND_ID, SENSOR_ID_BASE};
 use crate::eval::{evaluate, EvalResult};
 use crate::platform::RobotPlatform;
@@ -29,6 +30,29 @@ pub enum RobotKind {
     Khepera,
     /// Tamiya TT-02 bicycle model (IPS + IMU + LiDAR).
     Tamiya,
+}
+
+/// How the monitor fills its inputs when no fresh frame for an
+/// arbitration id survived the tick — trashed, dropped, or only a
+/// stale-stamped replay present. The standalone mirror of
+/// [`FleetIngest`]'s `DeadlinePolicy`: the monitor consumes through the
+/// staleness-aware [`Bus::latest_fresh`] view and this policy decides
+/// what happens on a miss, instead of the old stale-blind
+/// `bus.latest(..).expect(..)` path that panicked on any trashed frame.
+///
+/// [`FleetIngest`]: crate::fleet::FleetSimulationBuilder
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FramePolicy {
+    /// Re-use the last consumed value for the missing id and keep
+    /// stepping the detector (default; a frozen input is exactly what
+    /// the detector should flag).
+    #[default]
+    HoldLast,
+    /// Freeze the detector: the step is skipped and the previous
+    /// tick's report re-used until fresh frames return. Degrades to
+    /// [`FramePolicy::HoldLast`] on the very first tick, when there is
+    /// no previous report to freeze.
+    MarkMissing,
 }
 
 /// The result of a full simulation run.
@@ -78,6 +102,8 @@ pub struct SimulationBuilder {
     use_linearized_baseline: bool,
     telemetry: Option<Telemetry>,
     recorder: Option<RecorderConfig>,
+    attacks: Vec<AttackSpec>,
+    frame_policy: FramePolicy,
 }
 
 enum Detector {
@@ -132,6 +158,8 @@ impl SimulationBuilder {
             use_linearized_baseline: false,
             telemetry: None,
             recorder: None,
+            attacks: Vec::new(),
+            frame_policy: FramePolicy::HoldLast,
         }
     }
 
@@ -212,6 +240,24 @@ impl SimulationBuilder {
     /// the linearize-once baseline, which has no recorder hook.
     pub fn recorder(mut self, config: RecorderConfig) -> Self {
         self.recorder = Some(config);
+        self
+    }
+
+    /// Registers a bus-level attack ([`crate::attacks`]), applied at
+    /// the monitor seam — after every workflow published its frames,
+    /// before the monitor decodes them. Attacks compose in
+    /// registration order on the same bus, and draw from their own
+    /// seeded RNG stream so adding one never perturbs the plant or
+    /// sensor noise.
+    pub fn bus_attack(mut self, spec: AttackSpec) -> Self {
+        self.attacks.push(spec);
+        self
+    }
+
+    /// Sets the monitor's missing-frame policy (default
+    /// [`FramePolicy::HoldLast`]).
+    pub fn frame_policy(mut self, policy: FramePolicy) -> Self {
+        self.frame_policy = policy;
         self
     }
 
@@ -299,6 +345,14 @@ impl SimulationBuilder {
         let step_latency = telemetry.metrics().histogram("sim.step_latency_s");
 
         let mut bus = Bus::new();
+        let (mut attacks, mut attack_rng) = build_attacks(&self.attacks, self.seed);
+        // Hold-last state: before any frame for an id has ever been
+        // consumed, the fallback is a zero reading of the right
+        // dimension (the detector flags it; the run does not panic).
+        let mut held_readings: Vec<Vector> = (0..system.sensor_count())
+            .map(|i| Ok(Vector::zeros(system.sensor(i)?.dim())))
+            .collect::<Result<_>>()?;
+        let mut held_command = Vector::zeros(system.input_dim());
         for k in 0..duration {
             let _iter_span = telemetry.span("sim.iteration");
             let u_planned = tracker.command(&controller_pose);
@@ -322,21 +376,56 @@ impl SimulationBuilder {
                 ));
                 d_s_true.push(anomaly);
             }
+            // Bus-level attacks sit between publish and decode: the
+            // monitor seam of `crate::attacks`.
+            for attack in &mut attacks {
+                attack.apply(k, &mut bus, &mut attack_rng);
+            }
+
+            // The monitor consumes the staleness-aware fresh view; a
+            // trashed/replayed id falls back per `FramePolicy` instead
+            // of panicking. With every frame on time this is the same
+            // frame set `latest` would serve.
+            let mut missing = false;
             let readings: Vec<Vector> = (0..system.sensor_count())
-                .map(|i| {
-                    bus.latest(SENSOR_ID_BASE + i as u16)
-                        .expect("every workflow published")
-                        .decode()
+                .map(|i| match bus.latest_fresh(SENSOR_ID_BASE + i as u16) {
+                    Some(frame) => {
+                        held_readings[i] = frame.decode();
+                        held_readings[i].clone()
+                    }
+                    None => {
+                        missing = true;
+                        held_readings[i].clone()
+                    }
                 })
                 .collect();
-            let u_monitored = bus.latest(COMMAND_ID).expect("planner published").decode();
+            let u_monitored = match bus.latest_fresh(COMMAND_ID) {
+                Some(frame) => {
+                    held_command = frame.decode();
+                    held_command.clone()
+                }
+                None => {
+                    missing = true;
+                    held_command.clone()
+                }
+            };
 
-            let step_started = std::time::Instant::now();
-            let report = detector.step(&u_monitored, &readings)?;
-            step_latency.record(step_started.elapsed().as_secs_f64());
-            // Stamped with the bus tick so a capsule's timeline matches
-            // the frames it was decoded from.
-            detector.record_tick(k as u64, &u_monitored, &readings, &report);
+            let freeze = missing
+                && self.frame_policy == FramePolicy::MarkMissing
+                && !trace.records().is_empty();
+            let report = if freeze {
+                // Frozen tick: the detector neither steps nor records —
+                // the previous report stands until fresh frames return.
+                trace.records().last().expect("non-empty").report.clone()
+            } else {
+                let step_started = std::time::Instant::now();
+                let report = detector.step(&u_monitored, &readings)?;
+                step_latency.record(step_started.elapsed().as_secs_f64());
+                // Stamped with the bus tick so a capsule's timeline
+                // matches the frames it was decoded from.
+                detector.record_tick(k as u64, &u_monitored, &readings, &report);
+                report
+            };
             controller_pose = Pose2::from_vector(&readings[0]).expect("IPS readings carry a pose");
 
             trace.push(TraceRecord {
@@ -475,6 +564,92 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(outcome.report.misbehaving_sensors, vec![0]);
+    }
+
+    /// The bugfix pin: routing consumption through `latest_fresh` plus
+    /// a hold-last/missing policy is *bitwise* invisible when every
+    /// frame arrives on time — both policies reproduce the same trace,
+    /// because neither ever fires.
+    #[test]
+    fn frame_policies_are_bitwise_invisible_when_all_frames_arrive() {
+        let run = |policy| {
+            SimulationBuilder::khepera()
+                .scenario(Scenario::ips_spoofing())
+                .seed(11)
+                .duration(60)
+                .frame_policy(policy)
+                .run()
+                .unwrap()
+        };
+        let hold = run(FramePolicy::HoldLast);
+        let mark = run(FramePolicy::MarkMissing);
+        for (a, b) in hold.trace.records().iter().zip(mark.trace.records()) {
+            assert_eq!(a.readings, b.readings, "step {}", a.k);
+            assert_eq!(a.report, b.report, "step {}", a.k);
+        }
+    }
+
+    /// The old consumption path panicked on the first trashed frame
+    /// ("every workflow published"); now a frame-trashing run completes,
+    /// holds the last reading, and the detector indicts the frozen
+    /// sensor.
+    #[test]
+    fn frame_trashing_holds_last_and_still_detects() {
+        use crate::attacks::{AttackKind, AttackSpec};
+        let outcome = SimulationBuilder::khepera()
+            .scenario(Scenario::clean())
+            .seed(5)
+            .bus_attack(AttackSpec::new(
+                AttackKind::FrameTrash,
+                0,
+                0.0,
+                60,
+                Some(60),
+            ))
+            .run()
+            .unwrap();
+        let records = outcome.trace.records();
+        // Held: the IPS reading freezes at its last authentic value.
+        assert_eq!(records[60].readings[0], records[59].readings[0]);
+        assert_eq!(records[90].readings[0], records[59].readings[0]);
+        // A frozen pose on a moving robot is an indictable anomaly.
+        assert!(
+            records[60..120]
+                .iter()
+                .any(|r| r.report.misbehaving_sensors.contains(&0)),
+            "frozen IPS should be identified"
+        );
+        // After the window the authentic stream resumes.
+        assert_ne!(records[121].readings[0], records[59].readings[0]);
+    }
+
+    /// Under `MarkMissing` the detector freezes instead: no new reports
+    /// are produced while frames are missing.
+    #[test]
+    fn mark_missing_freezes_the_report_stream() {
+        use crate::attacks::{AttackKind, AttackSpec};
+        let outcome = SimulationBuilder::khepera()
+            .scenario(Scenario::clean())
+            .seed(5)
+            .duration(100)
+            .frame_policy(FramePolicy::MarkMissing)
+            .bus_attack(AttackSpec::new(
+                AttackKind::FrameTrash,
+                0,
+                0.0,
+                40,
+                Some(20),
+            ))
+            .run()
+            .unwrap();
+        let records = outcome.trace.records();
+        for k in 40..60 {
+            assert_eq!(
+                records[k].report, records[39].report,
+                "report not frozen at {k}"
+            );
+        }
+        assert_ne!(records[60].report.iteration, records[39].report.iteration);
     }
 
     #[test]

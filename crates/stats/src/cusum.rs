@@ -170,6 +170,44 @@ mod tests {
         assert_eq!(c.statistic(), 0.0);
     }
 
+    /// Reset-after-alarm semantics: once the alarm is handled and the
+    /// detector reset, prior evidence is gone — the same shift must
+    /// re-accumulate from zero and fire with the same delay as a fresh
+    /// detector, not instantly.
+    #[test]
+    fn reset_after_alarm_restarts_evidence_from_zero() {
+        let first_fire = |c: &mut Cusum| (0..1000).find(|_| c.push(9.0)).unwrap();
+        let mut c = Cusum::new(5.0, 20.0).unwrap();
+        let cold = first_fire(&mut c);
+        assert!(c.statistic() > c.threshold());
+        c.reset();
+        assert_eq!(c.statistic(), 0.0);
+        let warm = first_fire(&mut c);
+        assert_eq!(cold, warm, "reset must erase all accumulated evidence");
+    }
+
+    /// Saturation-then-reset: a non-finite observation pins the
+    /// statistic just above the threshold, every further observation
+    /// keeps alarming from that saturated state, and a reset fully
+    /// recovers the detector — in-control data stays quiet afterwards.
+    #[test]
+    fn saturation_then_reset_recovers_cleanly() {
+        let mut c = Cusum::new(5.0, 20.0).unwrap();
+        assert!(c.push(f64::INFINITY));
+        assert_eq!(c.statistic(), c.threshold() + 1.0);
+        // The saturated state keeps the alarm latched even for
+        // in-control observations (evidence 21 − 2 = 19 < threshold
+        // would clear it only after decay; a fresh non-finite re-pins).
+        assert!(c.push(f64::NEG_INFINITY));
+        assert!(c.push(f64::NAN));
+        assert_eq!(c.statistic(), c.threshold() + 1.0);
+        c.reset();
+        assert_eq!(c.statistic(), 0.0);
+        for _ in 0..100 {
+            assert!(!c.push(3.0), "reset detector must be quiet in-control");
+        }
+    }
+
     #[test]
     fn validation_and_accessors() {
         assert!(Cusum::new(f64::NAN, 10.0).is_err());

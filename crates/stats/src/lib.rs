@@ -46,7 +46,7 @@ pub use chi_square::ChiSquared;
 pub use cusum::Cusum;
 pub use descriptive::{mean, sample_std_dev, sample_variance};
 pub use hypothesis::{normalized_statistic, ChiSquareTest, StatWorkspace};
-pub use metrics::{ConfusionCounts, RocCurve, RocPoint};
+pub use metrics::{ConfusionCounts, DetectionRate, RocCurve, RocPoint};
 pub use sampling::{GaussianSampler, MultivariateNormal, Rng, SeedableRng, StdRng};
 pub use window::SlidingWindow;
 

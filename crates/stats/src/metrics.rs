@@ -140,6 +140,69 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// Detection-probability aggregation over repeated seeded trials of one
+/// campaign grid point: how many trials detected the injected condition
+/// and how long detection took, the `eval_attack_prob`-style statistic
+/// behind a detection-probability curve.
+///
+/// # Example
+///
+/// ```
+/// use roboads_stats::DetectionRate;
+///
+/// let mut r = DetectionRate::default();
+/// r.record(Some(0.2)); // detected after 0.2 s
+/// r.record(Some(0.4));
+/// r.record(None);      // missed
+/// assert!((r.probability() - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((r.mean_delay().unwrap() - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DetectionRate {
+    /// Trials recorded.
+    pub trials: u64,
+    /// Trials in which the condition was detected.
+    pub detections: u64,
+    /// Sum of detection delays (seconds) over the detected trials.
+    pub delay_sum: f64,
+}
+
+impl DetectionRate {
+    /// Records one trial: `Some(delay_seconds)` when the condition was
+    /// detected, `None` for a miss.
+    pub fn record(&mut self, delay: Option<f64>) {
+        self.trials += 1;
+        if let Some(d) = delay {
+            self.detections += 1;
+            self.delay_sum += d;
+        }
+    }
+
+    /// Fraction of trials that detected; 0 before any trial.
+    pub fn probability(&self) -> f64 {
+        ratio(self.detections, self.trials)
+    }
+
+    /// Mean time-to-detection over the detected trials; `None` when
+    /// nothing was detected.
+    pub fn mean_delay(&self) -> Option<f64> {
+        if self.detections == 0 {
+            None
+        } else {
+            Some(self.delay_sum / self.detections as f64)
+        }
+    }
+
+    /// Merges another aggregation into this one (e.g. per-thread
+    /// partials of the same grid point).
+    pub fn merge(&mut self, other: &DetectionRate) {
+        self.trials += other.trials;
+        self.detections += other.detections;
+        self.delay_sum += other.delay_sum;
+    }
+}
+
 /// One operating point on a ROC curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -281,6 +344,23 @@ mod tests {
         c.record_identified(true, true, false);
         assert_eq!(c.false_positives, 1);
         assert_eq!(c.true_positives, 0);
+    }
+
+    #[test]
+    fn detection_rate_aggregates_probability_and_delay() {
+        let mut r = DetectionRate::default();
+        assert_eq!(r.probability(), 0.0);
+        assert_eq!(r.mean_delay(), None);
+        r.record(Some(0.1));
+        r.record(None);
+        let mut other = DetectionRate::default();
+        other.record(Some(0.3));
+        other.record(Some(0.2));
+        r.merge(&other);
+        assert_eq!(r.trials, 4);
+        assert_eq!(r.detections, 3);
+        assert!((r.probability() - 0.75).abs() < 1e-12);
+        assert!((r.mean_delay().unwrap() - 0.2).abs() < 1e-12);
     }
 
     #[test]
